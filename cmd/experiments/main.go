@@ -1,0 +1,84 @@
+// Command experiments regenerates every figure of the paper (Figs. 2–7)
+// plus the ablation studies in DESIGN.md, writing CSVs and ASCII charts.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -run fig4a -out results
+//	experiments -all -scale 1.0 -out results
+//	experiments -all -scale 0.2        # quick pass, reduced replications
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"gossipkit/internal/experiment"
+)
+
+func main() {
+	var (
+		list   = flag.Bool("list", false, "list available experiments")
+		runID  = flag.String("run", "", "run a single experiment by id")
+		all    = flag.Bool("all", false, "run every experiment")
+		out    = flag.String("out", "results", "output directory for CSVs and charts")
+		seed   = flag.Uint64("seed", 2008, "random seed")
+		scale  = flag.Float64("scale", 1.0, "replication scale (1.0 = paper's counts)")
+		width  = flag.Int("width", 72, "ASCII chart width")
+		height = flag.Int("height", 20, "ASCII chart height")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiment.All() {
+			fmt.Printf("%-24s %-14s %s\n", e.ID, e.Paper, e.Description)
+		}
+		return
+	}
+	cfg := experiment.Config{Seed: *seed, Scale: *scale}
+	var ids []string
+	switch {
+	case *runID != "":
+		ids = []string{*runID}
+	case *all:
+		for _, e := range experiment.All() {
+			ids = append(ids, e.ID)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	for _, id := range ids {
+		e, err := experiment.ByID(id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		start := time.Now()
+		fig, err := e.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s failed: %v\n", id, err)
+			os.Exit(1)
+		}
+		elapsed := time.Since(start).Round(time.Millisecond)
+		csvPath := filepath.Join(*out, id+".csv")
+		if err := os.WriteFile(csvPath, []byte(fig.CSV()), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		ascii := fig.ASCII(*width, *height)
+		txtPath := filepath.Join(*out, id+".txt")
+		if err := os.WriteFile(txtPath, []byte(ascii), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("=== %s (%s, %v) -> %s\n%s\n", id, e.Paper, elapsed, csvPath, ascii)
+	}
+}

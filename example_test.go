@@ -1,0 +1,72 @@
+package gossipkit_test
+
+import (
+	"fmt"
+
+	"gossipkit"
+)
+
+// Example reproduces the paper's headline numbers at its Fig. 6 operating
+// point: mean fanout 4 with 10% failed members.
+func Example() {
+	p := gossipkit.Params{
+		N:          2000,
+		Fanout:     gossipkit.Poisson(4),
+		AliveRatio: 0.9,
+	}
+	pred, _ := gossipkit.Predict(p)
+	fmt.Printf("critical ratio: %.2f\n", pred.CriticalRatio)
+	fmt.Printf("reliability:    %.4f\n", pred.Reliability)
+	t, _ := gossipkit.ExecutionsForSuccess(p, 0.999)
+	fmt.Printf("executions for 99.9%% success: %d\n", t)
+	// Output:
+	// critical ratio: 0.25
+	// reliability:    0.9695
+	// executions for 99.9% success: 2
+}
+
+// ExampleFanoutForReliability shows the paper's design equation (Eq. 12):
+// the mean fanout needed for a reliability target under failures.
+func ExampleFanoutForReliability() {
+	z, _ := gossipkit.FanoutForReliability(0.99, 0.8)
+	fmt.Printf("z = %.2f\n", z)
+	// Output:
+	// z = 5.81
+}
+
+// ExampleCriticalRatio shows the fault-tolerance threshold (Eq. 10): with
+// mean fanout 5, gossip survives as long as more than 1/5 of the members
+// stay up.
+func ExampleCriticalRatio() {
+	fmt.Printf("q_c = %.2f\n", gossipkit.CriticalRatio(5))
+	// Output:
+	// q_c = 0.20
+}
+
+// ExampleExecute runs one multicast and reports its delivery.
+func ExampleExecute() {
+	p := gossipkit.Params{
+		N:          1000,
+		Fanout:     gossipkit.FixedFanout(8),
+		AliveRatio: 1,
+	}
+	res, _ := gossipkit.Execute(p, gossipkit.NewRNG(42))
+	fmt.Printf("reached over 99%%: %v\n", res.Reliability > 0.99)
+	// Output:
+	// reached over 99%: true
+}
+
+// ExampleMeasureGiantComponent estimates the paper's simulated reliability
+// metric with a fixed seed (deterministic regardless of parallelism).
+func ExampleMeasureGiantComponent() {
+	p := gossipkit.Params{
+		N:          1000,
+		Fanout:     gossipkit.Poisson(4),
+		AliveRatio: 0.9,
+	}
+	est, _ := gossipkit.MeasureGiantComponent(p, 20, 42)
+	pred, _ := gossipkit.Predict(p)
+	fmt.Printf("within 2%% of model: %v\n", est.Mean > pred.Reliability-0.02 && est.Mean < pred.Reliability+0.02)
+	// Output:
+	// within 2% of model: true
+}

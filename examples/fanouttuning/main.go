@@ -1,0 +1,71 @@
+// Fanout tuning: dimension a gossip protocol from requirements using the
+// paper's design equations, then validate the design by simulation.
+//
+// Scenario: a pub/sub operator must deliver events to 99.9% of subscribers
+// while tolerating up to 30% simultaneous crashes, and wants the smallest
+// fanout (message budget) that achieves it.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"gossipkit"
+)
+
+func main() {
+	const (
+		groupSize   = 5000
+		targetRel   = 0.999 // required per-execution reliability S
+		worstCaseQ  = 0.7   // at most 30% of members failed
+		successProb = 0.999 // required group-wide success probability
+	)
+
+	// Step 1 (Eq. 12): the Poisson mean fanout for S at q.
+	z, err := gossipkit.FanoutForReliability(targetRel, worstCaseQ)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Eq. 12: mean fanout z = %.3f for S=%.3f at q=%.1f\n", z, targetRel, worstCaseQ)
+
+	// Step 2 (Eq. 10): sanity-check the critical point with margin.
+	qc := gossipkit.CriticalRatio(z)
+	fmt.Printf("Eq. 10: critical nonfailed ratio q_c = %.3f (margin %.1fx)\n", qc, worstCaseQ/qc)
+
+	// Step 3 (Eq. 6): executions needed for group-wide success.
+	p := gossipkit.Params{N: groupSize, Fanout: gossipkit.Poisson(z), AliveRatio: worstCaseQ}
+	t, err := gossipkit.ExecutionsForSuccess(p, successProb)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Eq. 6: %d executions for %.1f%% group success\n", t, successProb*100)
+
+	// Step 4: validate by simulation at the design point.
+	giant, err := gossipkit.MeasureGiantComponent(p, 30, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("validation: simulated reliability %.4f (target %.3f, gap %+.4f)\n",
+		giant.Mean, targetRel, giant.Mean-targetRel)
+	if math.Abs(giant.Mean-targetRel) > 0.01 {
+		fmt.Println("          (gap above 1%: increase fanout margin)")
+	}
+
+	// Step 5: explore the cost curve — what failure levels does this
+	// design survive?
+	fmt.Println("\nq sweep at the designed fanout:")
+	for _, q := range []float64{0.3, 0.5, 0.7, 0.9, 1.0} {
+		pq := p
+		pq.AliveRatio = q
+		pred, err := gossipkit.Predict(pq)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bar := ""
+		for i := 0; i < int(pred.Reliability*40); i++ {
+			bar += "#"
+		}
+		fmt.Printf("  q=%.1f  R=%.4f  %s\n", q, pred.Reliability, bar)
+	}
+}

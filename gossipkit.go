@@ -1,0 +1,178 @@
+// Package gossipkit is a toolkit for building and analyzing gossip-based
+// reliable multicast protocols under node failures. It reproduces, as a
+// production-grade Go library, the system and the analytic model of:
+//
+//	Xiaopeng Fan, Jiannong Cao, Weigang Wu, Michel Raynal.
+//	"On Modeling Fault Tolerance of Gossip-Based Reliable Multicast
+//	Protocols." ICPP 2008.
+//
+// The package is a thin, stable facade over the internal packages; the
+// examples under examples/ and the executables under cmd/ are built
+// entirely on this surface.
+//
+// # Quick start
+//
+//	p := gossipkit.Params{
+//		N:          1000,
+//		Fanout:     gossipkit.Poisson(4.0), // fanout distribution P
+//		AliveRatio: 0.9,                    // nonfailed member ratio q
+//	}
+//	pred, _ := gossipkit.Predict(p)              // analytic R(q, P), Eq. 11
+//	est, _ := gossipkit.MeasureReliability(p, 20, 42) // 20 seeded runs
+//	fmt.Printf("model %.3f, measured %.3f\n", pred.Reliability, est.Mean)
+//
+// # Choosing parameters
+//
+// Given a target reliability S and an expected failure level q, Eq. 12
+// gives the Poisson mean fanout to provision:
+//
+//	z, _ := gossipkit.FanoutForReliability(0.999, 0.8)
+//
+// and Eq. 6 the number of repeated executions for a success target:
+//
+//	t, _ := gossipkit.ExecutionsForSuccess(p, 0.999)
+package gossipkit
+
+import (
+	"time"
+
+	"gossipkit/internal/core"
+	"gossipkit/internal/dist"
+	"gossipkit/internal/genfunc"
+	"gossipkit/internal/membership"
+	"gossipkit/internal/simnet"
+	"gossipkit/internal/xrand"
+)
+
+// Params configures the gossip model Gossip(n, P, q); see core.Params.
+type Params = core.Params
+
+// Result is the outcome of one gossip execution.
+type Result = core.Result
+
+// Estimate is a Monte-Carlo reliability estimate.
+type Estimate = core.Estimate
+
+// ComponentEstimate is a Monte-Carlo giant-component estimate (the paper's
+// simulated reliability metric).
+type ComponentEstimate = core.ComponentEstimate
+
+// Prediction is the analytic model's output.
+type Prediction = core.Prediction
+
+// SuccessParams configures the repeated-execution success protocol.
+type SuccessParams = core.SuccessParams
+
+// SuccessOutcome aggregates success-protocol measurements.
+type SuccessOutcome = core.SuccessOutcome
+
+// Distribution is a discrete fanout distribution.
+type Distribution = dist.Distribution
+
+// RNG is the deterministic random number generator used throughout.
+type RNG = xrand.RNG
+
+// NewRNG returns a seeded deterministic generator.
+func NewRNG(seed uint64) *RNG { return xrand.New(seed) }
+
+// Poisson returns the Poisson fanout distribution Po(z) of the paper's case
+// study.
+func Poisson(z float64) Distribution { return dist.NewPoisson(z) }
+
+// FixedFanout returns the traditional fixed-fanout distribution.
+func FixedFanout(k int) Distribution { return dist.NewFixed(k) }
+
+// GeometricFanout returns the geometric fanout distribution on {0,1,...}
+// with success probability p (mean (1−p)/p).
+func GeometricFanout(p float64) Distribution { return dist.NewGeometric(p) }
+
+// UniformFanout returns the uniform fanout distribution on {lo..hi}.
+func UniformFanout(lo, hi int) Distribution { return dist.NewUniformRange(lo, hi) }
+
+// NegBinomialFanout returns the overdispersed negative binomial fanout
+// NB(r, p) on {0,1,...} (mean r(1−p)/p).
+func NegBinomialFanout(r int, p float64) Distribution { return dist.NewNegBinomial(r, p) }
+
+// AtLeastOnce conditions a fanout distribution on drawing at least one
+// target, so no member ever stays silent.
+func AtLeastOnce(d Distribution) Distribution { return dist.NewZeroTruncated(d) }
+
+// Execute runs one execution of the general gossiping algorithm.
+func Execute(p Params, r *RNG) (Result, error) { return core.ExecuteOnce(p, r) }
+
+// MeasureReliability runs `runs` seeded executions in parallel and returns
+// aggregate statistics of the directed source reach (what one multicast
+// actually delivers).
+func MeasureReliability(p Params, runs int, seed uint64) (Estimate, error) {
+	return core.EstimateReliability(p, runs, seed)
+}
+
+// MeasureGiantComponent runs `runs` seeded executions and returns the giant
+// out-component statistics — the paper's simulated reliability metric,
+// which Eq. 11 predicts.
+func MeasureGiantComponent(p Params, runs int, seed uint64) (ComponentEstimate, error) {
+	return core.EstimateComponentReliability(p, runs, seed)
+}
+
+// Predict evaluates the analytic fault-tolerance model for p.
+func Predict(p Params) (Prediction, error) { return core.Predict(p) }
+
+// RunSuccess runs the repeated-execution success protocol (paper §5.2).
+func RunSuccess(p SuccessParams, seed uint64) (SuccessOutcome, error) {
+	return core.RunSuccess(p, seed)
+}
+
+// ExecutionsForSuccess returns the minimum number of executions t needed to
+// reach the success probability target (paper Eq. 6), using the model's
+// predicted per-execution reliability.
+func ExecutionsForSuccess(p Params, target float64) (int, error) {
+	return core.RequiredExecutions(p, target)
+}
+
+// FanoutForReliability returns the Poisson mean fanout z needed for
+// reliability s at nonfailed ratio q (paper Eq. 12).
+func FanoutForReliability(s, q float64) (float64, error) {
+	return genfunc.PoissonMeanFanout(s, q)
+}
+
+// CriticalRatio returns q_c = 1/z for Poisson fanout (paper Eq. 10): below
+// this nonfailed ratio, gossip reliability collapses.
+func CriticalRatio(meanFanout float64) float64 {
+	return genfunc.PoissonCriticalRatio(meanFanout)
+}
+
+// FullView returns complete membership knowledge over n members (the
+// paper's assumption).
+func FullView(n int) membership.View { return membership.NewFullView(n) }
+
+// PartialViews builds SCAMP-style partial membership views (substrate for
+// the paper's assumption that "a scalable membership protocol is
+// available"). c is the number of extra subscription copies; views average
+// (c+1)·ln(n) entries.
+func PartialViews(n, c int, r *RNG) *membership.PartialViews {
+	return membership.NewPartialViews(n, c, r)
+}
+
+// NetConfig configures the simulated network substrate for
+// ExecuteOnNetwork.
+type NetConfig = simnet.Config
+
+// NetResult is a network-backed execution outcome.
+type NetResult = core.NetResult
+
+// ExecuteOnNetwork runs one execution as an event-driven protocol over the
+// simulated network (latency, loss, partitions).
+func ExecuteOnNetwork(p Params, cfg NetConfig, r *RNG) (NetResult, error) {
+	return core.ExecuteOnNetwork(p, cfg, r)
+}
+
+// ConstantLatency delays every message by d.
+func ConstantLatency(d time.Duration) simnet.LatencyModel { return simnet.ConstantLatency{D: d} }
+
+// UniformLatency draws per-message delays uniformly from [lo, hi].
+func UniformLatency(lo, hi time.Duration) simnet.LatencyModel {
+	return simnet.UniformLatency{Lo: lo, Hi: hi}
+}
+
+// BernoulliLoss drops each message independently with probability p.
+func BernoulliLoss(p float64) simnet.LossModel { return simnet.BernoulliLoss{P: p} }

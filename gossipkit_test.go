@@ -1,0 +1,100 @@
+package gossipkit
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFacadeQuickstartFlow(t *testing.T) {
+	p := Params{N: 1000, Fanout: Poisson(4), AliveRatio: 0.9}
+	pred, err := Predict(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.Reliability < 0.9 || pred.Reliability > 1 {
+		t.Fatalf("prediction %.4f out of expected band", pred.Reliability)
+	}
+	est, err := MeasureGiantComponent(p, 20, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est.Mean-pred.Reliability) > 0.03 {
+		t.Errorf("measured %.4f vs predicted %.4f", est.Mean, pred.Reliability)
+	}
+}
+
+func TestFacadeDistributions(t *testing.T) {
+	r := NewRNG(1)
+	for _, d := range []Distribution{
+		Poisson(3), FixedFanout(4), GeometricFanout(0.4), UniformFanout(1, 5),
+	} {
+		if d.Mean() <= 0 {
+			t.Errorf("%s mean %g", d.Name(), d.Mean())
+		}
+		if k := d.Sample(r); k < 0 {
+			t.Errorf("%s sampled %d", d.Name(), k)
+		}
+	}
+}
+
+func TestFacadeDesignEquations(t *testing.T) {
+	z, err := FanoutForReliability(0.99, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z <= 1/0.8 {
+		t.Errorf("fanout %g below critical", z)
+	}
+	if qc := CriticalRatio(4); qc != 0.25 {
+		t.Errorf("critical ratio %g", qc)
+	}
+	tmin, err := ExecutionsForSuccess(Params{N: 1000, Fanout: Poisson(4), AliveRatio: 0.9}, 0.999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tmin < 1 || tmin > 10 {
+		t.Errorf("executions %d", tmin)
+	}
+}
+
+func TestFacadeExecuteAndViews(t *testing.T) {
+	r := NewRNG(7)
+	pv := PartialViews(200, 1, r)
+	p := Params{N: 200, Fanout: Poisson(4), AliveRatio: 1, View: pv}
+	res, err := Execute(p, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered < 1 {
+		t.Error("nothing delivered")
+	}
+	full := FullView(200)
+	if full.N() != 200 || full.Degree(3) != 199 {
+		t.Error("full view wrong")
+	}
+}
+
+func TestFacadeNetworkExecution(t *testing.T) {
+	p := Params{N: 300, Fanout: Poisson(5), AliveRatio: 1}
+	res, err := ExecuteOnNetwork(p, NetConfig{}, NewRNG(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered < 1 || res.Net.Sent == 0 {
+		t.Errorf("network execution: %+v", res.Result)
+	}
+}
+
+func TestFacadeSuccessProtocol(t *testing.T) {
+	out, err := RunSuccess(SuccessParams{
+		Params:      Params{N: 300, Fanout: Poisson(5), AliveRatio: 0.9},
+		Executions:  5,
+		Simulations: 4,
+	}, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.ReceiptHistogram.Total() != 4*270 {
+		t.Errorf("histogram total %d", out.ReceiptHistogram.Total())
+	}
+}

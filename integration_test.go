@@ -1,0 +1,174 @@
+package gossipkit
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"gossipkit/internal/core"
+	"gossipkit/internal/dist"
+	"gossipkit/internal/genfunc"
+	"gossipkit/internal/stats"
+)
+
+// These integration tests wire several subsystems together through the
+// public facade, checking cross-module invariants that no single package's
+// unit tests can see.
+
+func TestIntegrationModelVsSimulationAcrossDistributions(t *testing.T) {
+	// For every fanout family the giant out-component simulation must
+	// match the forward-spread predictor (mean-only), the correct model
+	// for directed gossip (ablation A1).
+	const n, q = 3000, 0.85
+	for _, d := range []Distribution{
+		Poisson(4),
+		FixedFanout(4),
+		GeometricFanout(0.2),      // mean 4
+		NegBinomialFanout(4, 0.5), // mean 4, var 8
+		AtLeastOnce(Poisson(3.5)), // mean ~3.6
+		UniformFanout(2, 6),       // mean 4
+	} {
+		d := d
+		t.Run(d.Name(), func(t *testing.T) {
+			p := Params{N: n, Fanout: d, AliveRatio: q}
+			est, err := MeasureGiantComponent(p, 25, 99)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := genfunc.ForwardReach(d.Mean(), q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(est.Mean-want) > 0.03 {
+				t.Errorf("%s: sim %.4f vs forward model %.4f", d.Name(), est.Mean, want)
+			}
+		})
+	}
+}
+
+func TestIntegrationOneShotDeliveryMatchesOutbreakModel(t *testing.T) {
+	// Directed one-shot delivery = outbreak probability × coverage, with
+	// the shape dependence carried entirely by the outbreak factor.
+	const n, q = 3000, 0.9
+	for _, d := range []Distribution{Poisson(4), FixedFanout(4)} {
+		d := d
+		t.Run(d.Name(), func(t *testing.T) {
+			p := Params{N: n, Fanout: d, AliveRatio: q}
+			est, err := MeasureReliability(p, 300, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := genfunc.ExpectedOneShotReach(d, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(est.Mean-want) > 0.025 {
+				t.Errorf("%s: one-shot %.4f vs model %.4f", d.Name(), est.Mean, want)
+			}
+		})
+	}
+}
+
+func TestIntegrationNetworkLossMatchesBondPercolation(t *testing.T) {
+	// ExecuteOnNetwork with Bernoulli loss vs the joint site+bond model:
+	// the mean one-shot delivery tracks S(z(1−loss), q)².
+	const n, z, q, loss = 1500, 5.0, 0.9, 0.3
+	p := Params{N: n, Fanout: Poisson(z), AliveRatio: q}
+	var acc stats.Running
+	for seed := uint64(0); seed < 40; seed++ {
+		res, err := ExecuteOnNetwork(p, NetConfig{Loss: BernoulliLoss(loss)}, NewRNG(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		acc.Add(res.Reliability)
+	}
+	s, err := genfunc.JointReliability(dist.NewPoisson(z), q, loss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(acc.Mean()-s*s) > 0.04 {
+		t.Errorf("lossy delivery %.4f vs thinned S² %.4f", acc.Mean(), s*s)
+	}
+}
+
+func TestIntegrationLatencyDoesNotChangeReach(t *testing.T) {
+	// Latency reorders deliveries but must not change what is reachable:
+	// identical seeds with and without latency give statistically equal
+	// reliability.
+	p := Params{N: 800, Fanout: Poisson(4), AliveRatio: 0.9}
+	var zero, lat stats.Running
+	for seed := uint64(0); seed < 25; seed++ {
+		a, err := ExecuteOnNetwork(p, NetConfig{}, NewRNG(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		zero.Add(a.Reliability)
+		b, err := ExecuteOnNetwork(p, NetConfig{
+			Latency: UniformLatency(time.Millisecond, 40*time.Millisecond),
+		}, NewRNG(seed+5000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		lat.Add(b.Reliability)
+	}
+	if math.Abs(zero.Mean()-lat.Mean()) > 0.06 {
+		t.Errorf("latency changed reach: %.4f vs %.4f", zero.Mean(), lat.Mean())
+	}
+}
+
+func TestIntegrationDesignLoopClosesEndToEnd(t *testing.T) {
+	// The full design workflow of examples/fanouttuning: pick z from a
+	// target via Eq. 12, then verify by simulation that the target holds.
+	const target, q = 0.99, 0.75
+	z, err := FanoutForReliability(target, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Params{N: 3000, Fanout: Poisson(z), AliveRatio: q}
+	est, err := MeasureGiantComponent(p, 30, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est.Mean-target) > 0.01 {
+		t.Errorf("designed for %.3f, measured %.4f (z=%.3f)", target, est.Mean, z)
+	}
+	// And the success protocol achieves its own target with the t from
+	// Eq. 6.
+	tmin, err := ExecutionsForSuccess(p, 0.999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := RunSuccess(SuccessParams{
+		Params:      p,
+		Executions:  tmin,
+		Simulations: 30,
+	}, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	missFrac := out.ReceiptHistogram.Freq(0)
+	// Eq. 6 guarantees per-member miss prob <= 0.001 under the model's
+	// idealized p_r; the empirical p_r is lower (die-out), so allow an
+	// order of magnitude.
+	if missFrac > 0.01 {
+		t.Errorf("per-member miss fraction %.4f after t=%d executions", missFrac, tmin)
+	}
+}
+
+func TestIntegrationCoreRecurrenceAndAnalyticPlateauAgree(t *testing.T) {
+	// The round-recurrence plateau and the percolation model's S must
+	// land on the same coverage for a supercritical setting.
+	const n, z, q = 5000, 5.0, 0.9
+	cum, err := core.RecurrenceModel(n, z, q, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plateau := cum[len(cum)-1] / (float64(n) * q)
+	s, err := genfunc.PoissonReliability(z, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(plateau-s) > 0.02 {
+		t.Errorf("recurrence plateau %.4f vs percolation S %.4f", plateau, s)
+	}
+}

@@ -1,0 +1,291 @@
+// Package core implements the paper's primary contribution: the general
+// gossiping algorithm (paper Fig. 1) with arbitrary fanout distributions,
+// its fault-tolerant execution semantics, Monte-Carlo estimators for the
+// reliability of gossiping R(q, P), the repeated-execution success protocol
+// S(q, P, t), and the analytic predictions (via internal/genfunc) the
+// simulations are validated against.
+//
+// The algorithm, verbatim from the paper:
+//
+//	Upon member i receiving the message m for the first time:
+//	  member i generates a random number f_i following distribution P
+//	  member i selects f_i nodes uniformly at random from its membership view
+//	  member i sends the message m to the selected f_i nodes
+//
+// Failed members follow the fail-stop model: they never forward, whether
+// they crashed before receiving or after receiving but before forwarding
+// (failure.Timing); the source never fails.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"gossipkit/internal/dist"
+	"gossipkit/internal/failure"
+	"gossipkit/internal/genfunc"
+	"gossipkit/internal/membership"
+	"gossipkit/internal/xrand"
+)
+
+// MaskKind selects how the alive set for an execution is drawn from q.
+type MaskKind int
+
+const (
+	// ExactCount puts exactly ⌊n·q⌋ members alive (paper §4.1: "the
+	// number of nonfailed nodes equals n*q"). The default.
+	ExactCount MaskKind = iota
+	// Bernoulli makes each member alive independently with probability q
+	// (the percolation model's own assumption).
+	Bernoulli
+)
+
+func (k MaskKind) String() string {
+	switch k {
+	case ExactCount:
+		return "exact"
+	case Bernoulli:
+		return "bernoulli"
+	default:
+		return fmt.Sprintf("MaskKind(%d)", int(k))
+	}
+}
+
+// Params configures the gossip model Gossip(n, P, q).
+type Params struct {
+	// N is the group size (n members).
+	N int
+	// Fanout is the fanout distribution P.
+	Fanout dist.Distribution
+	// AliveRatio is the nonfailed member ratio q in [0, 1].
+	AliveRatio float64
+	// Source is the member that initiates gossiping; it never fails.
+	Source int
+	// Timing is when failed members crash (before or after receiving);
+	// the two are observationally equivalent for the spread.
+	Timing failure.Timing
+	// MaskKind selects the alive-set sampler; default ExactCount.
+	MaskKind MaskKind
+	// View is the membership view targets are drawn from; nil means a
+	// full view over N members (the paper's setting).
+	View membership.View
+}
+
+// Validate checks the parameters.
+func (p Params) Validate() error {
+	if p.N < 2 {
+		return fmt.Errorf("core: group size %d too small", p.N)
+	}
+	if p.Fanout == nil {
+		return errors.New("core: nil fanout distribution")
+	}
+	if p.AliveRatio < 0 || p.AliveRatio > 1 || p.AliveRatio != p.AliveRatio {
+		return fmt.Errorf("core: alive ratio %g outside [0,1]", p.AliveRatio)
+	}
+	if p.Source < 0 || p.Source >= p.N {
+		return fmt.Errorf("core: source %d out of range [0,%d)", p.Source, p.N)
+	}
+	if p.View != nil && p.View.N() != p.N {
+		return fmt.Errorf("core: view size %d != group size %d", p.View.N(), p.N)
+	}
+	switch p.Timing {
+	case failure.BeforeReceive, failure.AfterReceive:
+	default:
+		return fmt.Errorf("core: unknown crash timing %v", p.Timing)
+	}
+	switch p.MaskKind {
+	case ExactCount, Bernoulli:
+	default:
+		return fmt.Errorf("core: unknown mask kind %v", p.MaskKind)
+	}
+	return nil
+}
+
+func (p Params) view() membership.View {
+	if p.View != nil {
+		return p.View
+	}
+	return membership.NewFullView(p.N)
+}
+
+// drawMask samples the alive set for one execution.
+func (p Params) drawMask(r *xrand.RNG) *failure.Mask {
+	if p.MaskKind == Bernoulli {
+		return failure.BernoulliMask(p.N, p.AliveRatio, p.Source, r)
+	}
+	return failure.ExactMask(p.N, p.AliveRatio, p.Source, r)
+}
+
+// Result reports the outcome of one execution of the gossiping algorithm.
+type Result struct {
+	// AliveCount is the number of nonfailed members in this execution.
+	AliveCount int
+	// Delivered is the number of nonfailed members (including the
+	// source) that received m at least once.
+	Delivered int
+	// Reliability is Delivered/AliveCount — the paper's R(q, P) for one
+	// execution.
+	Reliability float64
+	// MessagesSent is the total number of gossip messages sent.
+	MessagesSent int
+	// WastedOnFailed counts messages addressed to failed members.
+	WastedOnFailed int
+	// Duplicates counts messages delivered to members that already had m.
+	Duplicates int
+	// Rounds is the forwarding depth (hops from the source to the last
+	// newly-infected member).
+	Rounds int
+}
+
+// ExecuteOnce runs one execution of the general gossiping algorithm with a
+// freshly drawn failure mask, consuming randomness from r.
+func ExecuteOnce(p Params, r *xrand.RNG) (Result, error) {
+	if err := p.Validate(); err != nil {
+		return Result{}, err
+	}
+	return newExecutor(p).run(p.drawMask(r), r), nil
+}
+
+// ExecuteWithMask runs one execution against a caller-supplied failure
+// mask (the success protocol reuses one mask across executions). The mask
+// must have length N and keep the source alive.
+func ExecuteWithMask(p Params, mask *failure.Mask, r *xrand.RNG) (Result, error) {
+	if err := p.Validate(); err != nil {
+		return Result{}, err
+	}
+	if mask.N() != p.N {
+		return Result{}, fmt.Errorf("core: mask size %d != group size %d", mask.N(), p.N)
+	}
+	if !mask.Alive(p.Source) {
+		return Result{}, errors.New("core: source is failed in supplied mask")
+	}
+	return newExecutor(p).run(mask, r), nil
+}
+
+// executor holds the reusable per-worker buffers for executions. One
+// executor serves many runs of the same Params (same N and view), which
+// keeps the Monte-Carlo inner loop allocation-free.
+type executor struct {
+	params   Params
+	view     membership.View
+	received []bool
+	depth    []int32
+	queue    []int32
+	targets  []int
+}
+
+// newExecutor allocates buffers for p. p must already be validated.
+func newExecutor(p Params) *executor {
+	return &executor{
+		params:   p,
+		view:     p.view(),
+		received: make([]bool, p.N),
+		depth:    make([]int32, p.N),
+		queue:    make([]int32, 0, p.N),
+		targets:  make([]int, 0, 16),
+	}
+}
+
+// run is the heart of the reproduction: a queue-based simulation of the
+// spread. Members are processed in BFS order; each alive member, on first
+// receipt, draws a fanout and forwards. Failed members absorb messages
+// without forwarding — under BeforeReceive they are counted as never
+// receiving, under AfterReceive as receiving once; neither affects the set
+// of alive members reached, which the tests verify.
+//
+// After run returns, e.delivered() lists the alive members that received m
+// (including the source), valid until the next run.
+func (e *executor) run(mask *failure.Mask, r *xrand.RNG) Result {
+	p := e.params
+	res := Result{AliveCount: mask.AliveCount()}
+
+	for i := range e.received {
+		e.received[i] = false
+		e.depth[i] = 0
+	}
+	e.queue = e.queue[:0]
+
+	e.received[p.Source] = true
+	e.queue = append(e.queue, int32(p.Source))
+	res.Delivered = 1
+
+	for head := 0; head < len(e.queue); head++ {
+		u := int(e.queue[head])
+		f := p.Fanout.Sample(r)
+		e.targets = e.view.SampleTargets(e.targets, u, f, r)
+		res.MessagesSent += len(e.targets)
+		for _, v := range e.targets {
+			if !mask.Alive(v) {
+				res.WastedOnFailed++
+				if p.Timing == failure.BeforeReceive {
+					continue // crashed before it could receive
+				}
+				// AfterReceive: the failed member absorbs the
+				// message (first receipt only) but never
+				// forwards.
+				if !e.received[v] {
+					e.received[v] = true
+					e.depth[v] = e.depth[u] + 1
+				} else {
+					res.Duplicates++
+				}
+				continue
+			}
+			if e.received[v] {
+				res.Duplicates++
+				continue
+			}
+			e.received[v] = true
+			e.depth[v] = e.depth[u] + 1
+			if int(e.depth[v]) > res.Rounds {
+				res.Rounds = int(e.depth[v])
+			}
+			res.Delivered++
+			e.queue = append(e.queue, int32(v))
+		}
+	}
+	if res.AliveCount > 0 {
+		res.Reliability = float64(res.Delivered) / float64(res.AliveCount)
+	}
+	return res
+}
+
+// delivered returns the alive members that received m in the last run,
+// in BFS order starting with the source. The slice is reused by the next
+// run.
+func (e *executor) delivered() []int32 { return e.queue }
+
+// ---------------------------------------------------------------------------
+// Analytic predictions
+
+// Prediction bundles the model's analytic outputs for a parameter set.
+type Prediction struct {
+	// Reliability is R(q, P): the giant-component size among nonfailed
+	// members (paper Eq. 4 / Eq. 11).
+	Reliability float64
+	// CriticalRatio is q_c = 1/G1'(1) (paper Eq. 3).
+	CriticalRatio float64
+	// MeanFanout is E[P], for reference.
+	MeanFanout float64
+	// Supercritical reports whether q > q_c.
+	Supercritical bool
+}
+
+// Predict evaluates the analytic model for p.
+func Predict(p Params) (Prediction, error) {
+	if err := p.Validate(); err != nil {
+		return Prediction{}, err
+	}
+	m := genfunc.New(p.Fanout)
+	rel, err := m.Reliability(p.AliveRatio)
+	if err != nil {
+		return Prediction{}, err
+	}
+	qc := m.CriticalRatio()
+	return Prediction{
+		Reliability:   rel,
+		CriticalRatio: qc,
+		MeanFanout:    p.Fanout.Mean(),
+		Supercritical: p.AliveRatio > qc,
+	}, nil
+}

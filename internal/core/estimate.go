@@ -1,0 +1,90 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"gossipkit/internal/stats"
+	"gossipkit/internal/xrand"
+)
+
+// Estimate summarizes a Monte-Carlo reliability estimation.
+type Estimate struct {
+	// Runs is the number of independent executions.
+	Runs int
+	// Mean is the average per-execution reliability (the estimator of
+	// R(q, P)).
+	Mean float64
+	// StdDev is the sample standard deviation across executions.
+	StdDev float64
+	// CI95 is the half-width of the 95% confidence interval on Mean.
+	CI95 float64
+	// Min and Max are the extreme per-execution reliabilities.
+	Min, Max float64
+	// MeanMessages is the average number of gossip messages per
+	// execution.
+	MeanMessages float64
+	// MeanRounds is the average forwarding depth per execution.
+	MeanRounds float64
+}
+
+// EstimateReliability runs `runs` independent executions of the algorithm
+// and returns aggregate statistics. Replications are distributed over
+// min(GOMAXPROCS, runs) workers; results are identical for a given seed
+// regardless of parallelism because each run uses the RNG stream split at
+// its own index.
+func EstimateReliability(p Params, runs int, seed uint64) (Estimate, error) {
+	if err := p.Validate(); err != nil {
+		return Estimate{}, err
+	}
+	if runs < 1 {
+		return Estimate{}, fmt.Errorf("core: run count %d < 1", runs)
+	}
+	root := xrand.New(seed)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > runs {
+		workers = runs
+	}
+
+	type acc struct {
+		rel  stats.Running
+		msgs stats.Running
+		rnds stats.Running
+	}
+	accs := make([]acc, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			a := &accs[w]
+			ex := newExecutor(p)
+			for run := w; run < runs; run += workers {
+				r := root.Split(uint64(run))
+				res := ex.run(p.drawMask(r), r)
+				a.rel.Add(res.Reliability)
+				a.msgs.Add(float64(res.MessagesSent))
+				a.rnds.Add(float64(res.Rounds))
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	var rel, msgs, rnds stats.Running
+	for i := range accs {
+		rel.Merge(accs[i].rel)
+		msgs.Merge(accs[i].msgs)
+		rnds.Merge(accs[i].rnds)
+	}
+	return Estimate{
+		Runs:         rel.N(),
+		Mean:         rel.Mean(),
+		StdDev:       rel.StdDev(),
+		CI95:         rel.CI95(),
+		Min:          rel.Min(),
+		Max:          rel.Max(),
+		MeanMessages: msgs.Mean(),
+		MeanRounds:   rnds.Mean(),
+	}, nil
+}

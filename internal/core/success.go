@@ -1,0 +1,196 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"gossipkit/internal/stats"
+	"gossipkit/internal/xrand"
+)
+
+// SuccessParams configures the repeated-execution success protocol
+// S(q, P, t): the source gossips the same message t times; a member is
+// satisfied once it has received the message in at least one execution
+// (paper §4.2(2) and §5.2).
+type SuccessParams struct {
+	Params
+	// Executions is t, the number of repetitions (the paper uses 20).
+	Executions int
+	// Simulations is the number of independent simulations, each with
+	// its own failure mask (the paper uses 100).
+	Simulations int
+	// ResampleMask draws a fresh failure mask before every execution
+	// instead of fixing it per simulation. The paper's Binomial analysis
+	// (X ~ B(t, R)) corresponds to a fixed mask per simulation — each
+	// execution then re-randomizes only the gossip — so false is the
+	// default; true is ablation A3 in DESIGN.md.
+	ResampleMask bool
+}
+
+// Validate checks the parameters.
+func (p SuccessParams) Validate() error {
+	if err := p.Params.Validate(); err != nil {
+		return err
+	}
+	if p.Executions < 1 {
+		return fmt.Errorf("core: executions %d < 1", p.Executions)
+	}
+	if p.Simulations < 1 {
+		return fmt.Errorf("core: simulations %d < 1", p.Simulations)
+	}
+	return nil
+}
+
+// SuccessOutcome aggregates the success-protocol measurements that the
+// paper's Figs. 6–7 report.
+type SuccessOutcome struct {
+	// ReceiptHistogram counts, over all (simulation, nonfailed member)
+	// pairs, the number X of executions in which the member received m.
+	// Bin k = number of member-observations with X = k, k in
+	// 0..Executions. The paper compares this with B(t, R).
+	ReceiptHistogram *stats.Histogram
+	// SuccessRate is the fraction of simulations in which EVERY
+	// nonfailed member received m at least once across the t executions
+	// — the empirical Pr(S(q, P, t)).
+	SuccessRate float64
+	// MeanExecutionReliability is the average single-execution
+	// reliability observed, the empirical p_r of Eq. 5.
+	MeanExecutionReliability float64
+	// Simulations and Executions echo the configuration.
+	Simulations, Executions int
+}
+
+// ReferenceBinomial returns the PMF of B(Executions, p) for overlaying on
+// ReceiptHistogram, as the paper does in Figs. 6–7 with p = R(q, P).
+func (o SuccessOutcome) ReferenceBinomial(p float64) []float64 {
+	return stats.BinomialPMFs(o.Executions, p)
+}
+
+// ChiSquareAgainst tests the receipt histogram against B(Executions, p);
+// it returns the statistic, degrees of freedom, and p-value.
+func (o SuccessOutcome) ChiSquareAgainst(p float64) (float64, int, float64, error) {
+	obs := make([]int64, o.Executions+1)
+	for k := range obs {
+		obs[k] = o.ReceiptHistogram.Count(k)
+	}
+	return stats.ChiSquare(obs, o.ReferenceBinomial(p), 5)
+}
+
+// RunSuccess runs the success protocol and aggregates the receipt-count
+// distribution. Simulations execute in parallel with per-simulation RNG
+// streams, so the result depends only on the seed.
+func RunSuccess(p SuccessParams, seed uint64) (SuccessOutcome, error) {
+	if err := p.Validate(); err != nil {
+		return SuccessOutcome{}, err
+	}
+	root := xrand.New(seed)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > p.Simulations {
+		workers = p.Simulations
+	}
+
+	type simResult struct {
+		counts   []int64
+		success  bool
+		relTotal float64
+	}
+	results := make([]simResult, p.Simulations)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ex := newExecutor(p.Params)
+			receipts := make([]int32, p.N)
+			for s := w; s < p.Simulations; s += workers {
+				r := root.Split(uint64(s))
+				results[s] = simResult(runOneSimulation(p, ex, receipts, r))
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	hist := stats.NewHistogram(p.Executions + 1)
+	successes := 0
+	var relSum float64
+	for _, sr := range results {
+		for k, c := range sr.counts {
+			for i := int64(0); i < c; i++ {
+				hist.Add(k)
+			}
+		}
+		if sr.success {
+			successes++
+		}
+		relSum += sr.relTotal
+	}
+	return SuccessOutcome{
+		ReceiptHistogram:         hist,
+		SuccessRate:              float64(successes) / float64(p.Simulations),
+		MeanExecutionReliability: relSum / float64(p.Simulations*p.Executions),
+		Simulations:              p.Simulations,
+		Executions:               p.Executions,
+	}, nil
+}
+
+type oneSim struct {
+	counts   []int64
+	success  bool
+	relTotal float64
+}
+
+// runOneSimulation performs t executions over one failure mask (or a fresh
+// mask per execution when resampling) and tallies per-member receipt
+// counts. ex and receipts are reusable scratch owned by the calling worker.
+func runOneSimulation(p SuccessParams, ex *executor, receipts []int32, r *xrand.RNG) oneSim {
+	for i := range receipts {
+		receipts[i] = 0
+	}
+	mask := p.drawMask(r)
+	out := oneSim{counts: make([]int64, p.Executions+1)}
+	for t := 0; t < p.Executions; t++ {
+		if p.ResampleMask && t > 0 {
+			mask = p.drawMask(r)
+		}
+		res := ex.run(mask, r)
+		out.relTotal += res.Reliability
+		for _, v := range ex.delivered() {
+			receipts[v]++
+		}
+	}
+	// Tally X over members that are nonfailed under the simulation's
+	// (final) mask; with a fixed mask this is exactly the paper's
+	// nonfailed population.
+	success := true
+	for i := 0; i < p.N; i++ {
+		if !mask.Alive(i) {
+			continue
+		}
+		x := int(receipts[i])
+		if x > p.Executions {
+			x = p.Executions
+		}
+		out.counts[x]++
+		if x == 0 {
+			success = false
+		}
+	}
+	out.success = success
+	return out
+}
+
+// RequiredExecutions returns the paper's Eq. 6: the minimum t such that
+// Pr(S(q, P, t)) = 1 − (1 − R)^t reaches the target probability, where R is
+// the model's predicted reliability for p.
+func RequiredExecutions(p Params, successTarget float64) (int, error) {
+	pred, err := Predict(p)
+	if err != nil {
+		return 0, err
+	}
+	if pred.Reliability <= 0 {
+		return 0, fmt.Errorf("core: predicted reliability is 0 (q=%g below critical %g); no t suffices",
+			p.AliveRatio, pred.CriticalRatio)
+	}
+	return stats.MinTrials(successTarget, pred.Reliability)
+}

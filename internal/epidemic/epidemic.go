@@ -1,0 +1,167 @@
+// Package epidemic implements the compartmental epidemic models that the
+// gossip literature leans on (the paper's related work uses the SI model
+// for LRG [9]; Demers et al. [2] founded the anti-entropy/rumor-mongering
+// analogy): SI, SIS, and SIR, each as an ODE (mean-field) and as an
+// agent-based uniform-mixing simulation.
+//
+// The punchline connecting this package to the rest of the library: the
+// SIR final-size equation
+//
+//	R∞ = 1 − e^{−R0·R∞}
+//
+// is exactly the paper's Eq. 11 with R0 = z·q — single-shot gossip IS an
+// SIR epidemic (infected members "recover" immediately after one burst of
+// forwarding), which is why the giant-component/percolation view works.
+// A cross-module test asserts the equivalence numerically.
+package epidemic
+
+import (
+	"fmt"
+	"math"
+
+	"gossipkit/internal/numeric"
+	"gossipkit/internal/xrand"
+)
+
+// SIFraction integrates di/dt = beta·i·(1−i) from i0 over horizon t and
+// returns the infected fraction (logistic growth; closed form exists, the
+// RK4 path keeps the API uniform and is itself tested against the closed
+// form).
+func SIFraction(beta, i0, t float64) (float64, error) {
+	if beta < 0 || i0 < 0 || i0 > 1 || t < 0 {
+		return 0, fmt.Errorf("epidemic: invalid SI parameters beta=%g i0=%g t=%g", beta, i0, t)
+	}
+	f := func(_ float64, y, dydt []float64) { dydt[0] = beta * y[0] * (1 - y[0]) }
+	y := numeric.RK4(f, []float64{i0}, 0, t, int(t*200)+100)
+	return clamp01(y[0]), nil
+}
+
+// SISEndemicLevel returns the stable endemic infected fraction of the SIS
+// model di/dt = beta·i(1−i) − gamma·i: 1 − gamma/beta for beta > gamma,
+// else 0 (the infection dies out).
+func SISEndemicLevel(beta, gamma float64) (float64, error) {
+	if beta < 0 || gamma < 0 {
+		return 0, fmt.Errorf("epidemic: negative rates beta=%g gamma=%g", beta, gamma)
+	}
+	if beta <= gamma {
+		return 0, nil
+	}
+	return 1 - gamma/beta, nil
+}
+
+// SIRState is a point of the SIR trajectory.
+type SIRState struct{ S, I, R float64 }
+
+// SIRODE integrates the Kermack–McKendrick system
+//
+//	ds/dt = −beta·s·i,  di/dt = beta·s·i − gamma·i,  dr/dt = gamma·i
+//
+// from (1−i0, i0, 0) over horizon t.
+func SIRODE(beta, gamma, i0, t float64) (SIRState, error) {
+	if beta < 0 || gamma < 0 || i0 < 0 || i0 > 1 || t < 0 {
+		return SIRState{}, fmt.Errorf("epidemic: invalid SIR parameters")
+	}
+	f := func(_ float64, y, dydt []float64) {
+		s, i := y[0], y[1]
+		dydt[0] = -beta * s * i
+		dydt[1] = beta*s*i - gamma*i
+		dydt[2] = gamma * i
+	}
+	y := numeric.RK4(f, []float64{1 - i0, i0, 0}, 0, t, int(t*400)+200)
+	return SIRState{S: clamp01(y[0]), I: clamp01(y[1]), R: clamp01(y[2])}, nil
+}
+
+// SIRFinalSize solves the final-size equation R∞ = 1 − e^{−R0·R∞} for the
+// total fraction ever infected, given the basic reproduction number R0.
+// It returns 0 for R0 <= 1 (no epidemic). This equation is identical to
+// the paper's Eq. 11 with R0 = z·q.
+func SIRFinalSize(r0 float64) (float64, error) {
+	if r0 < 0 || math.IsNaN(r0) {
+		return 0, fmt.Errorf("epidemic: invalid R0 %g", r0)
+	}
+	if r0 <= 1 {
+		return 0, nil
+	}
+	f := func(r float64) float64 { return r - 1 + math.Exp(-r0*r) }
+	if f(1e-12) >= 0 {
+		return 0, nil
+	}
+	root, err := numeric.Brent(f, 1e-12, 1, 1e-14)
+	if err != nil {
+		return 0, err
+	}
+	return clamp01(root), nil
+}
+
+// AgentResult reports an agent-based epidemic run.
+type AgentResult struct {
+	// FinalInfected is the number of agents ever infected (SIR) or
+	// infected at the horizon (SIS).
+	FinalInfected int
+	// Rounds is the number of rounds executed.
+	Rounds int
+	// Curve is the per-round count of ever-infected (SIR) or currently
+	// infected (SIS) agents, starting with round 0.
+	Curve []int
+}
+
+// RunAgentSIR simulates a uniform-mixing SIR epidemic over n agents: each
+// round, every currently infectious agent contacts `contacts` uniformly
+// random agents (infecting susceptibles) and then recovers with
+// probability recover (recovered agents are immune). It runs until no
+// agent is infectious. contacts·E[rounds infectious] plays the role of
+// z·q; with recover = 1 this is exactly single-shot gossip with fixed
+// fanout `contacts`.
+func RunAgentSIR(n, contacts int, recover float64, r *xrand.RNG) (AgentResult, error) {
+	if n < 2 || contacts < 0 || recover <= 0 || recover > 1 {
+		return AgentResult{}, fmt.Errorf("epidemic: invalid agent SIR parameters n=%d contacts=%d recover=%g",
+			n, contacts, recover)
+	}
+	const (
+		susceptible = 0
+		infectious  = 1
+		recovered   = 2
+	)
+	state := make([]uint8, n)
+	state[0] = infectious
+	everInfected := 1
+	current := []int32{0}
+	res := AgentResult{Curve: []int{1}}
+	buf := make([]int, 0, contacts)
+	for len(current) > 0 {
+		res.Rounds++
+		var next []int32
+		for _, u := range current {
+			buf = r.SampleExcluding(buf, n, contacts, int(u))
+			for _, v := range buf {
+				if state[v] == susceptible {
+					state[v] = infectious
+					everInfected++
+					next = append(next, int32(v))
+				}
+			}
+			if r.Bool(recover) {
+				state[u] = recovered
+			} else {
+				next = append(next, u)
+			}
+		}
+		current = next
+		res.Curve = append(res.Curve, everInfected)
+		if res.Rounds > 100*n {
+			return res, fmt.Errorf("epidemic: SIR failed to terminate")
+		}
+	}
+	res.FinalInfected = everInfected
+	return res, nil
+}
+
+func clamp01(x float64) float64 {
+	switch {
+	case x < 0:
+		return 0
+	case x > 1:
+		return 1
+	}
+	return x
+}

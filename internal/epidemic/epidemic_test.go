@@ -1,0 +1,196 @@
+package epidemic
+
+import (
+	"math"
+	"testing"
+
+	"gossipkit/internal/genfunc"
+	"gossipkit/internal/stats"
+	"gossipkit/internal/xrand"
+)
+
+func TestSIFractionClosedForm(t *testing.T) {
+	beta, i0, horizon := 1.3, 0.02, 4.0
+	got, err := SIFraction(beta, i0, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := i0 * math.Exp(beta*horizon) / (1 - i0 + i0*math.Exp(beta*horizon))
+	if math.Abs(got-want) > 1e-6 {
+		t.Errorf("SI: %.8f vs closed form %.8f", got, want)
+	}
+	if _, err := SIFraction(-1, 0.1, 1); err == nil {
+		t.Error("negative beta accepted")
+	}
+}
+
+func TestSISEndemicLevel(t *testing.T) {
+	if lvl, _ := SISEndemicLevel(2, 1); math.Abs(lvl-0.5) > 1e-12 {
+		t.Errorf("SIS level %g, want 0.5", lvl)
+	}
+	if lvl, _ := SISEndemicLevel(1, 2); lvl != 0 {
+		t.Errorf("subcritical SIS level %g", lvl)
+	}
+	if _, err := SISEndemicLevel(-1, 0); err == nil {
+		t.Error("negative rate accepted")
+	}
+}
+
+func TestSIRODEConservation(t *testing.T) {
+	st, err := SIRODE(2, 1, 0.01, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(st.S+st.I+st.R-1) > 1e-6 {
+		t.Errorf("S+I+R = %g", st.S+st.I+st.R)
+	}
+	// Long horizon: infection burned out.
+	if st.I > 1e-4 {
+		t.Errorf("I(30) = %g, want ~0", st.I)
+	}
+}
+
+func TestSIRODEFinalSizeMatchesEquation(t *testing.T) {
+	// For small i0 the ODE's R(∞) must satisfy the final-size equation
+	// with R0 = beta/gamma.
+	beta, gamma := 3.0, 1.5 // R0 = 2
+	st, err := SIRODE(beta, gamma, 1e-5, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := SIRFinalSize(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(st.R-want) > 5e-3 {
+		t.Errorf("ODE final size %.5f vs equation %.5f", st.R, want)
+	}
+}
+
+func TestSIRFinalSizeIsEq11(t *testing.T) {
+	// The headline equivalence: SIRFinalSize(z·q) == PoissonReliability
+	// (paper Eq. 11) for every supercritical operating point.
+	for _, c := range []struct{ z, q float64 }{
+		{4.0, 0.9}, {6.0, 0.6}, {2.0, 1.0}, {3.0, 0.5},
+	} {
+		a, err := SIRFinalSize(c.z * c.q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := genfunc.PoissonReliability(c.z, c.q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(a-b) > 1e-10 {
+			t.Errorf("z=%g q=%g: SIR %.12f vs Eq.11 %.12f", c.z, c.q, a, b)
+		}
+	}
+	if s, _ := SIRFinalSize(0.8); s != 0 {
+		t.Errorf("subcritical final size %g", s)
+	}
+	if _, err := SIRFinalSize(-1); err == nil {
+		t.Error("negative R0 accepted")
+	}
+}
+
+func TestAgentSIRMatchesFinalSizeEquation(t *testing.T) {
+	// Immediate recovery (recover=1) with `contacts` fixed contacts is
+	// single-shot fixed-fanout gossip; conditional on outbreak the
+	// ever-infected fraction solves the final-size equation with
+	// R0 = contacts.
+	const n, contacts = 20000, 3
+	want, err := SIRFinalSize(contacts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var acc stats.Running
+	outbreaks := 0
+	for seed := uint64(0); seed < 12; seed++ {
+		res, err := RunAgentSIR(n, contacts, 1, xrand.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		frac := float64(res.FinalInfected) / n
+		if frac > 0.1 { // outbreak
+			acc.Add(frac)
+			outbreaks++
+		}
+		// Curve is monotone and ends at the final count.
+		for i := 1; i < len(res.Curve); i++ {
+			if res.Curve[i] < res.Curve[i-1] {
+				t.Fatal("curve not monotone")
+			}
+		}
+		if res.Curve[len(res.Curve)-1] != res.FinalInfected {
+			t.Fatal("curve endpoint mismatch")
+		}
+	}
+	if outbreaks == 0 {
+		t.Fatal("no outbreaks in 12 runs at R0=3")
+	}
+	if math.Abs(acc.Mean()-want) > 0.02 {
+		t.Errorf("agent SIR outbreak size %.4f, equation %.4f", acc.Mean(), want)
+	}
+}
+
+func TestAgentSIRSlowRecoveryInfectsMore(t *testing.T) {
+	// Lower recovery probability -> more rounds infectious -> higher R0
+	// -> larger outbreak.
+	var fast, slow stats.Running
+	for seed := uint64(0); seed < 8; seed++ {
+		a, err := RunAgentSIR(5000, 2, 1.0, xrand.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fast.Add(float64(a.FinalInfected) / 5000)
+		b, err := RunAgentSIR(5000, 2, 0.5, xrand.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		slow.Add(float64(b.FinalInfected) / 5000)
+	}
+	if slow.Mean() <= fast.Mean() {
+		t.Errorf("slow recovery %.4f not above fast %.4f", slow.Mean(), fast.Mean())
+	}
+}
+
+func TestAgentSIRValidation(t *testing.T) {
+	r := xrand.New(1)
+	for _, f := range []func() (AgentResult, error){
+		func() (AgentResult, error) { return RunAgentSIR(1, 2, 1, r) },
+		func() (AgentResult, error) { return RunAgentSIR(100, -1, 1, r) },
+		func() (AgentResult, error) { return RunAgentSIR(100, 2, 0, r) },
+		func() (AgentResult, error) { return RunAgentSIR(100, 2, 1.5, r) },
+	} {
+		if _, err := f(); err == nil {
+			t.Error("invalid agent SIR accepted")
+		}
+	}
+}
+
+func TestAgentSIRZeroContactsDiesImmediately(t *testing.T) {
+	res, err := RunAgentSIR(100, 0, 1, xrand.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalInfected != 1 {
+		t.Errorf("final infected %d, want 1", res.FinalInfected)
+	}
+}
+
+func BenchmarkAgentSIR(b *testing.B) {
+	r := xrand.New(1)
+	for i := 0; i < b.N; i++ {
+		if _, err := RunAgentSIR(5000, 3, 1, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSIRFinalSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := SIRFinalSize(3.6); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

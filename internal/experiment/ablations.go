@@ -1,0 +1,302 @@
+package experiment
+
+import (
+	"fmt"
+
+	"gossipkit/internal/core"
+	"gossipkit/internal/dist"
+	"gossipkit/internal/genfunc"
+	"gossipkit/internal/membership"
+	"gossipkit/internal/numeric"
+	"gossipkit/internal/stats"
+	"gossipkit/internal/xrand"
+)
+
+// AblationFanoutShape (A1) probes the paper's generality claim: the
+// undirected generalized-random-graph model says the giant component
+// depends on the full fanout distribution (through G1), while ideal
+// uniform-target gossip reach is a directed process whose giant
+// out-component depends only on the mean fanout. We sweep q for three
+// distributions with equal mean 4 — Poisson, Fixed, Geometric — and plot
+// the simulated giant out-component against both predictors.
+func AblationFanoutShape(cfg Config) (*Figure, error) {
+	f := &Figure{
+		ID:     "ablation-fanout-shape",
+		Title:  "Fanout-distribution shape: simulation vs undirected model vs forward-spread model (mean fanout 4)",
+		XLabel: "nonfailed ratio q",
+		YLabel: "reliability S",
+	}
+	distros := []dist.Distribution{
+		dist.NewPoisson(4),
+		dist.NewFixed(4),
+		dist.NewGeometric(0.2), // mean (1-p)/p = 4
+	}
+	qs := numeric.Linspace(0.15, 1.0, 12)
+	runs := cfg.runs(20, 3)
+	for di, d := range distros {
+		sim := Series{Name: d.Name() + " simulation"}
+		nsw := Series{Name: d.Name() + " undirected model"}
+		fwd := Series{Name: d.Name() + " forward model"}
+		m := genfunc.New(d)
+		var maxNSWGap, maxFwdGap float64
+		for qi, q := range qs {
+			p := core.Params{N: 2000, Fanout: d, AliveRatio: q}
+			est, err := core.EstimateComponentReliability(p, runs, cfg.Seed^uint64(di*100+qi))
+			if err != nil {
+				return nil, err
+			}
+			u, err := m.Reliability(q)
+			if err != nil {
+				return nil, err
+			}
+			fr, err := genfunc.ForwardReach(d.Mean(), q)
+			if err != nil {
+				return nil, err
+			}
+			sim.X = append(sim.X, q)
+			sim.Y = append(sim.Y, est.Mean)
+			nsw.X = append(nsw.X, q)
+			nsw.Y = append(nsw.Y, u)
+			fwd.X = append(fwd.X, q)
+			fwd.Y = append(fwd.Y, fr)
+			if g := abs(est.Mean - u); g > maxNSWGap {
+				maxNSWGap = g
+			}
+			if g := abs(est.Mean - fr); g > maxFwdGap {
+				maxFwdGap = g
+			}
+		}
+		f.Series = append(f.Series, sim, nsw, fwd)
+		f.Note("%s: max |sim − undirected| = %.4f, max |sim − forward| = %.4f",
+			d.Name(), maxNSWGap, maxFwdGap)
+	}
+	f.Note("for Poisson both models coincide; for Fixed/Geometric the forward model tracks the simulation")
+	return f, nil
+}
+
+// AblationCriticalPoint (A2) zooms into the phase transition: reliability
+// vs q around q_c = 1/z for several mean fanouts, with the analytic curve.
+func AblationCriticalPoint(cfg Config) (*Figure, error) {
+	f := &Figure{
+		ID:     "ablation-critical-point",
+		Title:  "Phase transition at q_c = 1/z (n = 2000)",
+		XLabel: "nonfailed ratio q",
+		YLabel: "reliability S",
+	}
+	runs := cfg.runs(20, 3)
+	for zi, z := range []float64{2, 4, 6} {
+		sim := Series{Name: fmt.Sprintf("z=%g simulation", z)}
+		ana := Series{Name: fmt.Sprintf("z=%g analysis", z)}
+		qc := genfunc.PoissonCriticalRatio(z)
+		for qi, q := range numeric.Linspace(0.02, min(3*qc, 1), 15) {
+			p := core.Params{N: 2000, Fanout: dist.NewPoisson(z), AliveRatio: q}
+			est, err := core.EstimateComponentReliability(p, runs, cfg.Seed^uint64(zi*64+qi))
+			if err != nil {
+				return nil, err
+			}
+			want, err := genfunc.PoissonReliability(z, q)
+			if err != nil {
+				return nil, err
+			}
+			sim.X = append(sim.X, q)
+			sim.Y = append(sim.Y, est.Mean)
+			ana.X = append(ana.X, q)
+			ana.Y = append(ana.Y, want)
+		}
+		f.Series = append(f.Series, sim, ana)
+		f.Note("z=%g: q_c = %.4f", z, qc)
+	}
+	return f, nil
+}
+
+// AblationFailureMask (A3) contrasts the two readings of "t executions
+// under failures": one mask fixed for all 20 executions (the paper's
+// Binomial model) vs a fresh mask per execution. Resampling shifts the
+// receipt distribution left because a member is dead (and cannot receive)
+// in ~(1−q) of the executions.
+func AblationFailureMask(cfg Config) (*Figure, error) {
+	f := &Figure{
+		ID:     "ablation-failure-mask",
+		Title:  "Receipt distribution: fixed vs resampled failure mask (n=2000, f=5.0, q=0.6, t=20)",
+		XLabel: "k (receipts of 20)",
+		YLabel: "Pr(X = k)",
+	}
+	base := core.SuccessParams{
+		Params: core.Params{
+			N:          2000,
+			Fanout:     dist.NewPoisson(5),
+			AliveRatio: 0.6,
+		},
+		Executions:  20,
+		Simulations: cfg.runs(60, 5),
+	}
+	fixed, err := core.RunSuccess(base, cfg.Seed^0xA3)
+	if err != nil {
+		return nil, err
+	}
+	resampled := base
+	resampled.ResampleMask = true
+	res, err := core.RunSuccess(resampled, cfg.Seed^0xA4)
+	if err != nil {
+		return nil, err
+	}
+	sFixed := Series{Name: "fixed mask (paper model)"}
+	sRes := Series{Name: "resampled mask"}
+	for k := 0; k <= 20; k++ {
+		sFixed.X = append(sFixed.X, float64(k))
+		sFixed.Y = append(sFixed.Y, fixed.ReceiptHistogram.Freq(k))
+		sRes.X = append(sRes.X, float64(k))
+		sRes.Y = append(sRes.Y, res.ReceiptHistogram.Freq(k))
+	}
+	f.Series = append(f.Series, sFixed, sRes)
+	meanOf := func(o core.SuccessOutcome) float64 {
+		var sum, tot float64
+		for k := 0; k <= 20; k++ {
+			c := float64(o.ReceiptHistogram.Count(k))
+			sum += float64(k) * c
+			tot += c
+		}
+		return sum / tot
+	}
+	f.Note("mean X: fixed = %.2f, resampled = %.2f (≈ q × fixed + survivor bias)", meanOf(fixed), meanOf(res))
+	return f, nil
+}
+
+// AblationFiniteSize (A4) measures how fast the simulation converges to
+// the asymptotic model as n grows, at fixed z·q = 3.6 (the paper's Fig. 6/7
+// operating point).
+func AblationFiniteSize(cfg Config) (*Figure, error) {
+	f := &Figure{
+		ID:     "ablation-finite-size",
+		Title:  "Finite-size error |simulation − model| at f=4.0, q=0.9",
+		XLabel: "group size n",
+		YLabel: "absolute error",
+	}
+	want, err := genfunc.PoissonReliability(4.0, 0.9)
+	if err != nil {
+		return nil, err
+	}
+	runs := cfg.runs(40, 5)
+	errSeries := Series{Name: "|sim − Eq.11|"}
+	finite := Series{Name: "|finite-n forward model − Eq.11|"}
+	for ni, n := range []int{100, 250, 500, 1000, 2500, 5000, 10000} {
+		p := core.Params{N: n, Fanout: dist.NewPoisson(4), AliveRatio: 0.9}
+		est, err := core.EstimateComponentReliability(p, runs, cfg.Seed^uint64(ni*7+1))
+		if err != nil {
+			return nil, err
+		}
+		errSeries.X = append(errSeries.X, float64(n))
+		errSeries.Y = append(errSeries.Y, abs(est.Mean-want))
+		fy, err := genfunc.FiniteForwardReach(dist.NewPoisson(4), n, 0.9)
+		if err != nil {
+			return nil, err
+		}
+		finite.X = append(finite.X, float64(n))
+		finite.Y = append(finite.Y, abs(fy-want))
+	}
+	f.Series = append(f.Series, errSeries, finite)
+	f.Note("model error shrinks with n: the paper's observation that 'modeling works better in larger scale systems'")
+	return f, nil
+}
+
+// AblationPartialView (A5) replaces the full membership view with
+// SCAMP-style partial views of growing size and measures the reliability
+// penalty relative to the model (which assumes uniform target selection).
+func AblationPartialView(cfg Config) (*Figure, error) {
+	f := &Figure{
+		ID:     "ablation-partial-view",
+		Title:  "Partial membership views vs the full-view assumption (n=1000, f=4.0, q=0.9)",
+		XLabel: "SCAMP extra copies c (view size ~ (c+1)·ln n)",
+		YLabel: "reliability S",
+	}
+	want, err := genfunc.PoissonReliability(4.0, 0.9)
+	if err != nil {
+		return nil, err
+	}
+	runs := cfg.runs(20, 3)
+	sim := Series{Name: "partial-view simulation"}
+	ana := Series{Name: "full-view analysis (Eq. 11)"}
+	meanViews := make([]float64, 0, 4)
+	for ci, c := range []int{0, 1, 2, 3} {
+		r := xrand.New(cfg.Seed ^ uint64(0xA5+ci))
+		pv := membership.NewPartialViews(1000, c, r)
+		pv.Shuffle(10, 3, r)
+		p := core.Params{
+			N:          1000,
+			Fanout:     dist.NewPoisson(4),
+			AliveRatio: 0.9,
+			View:       pv,
+		}
+		est, err := core.EstimateComponentReliability(p, runs, cfg.Seed^uint64(ci+77))
+		if err != nil {
+			return nil, err
+		}
+		sim.X = append(sim.X, float64(c))
+		sim.Y = append(sim.Y, est.Mean)
+		ana.X = append(ana.X, float64(c))
+		ana.Y = append(ana.Y, want)
+		meanViews = append(meanViews, pv.Stats().MeanOut)
+	}
+	f.Series = append(f.Series, sim, ana)
+	f.Note("mean view sizes: %v", fmt.Sprint(meanViews))
+	f.Note("full-view model value: %.4f", want)
+	return f, nil
+}
+
+// AblationReachVsGiant (A6) quantifies the difference between the two
+// reliability semantics: the giant out-component (the paper's simulated
+// metric, matching Eq. 11) and the mean directed source reach (what one
+// real multicast delivers), which carries the early-die-out mass and
+// averages ≈ S² for Poisson fanout.
+func AblationReachVsGiant(cfg Config) (*Figure, error) {
+	f := &Figure{
+		ID:     "ablation-reach-vs-giant",
+		Title:  "Giant out-component vs directed source reach (n=2000, q=0.9)",
+		XLabel: "mean fanout f",
+		YLabel: "reliability",
+	}
+	runs := cfg.runs(60, 5)
+	giant := Series{Name: "giant out-component (paper metric)"}
+	reach := Series{Name: "mean source reach (protocol metric)"}
+	anaS := Series{Name: "analysis S (Eq. 11)"}
+	anaS2 := Series{Name: "analysis S²"}
+	q := 0.9
+	for fi, fanout := range numeric.Arange(1.5, 6.5, 0.5) {
+		p := core.Params{N: 2000, Fanout: dist.NewPoisson(fanout), AliveRatio: q}
+		est, err := core.EstimateComponentReliability(p, runs, cfg.Seed^uint64(fi*31))
+		if err != nil {
+			return nil, err
+		}
+		s, err := genfunc.PoissonReliability(fanout, q)
+		if err != nil {
+			return nil, err
+		}
+		giant.X = append(giant.X, fanout)
+		giant.Y = append(giant.Y, est.Mean)
+		reach.X = append(reach.X, fanout)
+		reach.Y = append(reach.Y, est.MeanSourceReach)
+		anaS.X = append(anaS.X, fanout)
+		anaS.Y = append(anaS.Y, s)
+		anaS2.X = append(anaS2.X, fanout)
+		anaS2.Y = append(anaS2.Y, s*s)
+	}
+	f.Series = append(f.Series, giant, reach, anaS, anaS2)
+	rmseGiant, err := stats.RMSE(giant.Y, anaS.Y)
+	if err != nil {
+		return nil, err
+	}
+	rmseReach, err := stats.RMSE(reach.Y, anaS2.Y)
+	if err != nil {
+		return nil, err
+	}
+	f.Note("RMSE(giant, S) = %.4f; RMSE(source reach, S²) = %.4f", rmseGiant, rmseReach)
+	f.Note("a single multicast succeeds with prob ≈ S and then covers S of the alive members")
+	return f, nil
+}
+
+func min(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

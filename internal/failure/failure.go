@@ -1,0 +1,149 @@
+// Package failure implements the paper's fail-stop failure model: a member
+// either works correctly for the whole execution or has crashed (before
+// receiving the message, or after receiving it but before forwarding — the
+// paper treats the two cases identically, and core's tests verify that the
+// spread is indeed the same).
+//
+// The central object is the Mask: which members are alive for one execution.
+// Two generators are provided, matching two readings of the paper's
+// "nonfailed member ratio q":
+//
+//   - ExactMask: exactly ⌊n·q⌋ alive members ("it is trivial that the number
+//     of nonfailed nodes equals n*q", paper §4.1) — the default for figure
+//     reproduction.
+//   - BernoulliMask: each member alive independently with probability q —
+//     the percolation model's own assumption.
+//
+// For large n the two are interchangeable; both keep the source alive
+// (the paper assumes the source never fails).
+package failure
+
+import (
+	"fmt"
+
+	"gossipkit/internal/xrand"
+)
+
+// Timing says when a failed member crashes relative to the message.
+// The paper's two cases; they are observationally equivalent for the
+// spread because a failed member never forwards either way.
+type Timing int
+
+const (
+	// BeforeReceive crashes the member before it can receive anything.
+	BeforeReceive Timing = iota
+	// AfterReceive crashes the member after it receives the message but
+	// before it forwards (it absorbs one delivery).
+	AfterReceive
+)
+
+func (t Timing) String() string {
+	switch t {
+	case BeforeReceive:
+		return "before-receive"
+	case AfterReceive:
+		return "after-receive"
+	default:
+		return fmt.Sprintf("Timing(%d)", int(t))
+	}
+}
+
+// Mask records which members are alive during one execution.
+type Mask struct {
+	alive []bool
+	count int
+}
+
+// NewMask returns a mask with all n members alive.
+func NewMask(n int) *Mask {
+	if n < 0 {
+		panic(fmt.Sprintf("failure: negative group size %d", n))
+	}
+	m := &Mask{alive: make([]bool, n), count: n}
+	for i := range m.alive {
+		m.alive[i] = true
+	}
+	return m
+}
+
+// ExactMask returns a mask with exactly max(1, ⌊n·q⌋) alive members chosen
+// uniformly at random, always including protect (the source). q must be in
+// [0, 1]; even q=0 keeps the protected source alive, matching the paper.
+func ExactMask(n int, q float64, protect int, r *xrand.RNG) *Mask {
+	checkArgs(n, q, protect)
+	target := int(float64(n) * q)
+	if target < 1 {
+		target = 1
+	}
+	if target > n {
+		target = n
+	}
+	m := &Mask{alive: make([]bool, n)}
+	m.alive[protect] = true
+	m.count = 1
+	if target > 1 {
+		// Choose target-1 of the other n-1 members.
+		extra := r.SampleExcluding(nil, n, target-1, protect)
+		for _, id := range extra {
+			m.alive[id] = true
+		}
+		m.count = target
+	}
+	return m
+}
+
+// BernoulliMask returns a mask where every member other than protect is
+// alive independently with probability q; protect is always alive.
+func BernoulliMask(n int, q float64, protect int, r *xrand.RNG) *Mask {
+	checkArgs(n, q, protect)
+	m := &Mask{alive: make([]bool, n)}
+	for i := range m.alive {
+		if i == protect || r.Bool(q) {
+			m.alive[i] = true
+			m.count++
+		}
+	}
+	return m
+}
+
+func checkArgs(n int, q float64, protect int) {
+	if n < 1 {
+		panic(fmt.Sprintf("failure: invalid group size %d", n))
+	}
+	if q < 0 || q > 1 || q != q {
+		panic(fmt.Sprintf("failure: ratio %g outside [0,1]", q))
+	}
+	if protect < 0 || protect >= n {
+		panic(fmt.Sprintf("failure: protected member %d out of range", protect))
+	}
+}
+
+// Alive reports whether member i survives this execution.
+func (m *Mask) Alive(i int) bool { return m.alive[i] }
+
+// N returns the group size.
+func (m *Mask) N() int { return len(m.alive) }
+
+// AliveCount returns the number of alive members.
+func (m *Mask) AliveCount() int { return m.count }
+
+// AliveRatio returns the fraction of alive members.
+func (m *Mask) AliveRatio() float64 {
+	if len(m.alive) == 0 {
+		return 0
+	}
+	return float64(m.count) / float64(len(m.alive))
+}
+
+// Kill marks member i failed (no-op if already failed).
+func (m *Mask) Kill(i int) {
+	if m.alive[i] {
+		m.alive[i] = false
+		m.count--
+	}
+}
+
+// Slice returns the underlying alive slice; callers must treat it as
+// read-only. It exists so hot loops and graph routines can avoid an
+// indirect call per member.
+func (m *Mask) Slice() []bool { return m.alive }

@@ -1,0 +1,170 @@
+package failure
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"gossipkit/internal/xrand"
+)
+
+func TestNewMaskAllAlive(t *testing.T) {
+	m := NewMask(10)
+	if m.N() != 10 || m.AliveCount() != 10 || m.AliveRatio() != 1 {
+		t.Fatalf("fresh mask: %d/%d", m.AliveCount(), m.N())
+	}
+	for i := 0; i < 10; i++ {
+		if !m.Alive(i) {
+			t.Fatalf("member %d not alive", i)
+		}
+	}
+}
+
+func TestKill(t *testing.T) {
+	m := NewMask(5)
+	m.Kill(2)
+	m.Kill(2) // idempotent
+	if m.AliveCount() != 4 || m.Alive(2) {
+		t.Errorf("after kill: count=%d alive(2)=%v", m.AliveCount(), m.Alive(2))
+	}
+	if m.AliveRatio() != 0.8 {
+		t.Errorf("ratio = %g", m.AliveRatio())
+	}
+}
+
+func TestExactMaskCount(t *testing.T) {
+	r := xrand.New(1)
+	f := func(nRaw, qRaw, pRaw uint16) bool {
+		n := int(nRaw%1000) + 1
+		q := float64(qRaw%101) / 100
+		protect := int(pRaw) % n
+		m := ExactMask(n, q, protect, r)
+		want := int(float64(n) * q)
+		if want < 1 {
+			want = 1
+		}
+		if want > n {
+			want = n
+		}
+		return m.AliveCount() == want && m.Alive(protect)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExactMaskUniform(t *testing.T) {
+	// Every non-protected member should be alive with roughly equal
+	// frequency.
+	r := xrand.New(7)
+	const n, trials = 50, 20000
+	q := 0.5
+	counts := make([]int, n)
+	for i := 0; i < trials; i++ {
+		m := ExactMask(n, q, 0, r)
+		for j := 0; j < n; j++ {
+			if m.Alive(j) {
+				counts[j]++
+			}
+		}
+	}
+	if counts[0] != trials {
+		t.Fatalf("protected member alive %d/%d", counts[0], trials)
+	}
+	// 25 alive per trial, one always the source: 24 of 49 others.
+	want := float64(trials) * 24 / 49
+	for j := 1; j < n; j++ {
+		if math.Abs(float64(counts[j])-want) > 6*math.Sqrt(want) {
+			t.Errorf("member %d alive %d times, want ~%.0f", j, counts[j], want)
+		}
+	}
+}
+
+func TestBernoulliMask(t *testing.T) {
+	r := xrand.New(11)
+	const n, trials = 200, 500
+	q := 0.7
+	var total int
+	for i := 0; i < trials; i++ {
+		m := BernoulliMask(n, q, 5, r)
+		if !m.Alive(5) {
+			t.Fatal("protected member failed")
+		}
+		total += m.AliveCount()
+	}
+	mean := float64(total) / trials
+	// Expected: 1 + 199*0.7 = 140.3.
+	want := 1 + float64(n-1)*q
+	if math.Abs(mean-want) > 3 {
+		t.Errorf("mean alive %.1f, want ~%.1f", mean, want)
+	}
+}
+
+func TestBernoulliMaskExtremes(t *testing.T) {
+	r := xrand.New(13)
+	m0 := BernoulliMask(10, 0, 3, r)
+	if m0.AliveCount() != 1 || !m0.Alive(3) {
+		t.Errorf("q=0: %d alive", m0.AliveCount())
+	}
+	m1 := BernoulliMask(10, 1, 3, r)
+	if m1.AliveCount() != 10 {
+		t.Errorf("q=1: %d alive", m1.AliveCount())
+	}
+}
+
+func TestExactMaskQZeroKeepsSource(t *testing.T) {
+	r := xrand.New(17)
+	m := ExactMask(100, 0, 42, r)
+	if m.AliveCount() != 1 || !m.Alive(42) {
+		t.Errorf("q=0: count=%d alive(42)=%v", m.AliveCount(), m.Alive(42))
+	}
+}
+
+func TestSliceIsView(t *testing.T) {
+	m := NewMask(4)
+	m.Kill(1)
+	s := m.Slice()
+	if len(s) != 4 || s[1] || !s[0] {
+		t.Errorf("slice = %v", s)
+	}
+}
+
+func TestValidationPanics(t *testing.T) {
+	r := xrand.New(1)
+	cases := []func(){
+		func() { NewMask(-1) },
+		func() { ExactMask(0, 0.5, 0, r) },
+		func() { ExactMask(10, -0.1, 0, r) },
+		func() { ExactMask(10, 1.5, 0, r) },
+		func() { ExactMask(10, 0.5, 10, r) },
+		func() { BernoulliMask(10, 0.5, -1, r) },
+		func() { BernoulliMask(10, math.NaN(), 0, r) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestTimingString(t *testing.T) {
+	if BeforeReceive.String() != "before-receive" || AfterReceive.String() != "after-receive" {
+		t.Error("Timing strings wrong")
+	}
+	if Timing(9).String() != "Timing(9)" {
+		t.Error("unknown timing string wrong")
+	}
+}
+
+func BenchmarkExactMask5000(b *testing.B) {
+	r := xrand.New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = ExactMask(5000, 0.6, 0, r)
+	}
+}

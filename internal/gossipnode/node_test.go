@@ -1,0 +1,288 @@
+package gossipnode
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gossipkit/internal/dist"
+	"gossipkit/internal/wire"
+)
+
+// startCluster launches n nodes, fully meshed via the join protocol
+// (each node joins node 0).
+func startCluster(t *testing.T, n int, fanout dist.Distribution, deliver func(i int, g wire.Gossip)) []*Node {
+	t.Helper()
+	nodes := make([]*Node, n)
+	for i := 0; i < n; i++ {
+		i := i
+		cfg := Config{
+			Fanout:  fanout,
+			Seed:    uint64(1000 + i),
+			MaxView: 128,
+		}
+		if deliver != nil {
+			cfg.Deliver = func(g wire.Gossip) { deliver(i, g) }
+		}
+		node, err := Start(cfg)
+		if err != nil {
+			t.Fatalf("start node %d: %v", i, err)
+		}
+		nodes[i] = node
+		t.Cleanup(func() { node.Close() })
+	}
+	// Everyone joins through node 0, then exchanges views by joining a
+	// couple more random members for mesh density.
+	for i := 1; i < n; i++ {
+		if err := nodes[i].Join(nodes[0].Addr()); err != nil {
+			t.Fatalf("join %d: %v", i, err)
+		}
+	}
+	for i := 1; i < n; i++ {
+		if err := nodes[i].Join(nodes[(i*7)%n].Addr()); err != nil && i*7%n != i {
+			t.Fatalf("second join %d: %v", i, err)
+		}
+	}
+	// Seed node 0 with everyone (it learned joiners already via Join).
+	return nodes
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, cond func() bool) bool {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return true
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return cond()
+}
+
+func TestStartAndClose(t *testing.T) {
+	n, err := Start(Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Addr() == "" {
+		t.Error("empty address")
+	}
+	if err := n.Close(); err != nil {
+		t.Errorf("close: %v", err)
+	}
+	if err := n.Close(); err != nil {
+		t.Errorf("double close: %v", err)
+	}
+}
+
+func TestJoinBuildsViews(t *testing.T) {
+	nodes := startCluster(t, 8, dist.NewFixed(3), nil)
+	// Node 0 must know all joiners.
+	if got := len(nodes[0].Peers()); got < 7 {
+		t.Errorf("node 0 view size %d, want >= 7", got)
+	}
+	// Every joiner knows at least the contact.
+	for i := 1; i < 8; i++ {
+		if got := len(nodes[i].Peers()); got < 1 {
+			t.Errorf("node %d view empty", i)
+		}
+	}
+}
+
+func TestMulticastReachesCluster(t *testing.T) {
+	const n = 12
+	var mu sync.Mutex
+	got := map[int]bool{}
+	nodes := startCluster(t, n, dist.NewFixed(4), func(i int, g wire.Gossip) {
+		mu.Lock()
+		got[i] = true
+		mu.Unlock()
+	})
+	if err := nodes[0].Publish([]byte("event-1")); err != nil {
+		t.Fatal(err)
+	}
+	ok := waitFor(t, 3*time.Second, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(got) >= n-1 // allow one straggler with sparse views
+	})
+	mu.Lock()
+	count := len(got)
+	mu.Unlock()
+	if !ok {
+		t.Fatalf("multicast reached %d/%d nodes", count, n)
+	}
+}
+
+func TestDeduplication(t *testing.T) {
+	var deliveries atomic.Int64
+	node, err := Start(Config{
+		Seed:    5,
+		Fanout:  dist.NewFixed(0),
+		Deliver: func(wire.Gossip) { deliveries.Add(1) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	g := wire.Gossip{MsgID: 99, Origin: "x", Payload: []byte("p")}
+	node.handleGossip(g)
+	node.handleGossip(g)
+	node.handleGossip(g)
+	if deliveries.Load() != 1 {
+		t.Errorf("delivered %d times, want 1", deliveries.Load())
+	}
+	_, _, dups := node.Stats()
+	if dups != 2 {
+		t.Errorf("duplicates = %d, want 2", dups)
+	}
+}
+
+func TestSeenMemoryBounded(t *testing.T) {
+	node, err := Start(Config{Seed: 7, MaxSeen: 10, Fanout: dist.NewFixed(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	for i := uint64(0); i < 100; i++ {
+		node.handleGossip(wire.Gossip{MsgID: i, Origin: "x"})
+	}
+	node.mu.Lock()
+	seenLen := len(node.seen)
+	fifoLen := len(node.seenFIFO)
+	node.mu.Unlock()
+	if seenLen > 10 || fifoLen > 10 {
+		t.Errorf("seen memory unbounded: map %d fifo %d", seenLen, fifoLen)
+	}
+}
+
+func TestViewBounded(t *testing.T) {
+	node, err := Start(Config{Seed: 9, MaxView: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	for i := 0; i < 50; i++ {
+		node.AddPeer(fmt.Sprintf("10.0.0.%d:1", i))
+	}
+	if got := len(node.Peers()); got > 5 {
+		t.Errorf("view size %d, want <= 5", got)
+	}
+}
+
+func TestAddPeerIgnoresSelfAndDuplicates(t *testing.T) {
+	node, err := Start(Config{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	node.AddPeer(node.Addr())
+	node.AddPeer("a:1")
+	node.AddPeer("a:1")
+	node.AddPeer("")
+	if got := len(node.Peers()); got != 1 {
+		t.Errorf("view %v", node.Peers())
+	}
+}
+
+func TestPing(t *testing.T) {
+	a, err := Start(Config{Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := Start(Config{Seed: 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Ping(b.Addr(), 77) {
+		t.Error("ping to live node failed")
+	}
+	b.Close()
+	if a.Ping(b.Addr(), 78) {
+		t.Error("ping to closed node succeeded")
+	}
+}
+
+func TestCrashToleranceMatchesModelDirection(t *testing.T) {
+	// Crash a third of a 15-node cluster; a publish from a survivor must
+	// still reach most survivors (Po(5) fanout, q=2/3 > q_c=1/5).
+	const n = 15
+	var mu sync.Mutex
+	got := map[int]bool{}
+	nodes := startCluster(t, n, dist.NewPoisson(5), func(i int, g wire.Gossip) {
+		mu.Lock()
+		got[i] = true
+		mu.Unlock()
+	})
+	crashed := map[int]bool{}
+	for i := 2; i < n; i += 3 {
+		nodes[i].Close()
+		crashed[i] = true
+	}
+	// One-shot gossip can die at the source (the paper's die-out mass;
+	// with this cluster's seed the first draw is fanout 1 aimed at a
+	// crashed node). Publish t=3 times per Eq. 6 — exactly what the
+	// paper prescribes for a 99.9% group-success target at S≈0.97.
+	for t3 := 0; t3 < 3; t3++ {
+		if err := nodes[0].Publish([]byte(fmt.Sprintf("after-crash-%d", t3))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	survivors := n - len(crashed)
+	waitFor(t, 3*time.Second, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(got) >= survivors
+	})
+	mu.Lock()
+	defer mu.Unlock()
+	for i := range got {
+		if crashed[i] {
+			t.Errorf("crashed node %d delivered a message", i)
+		}
+	}
+	if len(got) < survivors*2/3 {
+		t.Errorf("only %d of %d survivors reached", len(got), survivors)
+	}
+}
+
+func TestJoinErrorOnDeadContact(t *testing.T) {
+	node, err := Start(Config{Seed: 21, DialTimeout: 200 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	if err := node.Join("127.0.0.1:1"); err == nil {
+		t.Error("join to dead contact succeeded")
+	}
+}
+
+func TestConcurrentPublishes(t *testing.T) {
+	const n = 6
+	var total atomic.Int64
+	nodes := startCluster(t, n, dist.NewFixed(3), func(int, wire.Gossip) {
+		total.Add(1)
+	})
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 3; j++ {
+				if err := nodes[i].Publish([]byte(fmt.Sprintf("m-%d-%d", i, j))); err != nil {
+					t.Error(err)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	// 18 distinct multicasts; each node delivers each at most once.
+	waitFor(t, 3*time.Second, func() bool { return total.Load() >= int64(18*(n-1)) })
+	if got := total.Load(); got > int64(18*n) {
+		t.Errorf("over-delivery: %d > %d", got, 18*n)
+	}
+}

@@ -1,0 +1,77 @@
+package graph
+
+import (
+	"math"
+	"testing"
+
+	"gossipkit/internal/dist"
+	"gossipkit/internal/genfunc"
+	"gossipkit/internal/xrand"
+)
+
+// TestMeanComponentSizeMatchesEq2 bridges the paper's Eq. 2 to an
+// empirical measurement: in the subcritical regime, the mean size of the
+// component containing a random occupied node of a site-percolated
+// configuration-model graph must equal ⟨s⟩/q = 1 + q·G0'(1)/(1 − q·G1'(1))
+// (the paper's ⟨s⟩ averages over ALL nodes, occupied or not, hence the /q).
+func TestMeanComponentSizeMatchesEq2(t *testing.T) {
+	cases := []struct {
+		z, q float64
+	}{
+		{2.0, 0.30}, // qz = 0.6
+		{4.0, 0.15}, // qz = 0.6
+		{1.5, 0.40}, // qz = 0.6
+		{2.0, 0.15}, // qz = 0.3, deep subcritical
+	}
+	for _, c := range cases {
+		p := dist.NewPoisson(c.z)
+		m := genfunc.New(p)
+		want, err := m.MeanComponentSize(c.q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantOccupied := want / c.q
+
+		const n = 60000
+		r := xrand.New(uint64(1000 * c.z * (1 + c.q)))
+		g := ConfigurationModel(DegreeSequence(n, p, r), r)
+		active := make([]bool, n)
+		for i := range active {
+			active[i] = r.Bool(c.q)
+		}
+		st := UndirectedComponents(g, active)
+		if math.Abs(st.MeanSize-wantOccupied)/wantOccupied > 0.06 {
+			t.Errorf("z=%g q=%g: empirical mean size %.4f, Eq.2/q = %.4f",
+				c.z, c.q, st.MeanSize, wantOccupied)
+		}
+	}
+}
+
+// TestMeanComponentSizeGrowsTowardCritical verifies the divergence that
+// defines the phase transition (paper §3): approaching q_c from below the
+// empirical mean component size blows up.
+func TestMeanComponentSizeGrowsTowardCritical(t *testing.T) {
+	const n = 60000
+	z := 2.5
+	p := dist.NewPoisson(z)
+	qc := 1 / z
+	prev := 0.0
+	for _, frac := range []float64{0.4, 0.7, 0.9} {
+		q := qc * frac
+		r := xrand.New(uint64(77 + 1000*frac))
+		g := ConfigurationModel(DegreeSequence(n, p, r), r)
+		active := make([]bool, n)
+		for i := range active {
+			active[i] = r.Bool(q)
+		}
+		st := UndirectedComponents(g, active)
+		if st.MeanSize <= prev {
+			t.Errorf("mean size not growing toward qc: %.3f at q=%.3f (prev %.3f)",
+				st.MeanSize, q, prev)
+		}
+		prev = st.MeanSize
+	}
+	if prev < 4 {
+		t.Errorf("mean size near 0.9·qc = %.3f, expected noticeably large", prev)
+	}
+}

@@ -1,0 +1,153 @@
+package graph
+
+// LargestSCC returns a representative node and the size of the largest
+// strongly connected component of g restricted to nodes with
+// active[i] == true (nil active means all nodes). It returns (-1, 0) when
+// no active node exists.
+//
+// The implementation is an iterative Tarjan so deep gossip graphs cannot
+// overflow the goroutine stack.
+func LargestSCC(g *Digraph, active []bool) (rep, size int) {
+	n := g.N()
+	on := func(i int) bool { return active == nil || active[i] }
+
+	const unvisited = -1
+	index := make([]int32, n)
+	lowlink := make([]int32, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = unvisited
+	}
+	var next int32
+	stack := make([]int32, 0, 64)
+
+	// frame is one node plus the position in its adjacency list.
+	type frame struct {
+		v    int32
+		edge int
+	}
+	var frames []frame
+
+	rep, size = -1, 0
+	for root := 0; root < n; root++ {
+		if !on(root) || index[root] != unvisited {
+			continue
+		}
+		frames = append(frames[:0], frame{v: int32(root)})
+		index[root] = next
+		lowlink[root] = next
+		next++
+		stack = append(stack, int32(root))
+		onStack[root] = true
+
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			v := f.v
+			adj := g.adj[v]
+			advanced := false
+			for f.edge < len(adj) {
+				w := adj[f.edge]
+				f.edge++
+				if !on(int(w)) {
+					continue
+				}
+				if index[w] == unvisited {
+					index[w] = next
+					lowlink[w] = next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{v: w})
+					advanced = true
+					break
+				}
+				if onStack[w] && index[w] < lowlink[v] {
+					lowlink[v] = index[w]
+				}
+			}
+			if advanced {
+				continue
+			}
+			// v is finished: pop its frame, maybe emit an SCC.
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				p := frames[len(frames)-1].v
+				if lowlink[v] < lowlink[p] {
+					lowlink[p] = lowlink[v]
+				}
+			}
+			if lowlink[v] == index[v] {
+				// Pop the component off the stack.
+				cSize := 0
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					cSize++
+					if w == v {
+						break
+					}
+				}
+				if cSize > size {
+					size, rep = cSize, int(v)
+				}
+			}
+		}
+	}
+	return rep, size
+}
+
+// Filtered returns a copy of g keeping only arcs whose endpoints are both
+// active. A nil mask returns g itself.
+func Filtered(g *Digraph, active []bool) *Digraph {
+	if active == nil {
+		return g
+	}
+	f := NewDigraph(g.N())
+	for u := 0; u < g.N(); u++ {
+		if !active[u] {
+			continue
+		}
+		for _, v := range g.adj[u] {
+			if active[v] {
+				f.AddArc(u, int(v))
+			}
+		}
+	}
+	return f
+}
+
+// LargestOutComponent returns the size of the largest "out-component" of g
+// over active nodes: the set of nodes reachable from the largest strongly
+// connected component. When the largest SCC is trivial (size 1, the
+// subcritical regime), it falls back to the maximum forward reach over the
+// given probe starts (inactive probes are skipped).
+//
+// For the directed gossip graph this is the quantity the paper's Eq. 11
+// predicts: the fraction of nonfailed members the message reaches once the
+// spread takes off.
+func LargestOutComponent(g *Digraph, active []bool, probes []int) int {
+	work := Filtered(g, active)
+	rep, size := LargestSCC(work, active)
+	if rep < 0 {
+		return 0
+	}
+	bfs := NewBFS(work.N())
+	if size > 1 {
+		return bfs.Reachable(work, rep, nil)
+	}
+	on := func(i int) bool { return active == nil || active[i] }
+	best := 0
+	for _, p := range probes {
+		if p < 0 || p >= work.N() || !on(p) {
+			continue
+		}
+		if c := bfs.Reachable(work, p, nil); c > best {
+			best = c
+		}
+	}
+	if best == 0 {
+		best = bfs.Reachable(work, rep, nil)
+	}
+	return best
+}

@@ -1,0 +1,136 @@
+package membership
+
+import (
+	"testing"
+
+	"gossipkit/internal/xrand"
+)
+
+func TestUnsubscribeRemovesAllReferences(t *testing.T) {
+	r := xrand.New(1)
+	pv := NewPartialViews(300, 1, r)
+	leaver := 42
+	if pv.References(leaver) == 0 {
+		t.Fatal("precondition: leaver unreferenced")
+	}
+	pv.Unsubscribe(leaver, r)
+	if got := pv.References(leaver); got != 0 {
+		t.Errorf("leaver still referenced by %d views", got)
+	}
+	if pv.Degree(leaver) != 0 {
+		t.Errorf("leaver retains a view of %d", pv.Degree(leaver))
+	}
+}
+
+func TestUnsubscribePreservesInvariants(t *testing.T) {
+	r := xrand.New(3)
+	pv := NewPartialViews(300, 1, r)
+	for _, leaver := range []int{5, 77, 123, 200} {
+		pv.Unsubscribe(leaver, r)
+	}
+	gone := map[int]bool{5: true, 77: true, 123: true, 200: true}
+	for self := 0; self < 300; self++ {
+		if gone[self] {
+			continue
+		}
+		seen := map[int]bool{}
+		for _, id := range pv.View(self) {
+			if id == self || seen[id] || gone[id] {
+				t.Fatalf("member %d view invalid after churn: %v", self, pv.View(self))
+			}
+			seen[id] = true
+		}
+		if pv.Degree(self) == 0 {
+			t.Errorf("member %d orphaned by churn", self)
+		}
+	}
+}
+
+func TestUnsubscribeDonatesArcs(t *testing.T) {
+	// Mean out-degree must not collapse after churn: leavers donate
+	// their contacts.
+	r := xrand.New(5)
+	pv := NewPartialViews(1000, 1, r)
+	before := pv.Stats().MeanOut
+	leavers := 0
+	for id := 10; id < 1000; id += 37 {
+		pv.Unsubscribe(id, r)
+		leavers++
+	}
+	after := pv.Stats()
+	// Mean over survivors: total arcs shrank by the leavers' views, but
+	// survivors' degrees should stay within ~20% of the original mean.
+	survivorMean := after.MeanOut * float64(1000) / float64(1000-leavers)
+	if survivorMean < before*0.75 {
+		t.Errorf("survivor mean degree collapsed: %.2f -> %.2f", before, survivorMean)
+	}
+}
+
+func TestUnsubscribeOutOfRangeIsNoop(t *testing.T) {
+	r := xrand.New(7)
+	pv := NewPartialViews(50, 0, r)
+	before := pv.Stats()
+	pv.Unsubscribe(-1, r)
+	pv.Unsubscribe(50, r)
+	if pv.Stats() != before {
+		t.Error("out-of-range unsubscribe changed views")
+	}
+}
+
+func TestSubscribeRejoins(t *testing.T) {
+	r := xrand.New(9)
+	pv := NewPartialViews(200, 1, r)
+	pv.Unsubscribe(100, r)
+	pv.Subscribe(100, 7, 1, r)
+	if pv.Degree(100) == 0 {
+		t.Error("rejoined member has empty view")
+	}
+	if pv.References(100) == 0 {
+		t.Error("rejoined member unreferenced")
+	}
+}
+
+func TestSubscribeGrowsTable(t *testing.T) {
+	r := xrand.New(11)
+	pv := NewPartialViews(50, 0, r)
+	pv.Subscribe(60, 3, 1, r)
+	if pv.N() != 61 {
+		t.Errorf("table size %d, want 61", pv.N())
+	}
+	if pv.Degree(60) == 0 {
+		t.Error("new member has empty view")
+	}
+}
+
+func TestSubscribeBadContactIsNoop(t *testing.T) {
+	r := xrand.New(13)
+	pv := NewPartialViews(50, 0, r)
+	pv.Subscribe(10, 10, 1, r) // contact == id
+	pv.Subscribe(10, -1, 1, r)
+	// Views of member 10 unchanged beyond its original state; at minimum
+	// no panic and no self-loop.
+	for _, v := range pv.View(10) {
+		if v == 10 {
+			t.Fatal("self-loop created")
+		}
+	}
+}
+
+func TestChurnCycleKeepsGroupUsable(t *testing.T) {
+	// Repeated leave/join cycles must keep views valid and nonempty.
+	r := xrand.New(17)
+	pv := NewPartialViews(200, 1, r)
+	for cycle := 0; cycle < 30; cycle++ {
+		id := 1 + r.Intn(199)
+		pv.Unsubscribe(id, r)
+		contact := r.Intn(200)
+		for contact == id || pv.Degree(contact) == 0 {
+			contact = r.Intn(200)
+		}
+		pv.Subscribe(id, contact, 1, r)
+	}
+	st := pv.Stats()
+	if st.MeanOut < 2 {
+		t.Errorf("views decayed to mean %.2f after churn", st.MeanOut)
+	}
+}

@@ -1,0 +1,307 @@
+// Package membership provides the membership substrate the paper assumes
+// ("we assume that a scalable membership protocol is available, such as
+// SCAMP [12]"). Two view implementations are offered:
+//
+//   - FullView: every member knows every other member. This matches the
+//     paper's analytic assumption that gossip targets are drawn uniformly
+//     from the whole group, and is the view used for all figure
+//     reproductions.
+//
+//   - PartialViews: size-bounded local views built by a SCAMP-inspired
+//     subscription process and optionally mixed by Cyclon-style shuffles.
+//     Used by ablation A5 to quantify how partial knowledge perturbs the
+//     model's predictions.
+//
+// A View's single obligation is target sampling: draw k distinct gossip
+// targets for a member, never including the member itself.
+package membership
+
+import (
+	"fmt"
+
+	"gossipkit/internal/xrand"
+)
+
+// View supplies gossip targets for members 0..N-1.
+type View interface {
+	// N returns the group size.
+	N() int
+	// SampleTargets appends k distinct targets for member self to dst
+	// (len 0) and returns it. Fewer than k targets are returned when the
+	// view of self is smaller than k. The result never contains self.
+	SampleTargets(dst []int, self, k int, r *xrand.RNG) []int
+	// Degree returns the number of members visible to self.
+	Degree(self int) int
+}
+
+// ---------------------------------------------------------------------------
+// FullView
+
+// FullView is complete knowledge: every member sees all n-1 others.
+type FullView struct{ n int }
+
+// NewFullView returns a full view over n members.
+func NewFullView(n int) FullView {
+	if n < 1 {
+		panic(fmt.Sprintf("membership: invalid group size %d", n))
+	}
+	return FullView{n: n}
+}
+
+// N implements View.
+func (v FullView) N() int { return v.n }
+
+// Degree implements View.
+func (v FullView) Degree(self int) int { return v.n - 1 }
+
+// SampleTargets implements View by uniform sampling without replacement
+// from all other members.
+func (v FullView) SampleTargets(dst []int, self, k int, r *xrand.RNG) []int {
+	return r.SampleExcluding(dst, v.n, k, self)
+}
+
+// ---------------------------------------------------------------------------
+// PartialViews
+
+// PartialViews holds one bounded local view per member.
+type PartialViews struct {
+	views [][]int32
+}
+
+// NewPartialViews builds per-member views with a SCAMP-inspired
+// subscription process: members join one at a time; the newcomer's
+// subscription is forwarded from a random contact to each of the contact's
+// view entries plus c extra copies, and every recipient of a forwarded
+// subscription either keeps it (with probability 1/(1+len(view))) or
+// forwards it to a random view member. The resulting views have mean size
+// about (c+1)·log(n), SCAMP's signature property.
+//
+// c must be >= 0; n >= 2. The process is deterministic given r.
+func NewPartialViews(n, c int, r *xrand.RNG) *PartialViews {
+	if n < 2 {
+		panic(fmt.Sprintf("membership: invalid group size %d", n))
+	}
+	if c < 0 {
+		panic(fmt.Sprintf("membership: invalid copy count %d", c))
+	}
+	pv := &PartialViews{views: make([][]int32, n)}
+	// Bootstrap: member 1 joins via member 0.
+	pv.add(0, 1)
+	pv.add(1, 0)
+	for id := 2; id < n; id++ {
+		contact := r.Intn(id)
+		// The contact keeps the newcomer and forwards the subscription
+		// to all of its view plus c extra random-walk copies.
+		targets := append([]int32(nil), pv.views[contact]...)
+		for i := 0; i < c; i++ {
+			v := pv.views[contact]
+			targets = append(targets, v[r.Intn(len(v))])
+		}
+		pv.add(contact, id)
+		// The newcomer learns the contact.
+		pv.add(id, contact)
+		for _, t := range targets {
+			pv.integrate(int(t), id, r)
+		}
+	}
+	return pv
+}
+
+// integrate runs the SCAMP keep-or-forward random walk for a forwarded
+// subscription of newcomer arriving at node.
+func (pv *PartialViews) integrate(node, newcomer int, r *xrand.RNG) {
+	for hops := 0; hops < 10*len(pv.views); hops++ {
+		if node != newcomer && !pv.contains(node, newcomer) {
+			if r.Float64() < 1/float64(1+len(pv.views[node])) {
+				pv.add(node, newcomer)
+				return
+			}
+		}
+		v := pv.views[node]
+		if len(v) == 0 {
+			pv.add(node, newcomer)
+			return
+		}
+		node = int(v[r.Intn(len(v))])
+	}
+	// Random walk failed to place the subscription (pathological view
+	// graph); keep it at the current node to preserve connectivity.
+	if node != newcomer {
+		pv.add(node, newcomer)
+	}
+}
+
+func (pv *PartialViews) add(node, member int) {
+	if node == member || pv.contains(node, member) {
+		return
+	}
+	pv.views[node] = append(pv.views[node], int32(member))
+}
+
+func (pv *PartialViews) contains(node, member int) bool {
+	for _, v := range pv.views[node] {
+		if int(v) == member {
+			return true
+		}
+	}
+	return false
+}
+
+// N implements View.
+func (pv *PartialViews) N() int { return len(pv.views) }
+
+// Degree implements View.
+func (pv *PartialViews) Degree(self int) int { return len(pv.views[self]) }
+
+// View returns a copy of self's view.
+func (pv *PartialViews) View(self int) []int {
+	out := make([]int, len(pv.views[self]))
+	for i, v := range pv.views[self] {
+		out[i] = int(v)
+	}
+	return out
+}
+
+// SampleTargets implements View by sampling without replacement from self's
+// local view.
+func (pv *PartialViews) SampleTargets(dst []int, self, k int, r *xrand.RNG) []int {
+	if dst == nil {
+		dst = make([]int, 0, k)
+	}
+	dst = dst[:0]
+	v := pv.views[self]
+	if k >= len(v) {
+		for _, t := range v {
+			dst = append(dst, int(t))
+		}
+		r.Shuffle(len(dst), func(i, j int) { dst[i], dst[j] = dst[j], dst[i] })
+		return dst
+	}
+	// Partial Fisher–Yates over indices via Floyd's algorithm on index
+	// space.
+	idx := r.SampleInts(nil, len(v), k)
+	for _, i := range idx {
+		dst = append(dst, int(v[i]))
+	}
+	return dst
+}
+
+// Shuffle performs rounds of Cyclon-style view mixing: in each round every
+// member (in random order) exchanges up to swap entries with a random view
+// neighbor; both sides replace the sent entries with the received ones,
+// deduplicating and never pointing at themselves. Shuffling equalizes
+// in-degrees, improving the uniformity assumption the analytic model makes.
+func (pv *PartialViews) Shuffle(rounds, swap int, r *xrand.RNG) {
+	if swap <= 0 || rounds <= 0 {
+		return
+	}
+	n := len(pv.views)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	for round := 0; round < rounds; round++ {
+		r.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for _, self := range order {
+			v := pv.views[self]
+			if len(v) == 0 {
+				continue
+			}
+			peer := int(v[r.Intn(len(v))])
+			pv.exchange(self, peer, swap, r)
+		}
+	}
+}
+
+// exchange swaps up to k view entries between a and b.
+func (pv *PartialViews) exchange(a, b, k int, r *xrand.RNG) {
+	sendA := pv.pickEntries(a, k, r)
+	sendB := pv.pickEntries(b, k, r)
+	pv.replaceEntries(a, sendA, sendB, b)
+	pv.replaceEntries(b, sendB, sendA, a)
+}
+
+// pickEntries selects up to k distinct view positions of node and returns
+// the entries.
+func (pv *PartialViews) pickEntries(node, k int, r *xrand.RNG) []int32 {
+	v := pv.views[node]
+	if k > len(v) {
+		k = len(v)
+	}
+	idx := r.SampleInts(nil, len(v), k)
+	out := make([]int32, 0, k)
+	for _, i := range idx {
+		out = append(out, v[i])
+	}
+	return out
+}
+
+// replaceEntries removes the sent entries from node's view and integrates
+// the received ones (skipping self-pointers and duplicates). The peer
+// itself is always retained or added so exchanges never disconnect pairs.
+func (pv *PartialViews) replaceEntries(node int, sent, received []int32, peer int) {
+	v := pv.views[node][:0]
+	for _, e := range pv.views[node] {
+		drop := false
+		for _, s := range sent {
+			if e == s {
+				drop = true
+				break
+			}
+		}
+		if !drop {
+			v = append(v, e)
+		}
+	}
+	pv.views[node] = v
+	for _, e := range received {
+		pv.add(node, int(e))
+	}
+	pv.add(node, peer)
+}
+
+// DegreeStats summarizes view sizes (out-degrees) and in-degrees.
+type DegreeStats struct {
+	MeanOut float64
+	MaxOut  int
+	MinOut  int
+	MeanIn  float64
+	MaxIn   int
+	MinIn   int
+}
+
+// Stats computes degree statistics over all members.
+func (pv *PartialViews) Stats() DegreeStats {
+	n := len(pv.views)
+	in := make([]int, n)
+	st := DegreeStats{MinOut: int(^uint(0) >> 1)}
+	var sumOut int
+	for node, v := range pv.views {
+		_ = node
+		d := len(v)
+		sumOut += d
+		if d > st.MaxOut {
+			st.MaxOut = d
+		}
+		if d < st.MinOut {
+			st.MinOut = d
+		}
+		for _, t := range v {
+			in[t]++
+		}
+	}
+	st.MeanOut = float64(sumOut) / float64(n)
+	st.MinIn = int(^uint(0) >> 1)
+	var sumIn int
+	for _, d := range in {
+		sumIn += d
+		if d > st.MaxIn {
+			st.MaxIn = d
+		}
+		if d < st.MinIn {
+			st.MinIn = d
+		}
+	}
+	st.MeanIn = float64(sumIn) / float64(n)
+	return st
+}

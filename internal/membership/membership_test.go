@@ -1,0 +1,249 @@
+package membership
+
+import (
+	"math"
+	"testing"
+
+	"gossipkit/internal/xrand"
+)
+
+func TestFullViewBasics(t *testing.T) {
+	v := NewFullView(100)
+	if v.N() != 100 || v.Degree(0) != 99 || v.Degree(57) != 99 {
+		t.Fatalf("N=%d degree=%d", v.N(), v.Degree(0))
+	}
+}
+
+func TestFullViewSampling(t *testing.T) {
+	v := NewFullView(50)
+	r := xrand.New(1)
+	buf := make([]int, 0, 8)
+	for trial := 0; trial < 200; trial++ {
+		self := trial % 50
+		buf = v.SampleTargets(buf, self, 5, r)
+		if len(buf) != 5 {
+			t.Fatalf("got %d targets", len(buf))
+		}
+		seen := map[int]bool{}
+		for _, id := range buf {
+			if id == self || id < 0 || id >= 50 || seen[id] {
+				t.Fatalf("bad targets %v for self %d", buf, self)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+func TestFullViewSampleMoreThanGroup(t *testing.T) {
+	v := NewFullView(4)
+	r := xrand.New(2)
+	got := v.SampleTargets(nil, 1, 100, r)
+	if len(got) != 3 {
+		t.Fatalf("got %d targets, want 3", len(got))
+	}
+}
+
+func TestFullViewInvalidSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewFullView(0)
+}
+
+func TestPartialViewsValidation(t *testing.T) {
+	r := xrand.New(1)
+	for _, f := range []func(){
+		func() { NewPartialViews(1, 0, r) },
+		func() { NewPartialViews(10, -1, r) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestPartialViewsInvariants(t *testing.T) {
+	r := xrand.New(7)
+	pv := NewPartialViews(500, 1, r)
+	if pv.N() != 500 {
+		t.Fatalf("N = %d", pv.N())
+	}
+	for self := 0; self < 500; self++ {
+		view := pv.View(self)
+		if len(view) == 0 {
+			t.Fatalf("member %d has empty view", self)
+		}
+		seen := map[int]bool{}
+		for _, id := range view {
+			if id == self {
+				t.Fatalf("member %d sees itself", self)
+			}
+			if id < 0 || id >= 500 {
+				t.Fatalf("member %d sees out-of-range %d", self, id)
+			}
+			if seen[id] {
+				t.Fatalf("member %d has duplicate view entry %d", self, id)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+func TestPartialViewsLogarithmicSize(t *testing.T) {
+	// SCAMP's signature: mean view size ~ (c+1)·ln(n).
+	r := xrand.New(11)
+	n, c := 2000, 1
+	pv := NewPartialViews(n, c, r)
+	st := pv.Stats()
+	want := float64(c+1) * math.Log(float64(n)) // ≈ 15.2
+	if st.MeanOut < want/2 || st.MeanOut > want*2 {
+		t.Errorf("mean view size %.2f, want within 2x of %.2f", st.MeanOut, want)
+	}
+	// Growing n must grow views sublinearly.
+	pvSmall := NewPartialViews(200, 1, xrand.New(11))
+	if ratio := st.MeanOut / pvSmall.Stats().MeanOut; ratio > 4 {
+		t.Errorf("view growth 10x n -> %.1fx views; not logarithmic", ratio)
+	}
+}
+
+func TestPartialViewsSampling(t *testing.T) {
+	r := xrand.New(13)
+	pv := NewPartialViews(300, 0, r)
+	buf := make([]int, 0, 16)
+	for self := 0; self < 300; self += 7 {
+		deg := pv.Degree(self)
+		buf = pv.SampleTargets(buf, self, 3, r)
+		wantLen := 3
+		if deg < 3 {
+			wantLen = deg
+		}
+		if len(buf) != wantLen {
+			t.Fatalf("member %d (deg %d): got %d targets", self, deg, len(buf))
+		}
+		view := pv.View(self)
+		inView := func(id int) bool {
+			for _, v := range view {
+				if v == id {
+					return true
+				}
+			}
+			return false
+		}
+		seen := map[int]bool{}
+		for _, id := range buf {
+			if !inView(id) || seen[id] || id == self {
+				t.Fatalf("member %d sampled invalid target %d", self, id)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+func TestPartialViewsSampleAll(t *testing.T) {
+	r := xrand.New(17)
+	pv := NewPartialViews(50, 0, r)
+	self := 10
+	got := pv.SampleTargets(nil, self, 10000, r)
+	if len(got) != pv.Degree(self) {
+		t.Fatalf("sample-all returned %d, degree %d", len(got), pv.Degree(self))
+	}
+}
+
+func TestShufflePreservesInvariants(t *testing.T) {
+	r := xrand.New(19)
+	pv := NewPartialViews(400, 1, r)
+	pv.Shuffle(5, 3, r)
+	for self := 0; self < 400; self++ {
+		view := pv.View(self)
+		if len(view) == 0 {
+			t.Fatalf("member %d lost its whole view", self)
+		}
+		seen := map[int]bool{}
+		for _, id := range view {
+			if id == self || seen[id] || id < 0 || id >= 400 {
+				t.Fatalf("member %d has invalid view after shuffle: %v", self, view)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+func TestShuffleImprovesInDegreeBalance(t *testing.T) {
+	r := xrand.New(23)
+	pv := NewPartialViews(1000, 1, r)
+	before := pv.Stats()
+	pv.Shuffle(20, 4, r)
+	after := pv.Stats()
+	// Shuffling should not blow up the max in-degree; typically it
+	// shrinks the spread. Allow equality to avoid flakiness.
+	if after.MaxIn > before.MaxIn*2 {
+		t.Errorf("shuffle worsened in-degree: max %d -> %d", before.MaxIn, after.MaxIn)
+	}
+	if after.MeanOut < 1 {
+		t.Errorf("shuffle destroyed views: mean out %f", after.MeanOut)
+	}
+}
+
+func TestShuffleNoOpParams(t *testing.T) {
+	r := xrand.New(29)
+	pv := NewPartialViews(100, 0, r)
+	before := pv.Stats()
+	pv.Shuffle(0, 3, r)
+	pv.Shuffle(3, 0, r)
+	after := pv.Stats()
+	if before != after {
+		t.Error("no-op shuffle changed views")
+	}
+}
+
+func TestStatsConsistency(t *testing.T) {
+	r := xrand.New(31)
+	pv := NewPartialViews(300, 1, r)
+	st := pv.Stats()
+	// Sum of out-degrees equals sum of in-degrees; means must match.
+	if math.Abs(st.MeanOut-st.MeanIn) > 1e-9 {
+		t.Errorf("mean out %f != mean in %f", st.MeanOut, st.MeanIn)
+	}
+	if st.MinOut < 0 || st.MaxOut < st.MinOut {
+		t.Errorf("degree stats inconsistent: %+v", st)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := NewPartialViews(200, 1, xrand.New(5))
+	b := NewPartialViews(200, 1, xrand.New(5))
+	for i := 0; i < 200; i++ {
+		va, vb := a.View(i), b.View(i)
+		if len(va) != len(vb) {
+			t.Fatalf("views differ at %d", i)
+		}
+		for j := range va {
+			if va[j] != vb[j] {
+				t.Fatalf("views differ at %d[%d]", i, j)
+			}
+		}
+	}
+}
+
+func BenchmarkPartialViewsBuild1000(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = NewPartialViews(1000, 1, xrand.New(uint64(i)))
+	}
+}
+
+func BenchmarkFullViewSample(b *testing.B) {
+	v := NewFullView(5000)
+	r := xrand.New(1)
+	buf := make([]int, 0, 8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = v.SampleTargets(buf, i%5000, 4, r)
+	}
+}

@@ -1,0 +1,168 @@
+package protocols
+
+import (
+	"fmt"
+
+	"gossipkit/internal/failure"
+	"gossipkit/internal/membership"
+	"gossipkit/internal/xrand"
+)
+
+// LpbcastParams configures the lpbcast-style baseline (Eugster et al.,
+// "Lightweight Probabilistic Broadcast", the paper's reference [1]):
+// gossip over bounded partial views with bounded event buffers. Members
+// periodically gossip their buffered events to Fanout view members; event
+// buffers are truncated to BufferSize, so under load old rumors age out —
+// the protocol trades reliability for constant memory.
+type LpbcastParams struct {
+	// N is the group size.
+	N int
+	// Fanout is the per-round gossip fanout.
+	Fanout int
+	// Rounds is the number of gossip rounds.
+	Rounds int
+	// BufferSize bounds each member's event buffer (ids kept for
+	// dedup are unbounded here; only payload buffers age out).
+	BufferSize int
+	// Events is the number of distinct multicasts injected at round 0,
+	// all at the source. Buffer pressure appears when Events >
+	// BufferSize.
+	Events int
+	// AliveRatio is the nonfailed member ratio q.
+	AliveRatio float64
+	// Source injects the events and never fails.
+	Source int
+	// ViewCopies is the SCAMP parameter c for the partial views.
+	ViewCopies int
+}
+
+// Validate checks the parameters.
+func (p LpbcastParams) Validate() error {
+	if p.N < 2 {
+		return fmt.Errorf("protocols: group size %d too small", p.N)
+	}
+	if p.Fanout < 1 {
+		return fmt.Errorf("protocols: fanout %d < 1", p.Fanout)
+	}
+	if p.Rounds < 1 {
+		return fmt.Errorf("protocols: rounds %d < 1", p.Rounds)
+	}
+	if p.BufferSize < 1 {
+		return fmt.Errorf("protocols: buffer size %d < 1", p.BufferSize)
+	}
+	if p.Events < 1 {
+		return fmt.Errorf("protocols: events %d < 1", p.Events)
+	}
+	if p.AliveRatio < 0 || p.AliveRatio > 1 || p.AliveRatio != p.AliveRatio {
+		return fmt.Errorf("protocols: alive ratio %g outside [0,1]", p.AliveRatio)
+	}
+	if p.Source < 0 || p.Source >= p.N {
+		return fmt.Errorf("protocols: source %d out of range", p.Source)
+	}
+	if p.ViewCopies < 0 {
+		return fmt.Errorf("protocols: negative view copies %d", p.ViewCopies)
+	}
+	return nil
+}
+
+// LpbcastResult reports per-event delivery.
+type LpbcastResult struct {
+	// AliveCount is the number of nonfailed members.
+	AliveCount int
+	// DeliveredPerEvent[e] is the number of nonfailed members that
+	// delivered event e.
+	DeliveredPerEvent []int
+	// MeanReliability averages delivered/alive over events.
+	MeanReliability float64
+	// MinReliability is the worst event's delivery ratio (buffer
+	// pressure shows up here first).
+	MinReliability float64
+	// MessagesSent counts gossip messages (one per target per round per
+	// gossiping member).
+	MessagesSent int
+}
+
+// lpbcastMember is one member's protocol state.
+type lpbcastMember struct {
+	buffer []int32 // event ids currently buffered (payload held)
+	seen   map[int32]bool
+}
+
+// RunLpbcast executes the lpbcast-style protocol and reports per-event
+// delivery. The simulation is synchronous-round over SCAMP partial views.
+func RunLpbcast(p LpbcastParams, r *xrand.RNG) (LpbcastResult, error) {
+	if err := p.Validate(); err != nil {
+		return LpbcastResult{}, err
+	}
+	views := membership.NewPartialViews(p.N, p.ViewCopies, r)
+	views.Shuffle(5, 3, r)
+	mask := failure.ExactMask(p.N, p.AliveRatio, p.Source, r)
+
+	members := make([]lpbcastMember, p.N)
+	for i := range members {
+		members[i].seen = map[int32]bool{}
+	}
+	res := LpbcastResult{AliveCount: mask.AliveCount()}
+	res.DeliveredPerEvent = make([]int, p.Events)
+
+	deliver := func(id int, ev int32) {
+		m := &members[id]
+		if m.seen[ev] {
+			return
+		}
+		m.seen[ev] = true
+		res.DeliveredPerEvent[ev]++
+		m.buffer = append(m.buffer, ev)
+		// Age-out: keep only the newest BufferSize events.
+		if len(m.buffer) > p.BufferSize {
+			m.buffer = m.buffer[len(m.buffer)-p.BufferSize:]
+		}
+	}
+
+	// Inject all events at the source.
+	for e := 0; e < p.Events; e++ {
+		deliver(p.Source, int32(e))
+	}
+
+	type msg struct {
+		to     int
+		events []int32
+	}
+	targets := make([]int, 0, p.Fanout)
+	for round := 0; round < p.Rounds; round++ {
+		var outbox []msg
+		for id := 0; id < p.N; id++ {
+			m := &members[id]
+			if !mask.Alive(id) || len(m.buffer) == 0 {
+				continue
+			}
+			targets = views.SampleTargets(targets, id, p.Fanout, r)
+			payload := append([]int32(nil), m.buffer...)
+			for _, t := range targets {
+				outbox = append(outbox, msg{to: t, events: payload})
+				res.MessagesSent++
+			}
+		}
+		for _, mg := range outbox {
+			if !mask.Alive(mg.to) {
+				continue
+			}
+			for _, ev := range mg.events {
+				deliver(mg.to, ev)
+			}
+		}
+	}
+
+	var sum float64
+	min := 1.0
+	for _, d := range res.DeliveredPerEvent {
+		rel := float64(d) / float64(res.AliveCount)
+		sum += rel
+		if rel < min {
+			min = rel
+		}
+	}
+	res.MeanReliability = sum / float64(p.Events)
+	res.MinReliability = min
+	return res, nil
+}

@@ -1,0 +1,159 @@
+package protocols
+
+import (
+	"fmt"
+
+	"gossipkit/internal/failure"
+	"gossipkit/internal/xrand"
+)
+
+// Mode selects the anti-entropy exchange direction (Demers et al., the
+// paper's reference [2]).
+type Mode int
+
+const (
+	// Push: the caller infects the callee if the caller is infected.
+	Push Mode = iota
+	// Pull: the caller gets infected if the callee is infected.
+	Pull
+	// PushPull: both directions in one exchange.
+	PushPull
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Push:
+		return "push"
+	case Pull:
+		return "pull"
+	case PushPull:
+		return "push-pull"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// AntiEntropyParams configures the classic anti-entropy epidemic: in each
+// round, every alive member contacts one uniformly random other member and
+// exchanges state per Mode.
+type AntiEntropyParams struct {
+	// N is the group size.
+	N int
+	// Rounds is the number of rounds to run (0 = run until no progress).
+	Rounds int
+	// Mode is the exchange direction.
+	Mode Mode
+	// AliveRatio is the nonfailed member ratio q.
+	AliveRatio float64
+	// Source starts infected and never fails.
+	Source int
+}
+
+// Validate checks the parameters.
+func (p AntiEntropyParams) Validate() error {
+	if p.N < 2 {
+		return fmt.Errorf("protocols: group size %d too small", p.N)
+	}
+	if p.Rounds < 0 {
+		return fmt.Errorf("protocols: negative rounds %d", p.Rounds)
+	}
+	switch p.Mode {
+	case Push, Pull, PushPull:
+	default:
+		return fmt.Errorf("protocols: unknown mode %v", p.Mode)
+	}
+	if p.AliveRatio < 0 || p.AliveRatio > 1 || p.AliveRatio != p.AliveRatio {
+		return fmt.Errorf("protocols: alive ratio %g outside [0,1]", p.AliveRatio)
+	}
+	if p.Source < 0 || p.Source >= p.N {
+		return fmt.Errorf("protocols: source %d out of range", p.Source)
+	}
+	return nil
+}
+
+// AntiEntropyResult extends Result with the per-round infection curve.
+type AntiEntropyResult struct {
+	Result
+	// InfectedPerRound[r] is the cumulative infected alive count after
+	// round r (index 0 = before any round).
+	InfectedPerRound []int
+}
+
+// RunAntiEntropy executes the epidemic. With Rounds == 0 it runs until a
+// round makes no progress (guaranteed to terminate: infections are
+// monotone). Each contact costs one message (plus one for the reply that
+// pull/push-pull semantics imply; counted as 2 for Pull and PushPull).
+func RunAntiEntropy(p AntiEntropyParams, r *xrand.RNG) (AntiEntropyResult, error) {
+	if err := p.Validate(); err != nil {
+		return AntiEntropyResult{}, err
+	}
+	mask := failure.ExactMask(p.N, p.AliveRatio, p.Source, r)
+	res := AntiEntropyResult{Result: Result{AliveCount: mask.AliveCount()}}
+	infected := make([]bool, p.N)
+	infected[p.Source] = true
+	res.Delivered = 1
+	res.InfectedPerRound = append(res.InfectedPerRound, 1)
+
+	msgCost := 1
+	if p.Mode != Push {
+		msgCost = 2
+	}
+	maxRounds := p.Rounds
+	if maxRounds == 0 {
+		maxRounds = 40 * p.N // generous; progress check below breaks out
+	}
+	for round := 0; round < maxRounds; round++ {
+		res.Rounds++
+		progress := false
+		// Synchronous round semantics: exchanges see the state at the
+		// start of the round (standard in the anti-entropy analyses).
+		snapshot := append([]bool(nil), infected...)
+		for id := 0; id < p.N; id++ {
+			if !mask.Alive(id) {
+				continue
+			}
+			peer := id
+			for peer == id {
+				peer = r.Intn(p.N)
+			}
+			res.MessagesSent += msgCost
+			if !mask.Alive(peer) {
+				continue
+			}
+			switch p.Mode {
+			case Push:
+				if snapshot[id] && !infected[peer] {
+					infected[peer] = true
+					res.Delivered++
+					progress = true
+				}
+			case Pull:
+				if snapshot[peer] && !infected[id] {
+					infected[id] = true
+					res.Delivered++
+					progress = true
+				}
+			case PushPull:
+				if snapshot[id] && !infected[peer] {
+					infected[peer] = true
+					res.Delivered++
+					progress = true
+				}
+				if snapshot[peer] && !infected[id] {
+					infected[id] = true
+					res.Delivered++
+					progress = true
+				}
+			}
+		}
+		res.InfectedPerRound = append(res.InfectedPerRound, res.Delivered)
+		if res.Delivered == res.AliveCount {
+			break
+		}
+		if p.Rounds == 0 && !progress {
+			break
+		}
+	}
+	finish(&res.Result)
+	return res, nil
+}

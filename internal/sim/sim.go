@@ -1,0 +1,181 @@
+// Package sim is a small deterministic discrete-event simulation kernel:
+// a virtual clock and a priority queue of timestamped events. It underpins
+// the simulated network substrate (internal/simnet), which the gossip
+// protocols run on when latency, loss, and timing matter.
+//
+// Determinism: events with equal timestamps fire in scheduling order
+// (FIFO via a monotonically increasing sequence number), so a run is a pure
+// function of its inputs and seeds regardless of map iteration or goroutine
+// scheduling — the kernel is single-goroutine by design.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is a simulated timestamp. The zero Time is the simulation start.
+// It counts nanoseconds, mirroring time.Duration, so durations interoperate.
+type Time int64
+
+// Add returns t advanced by d.
+func (t Time) Add(d time.Duration) Time { return t + Time(d) }
+
+// Sub returns the duration from u to t.
+func (t Time) Sub(u Time) time.Duration { return time.Duration(t - u) }
+
+// Duration converts t to the duration since the simulation start.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// Seconds returns t in seconds since the simulation start.
+func (t Time) Seconds() float64 { return float64(t) / float64(time.Second) }
+
+func (t Time) String() string { return time.Duration(t).String() }
+
+// End is a sentinel time after every schedulable event.
+const End Time = math.MaxInt64
+
+// Event is a scheduled callback.
+type Event struct {
+	at    Time
+	seq   uint64
+	fn    func()
+	index int // heap index, -1 when not queued
+}
+
+// Canceled reports whether the event is no longer pending (it was canceled
+// or has already fired).
+func (e *Event) Canceled() bool { return e.index == -1 }
+
+// Kernel is the simulation driver. The zero value is not usable; call New.
+// A Kernel must be used from a single goroutine.
+type Kernel struct {
+	now    Time
+	queue  eventQueue
+	seq    uint64
+	fired  uint64
+	budget uint64 // 0 = unlimited
+}
+
+// New returns a kernel at time zero.
+func New() *Kernel { return &Kernel{} }
+
+// Now returns the current simulated time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Fired returns the number of events executed so far.
+func (k *Kernel) Fired() uint64 { return k.fired }
+
+// SetBudget caps the total number of events the kernel will execute;
+// 0 removes the cap. Run returns ErrBudget when the cap is hit, which turns
+// runaway protocol bugs into test failures instead of hangs.
+func (k *Kernel) SetBudget(n uint64) { k.budget = n }
+
+// ErrBudget is returned by Run when the event budget is exhausted.
+var ErrBudget = errors.New("sim: event budget exhausted")
+
+// At schedules fn at absolute time at; scheduling in the past (before Now)
+// panics, since it would break causality. It returns a handle that can
+// cancel the event.
+func (k *Kernel) At(at Time, fn func()) *Event {
+	if at < k.now {
+		panic(fmt.Sprintf("sim: scheduling at %v before now %v", at, k.now))
+	}
+	if fn == nil {
+		panic("sim: nil event function")
+	}
+	k.seq++
+	e := &Event{at: at, seq: k.seq, fn: fn}
+	heap.Push(&k.queue, e)
+	return e
+}
+
+// After schedules fn after delay d (>= 0) from now.
+func (k *Kernel) After(d time.Duration, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return k.At(k.now.Add(d), fn)
+}
+
+// Cancel removes a pending event; canceling an already-fired or canceled
+// event is a no-op. It reports whether the event was pending.
+func (k *Kernel) Cancel(e *Event) bool {
+	if e == nil || e.index < 0 {
+		return false
+	}
+	heap.Remove(&k.queue, e.index)
+	e.index = -1
+	return true
+}
+
+// Pending returns the number of queued events.
+func (k *Kernel) Pending() int { return len(k.queue) }
+
+// Step fires the earliest pending event and returns true, or returns false
+// if the queue is empty.
+func (k *Kernel) Step() bool {
+	if len(k.queue) == 0 {
+		return false
+	}
+	e := heap.Pop(&k.queue).(*Event)
+	e.index = -1
+	k.now = e.at
+	k.fired++
+	e.fn()
+	return true
+}
+
+// Run fires events until the queue is empty or the horizon is passed
+// (events scheduled strictly after horizon remain queued; the clock is left
+// at the later of its current value and the last fired event). It returns
+// ErrBudget if the event budget is exhausted first.
+func (k *Kernel) Run(horizon Time) error {
+	for len(k.queue) > 0 && k.queue[0].at <= horizon {
+		if k.budget > 0 && k.fired >= k.budget {
+			return ErrBudget
+		}
+		k.Step()
+	}
+	return nil
+}
+
+// RunAll fires every event until the queue drains. It returns ErrBudget if
+// the event budget is exhausted first.
+func (k *Kernel) RunAll() error { return k.Run(End) }
+
+// eventQueue implements container/heap ordered by (time, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}

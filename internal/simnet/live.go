@@ -1,0 +1,99 @@
+package simnet
+
+import (
+	"errors"
+	"sync"
+)
+
+// LiveNet is an in-process, goroutine-safe message fabric for running the
+// protocols with real goroutines instead of the discrete-event kernel. The
+// examples (replicated KV store, failure detector) use it to demonstrate the
+// library operating as an actual concurrent system; semantics mirror
+// Network: fail-stop crashes, silent drop on full inboxes (modeling buffer
+// overflow), no ordering guarantees across senders.
+type LiveNet struct {
+	mu     sync.RWMutex
+	boxes  []chan Message
+	up     []bool
+	closed bool
+}
+
+// ErrStopped is returned by Recv after Close, and by Send on a closed net.
+var ErrStopped = errors.New("simnet: live network stopped")
+
+// NewLive returns a live network of n nodes with the given per-node inbox
+// capacity.
+func NewLive(n, inbox int) *LiveNet {
+	if n < 0 || inbox <= 0 {
+		panic("simnet: invalid live network size")
+	}
+	l := &LiveNet{
+		boxes: make([]chan Message, n),
+		up:    make([]bool, n),
+	}
+	for i := range l.boxes {
+		l.boxes[i] = make(chan Message, inbox)
+		l.up[i] = true
+	}
+	return l
+}
+
+// N returns the number of nodes.
+func (l *LiveNet) N() int { return len(l.boxes) }
+
+// Send delivers a message into to's inbox. It reports false when the
+// message was dropped (crashed endpoint, full inbox, or stopped network) —
+// matching UDP-style fire-and-forget.
+func (l *LiveNet) Send(from, to NodeID, payload any) bool {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if l.closed || int(from) >= len(l.boxes) || int(to) >= len(l.boxes) || from < 0 || to < 0 {
+		return false
+	}
+	if !l.up[from] || !l.up[to] {
+		return false
+	}
+	select {
+	case l.boxes[to] <- Message{From: from, To: to, Payload: payload}:
+		return true
+	default:
+		return false // inbox overflow
+	}
+}
+
+// Inbox returns the receive channel for id. A crashed node's channel stops
+// receiving new messages but drains existing ones, like an OS socket buffer.
+func (l *LiveNet) Inbox(id NodeID) <-chan Message {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.boxes[id]
+}
+
+// Crash marks id as failed (fail-stop).
+func (l *LiveNet) Crash(id NodeID) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if int(id) < len(l.up) && id >= 0 {
+		l.up[id] = false
+	}
+}
+
+// Up reports whether id is up.
+func (l *LiveNet) Up(id NodeID) bool {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return int(id) < len(l.up) && id >= 0 && l.up[id]
+}
+
+// Close stops the network and closes all inboxes; concurrent Sends drop.
+func (l *LiveNet) Close() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return
+	}
+	l.closed = true
+	for _, ch := range l.boxes {
+		close(ch)
+	}
+}

@@ -1,0 +1,293 @@
+// Package simnet is the simulated network substrate the gossip protocols
+// run on when message timing matters. It models per-message latency,
+// probabilistic loss (including bursty Gilbert–Elliott loss), network
+// partitions, and node crashes, all on top of the deterministic
+// discrete-event kernel in internal/sim.
+//
+// The paper's MATLAB simulation abstracts the network away entirely (a
+// gossip "send" always arrives, instantly); simnet reproduces that setting
+// with the zero-value models (constant zero latency, no loss) and extends it
+// with the realism knobs used by the ablation experiments and the examples.
+package simnet
+
+import (
+	"fmt"
+	"time"
+
+	"gossipkit/internal/sim"
+	"gossipkit/internal/xrand"
+)
+
+// NodeID identifies a node in the network, 0..N-1.
+type NodeID int
+
+// Message is a network datagram.
+type Message struct {
+	From    NodeID
+	To      NodeID
+	Payload any
+}
+
+// Handler consumes a delivered message at simulated time now.
+type Handler func(now sim.Time, msg Message)
+
+// LatencyModel draws the one-way delay for a message.
+type LatencyModel interface {
+	Latency(r *xrand.RNG, from, to NodeID) time.Duration
+}
+
+// LossModel decides whether a message is dropped in transit.
+type LossModel interface {
+	Drop(r *xrand.RNG, from, to NodeID) bool
+}
+
+// ---------------------------------------------------------------------------
+// Latency models
+
+// ConstantLatency delays every message by D.
+type ConstantLatency struct{ D time.Duration }
+
+// Latency implements LatencyModel.
+func (c ConstantLatency) Latency(*xrand.RNG, NodeID, NodeID) time.Duration { return c.D }
+
+// UniformLatency draws delays uniformly from [Lo, Hi].
+type UniformLatency struct{ Lo, Hi time.Duration }
+
+// Latency implements LatencyModel.
+func (u UniformLatency) Latency(r *xrand.RNG, _, _ NodeID) time.Duration {
+	if u.Hi <= u.Lo {
+		return u.Lo
+	}
+	return u.Lo + time.Duration(r.Uint64n(uint64(u.Hi-u.Lo)+1))
+}
+
+// ExponentialLatency draws delays from Exp(mean) shifted by Floor, a common
+// WAN model (propagation floor plus queueing tail).
+type ExponentialLatency struct {
+	Floor time.Duration
+	Mean  time.Duration // mean of the exponential part
+}
+
+// Latency implements LatencyModel.
+func (e ExponentialLatency) Latency(r *xrand.RNG, _, _ NodeID) time.Duration {
+	return e.Floor + time.Duration(r.ExpFloat64()*float64(e.Mean))
+}
+
+// ---------------------------------------------------------------------------
+// Loss models
+
+// NoLoss never drops messages.
+type NoLoss struct{}
+
+// Drop implements LossModel.
+func (NoLoss) Drop(*xrand.RNG, NodeID, NodeID) bool { return false }
+
+// BernoulliLoss drops each message independently with probability P.
+type BernoulliLoss struct{ P float64 }
+
+// Drop implements LossModel.
+func (b BernoulliLoss) Drop(r *xrand.RNG, _, _ NodeID) bool { return r.Bool(b.P) }
+
+// GilbertElliott is the classic two-state bursty loss model: the channel
+// alternates between a Good state (loss PGood) and a Bad state (loss PBad),
+// with transition probabilities PG2B and PB2G evaluated per message.
+// State is tracked globally (one channel), matching its use as a shared-
+// medium burst model; per-link burst state can be composed externally.
+type GilbertElliott struct {
+	PG2B, PB2G  float64
+	PGood, PBad float64
+	bad         bool
+}
+
+// NewGilbertElliott returns a Gilbert–Elliott model starting in Good state.
+func NewGilbertElliott(pG2B, pB2G, pGood, pBad float64) *GilbertElliott {
+	for _, p := range []float64{pG2B, pB2G, pGood, pBad} {
+		if p < 0 || p > 1 {
+			panic(fmt.Sprintf("simnet: probability %g outside [0,1]", p))
+		}
+	}
+	return &GilbertElliott{PG2B: pG2B, PB2G: pB2G, PGood: pGood, PBad: pBad}
+}
+
+// Drop implements LossModel.
+func (g *GilbertElliott) Drop(r *xrand.RNG, _, _ NodeID) bool {
+	if g.bad {
+		if r.Bool(g.PB2G) {
+			g.bad = false
+		}
+	} else if r.Bool(g.PG2B) {
+		g.bad = true
+	}
+	if g.bad {
+		return r.Bool(g.PBad)
+	}
+	return r.Bool(g.PGood)
+}
+
+// ---------------------------------------------------------------------------
+// Network
+
+// Stats counts network-level outcomes.
+type Stats struct {
+	Sent         int64 // Send calls accepted from live nodes
+	Delivered    int64 // messages handed to a handler
+	DroppedLoss  int64 // lost in transit
+	DroppedCrash int64 // destination (or source) was crashed
+	DroppedPart  int64 // blocked by a partition
+}
+
+// Config parameterizes a Network. Zero values mean: zero latency, no loss.
+type Config struct {
+	Latency LatencyModel
+	Loss    LossModel
+	// Tracer, if non-nil, observes every network event synchronously.
+	Tracer Tracer
+}
+
+// Network is a simulated message-passing network over n nodes.
+// It must be driven from the kernel's goroutine.
+type Network struct {
+	kernel    *sim.Kernel
+	rng       *xrand.RNG
+	latency   LatencyModel
+	loss      LossModel
+	handlers  []Handler
+	up        []bool
+	partition func(a, b NodeID) bool
+	stats     Stats
+	tracer    Tracer
+}
+
+// New returns a network of n nodes driven by kernel, with randomness from
+// rng (latency jitter and loss draws).
+func New(kernel *sim.Kernel, n int, rng *xrand.RNG, cfg Config) *Network {
+	if n < 0 {
+		panic(fmt.Sprintf("simnet: negative node count %d", n))
+	}
+	if kernel == nil || rng == nil {
+		panic("simnet: nil kernel or rng")
+	}
+	nw := &Network{
+		kernel:   kernel,
+		rng:      rng,
+		latency:  cfg.Latency,
+		loss:     cfg.Loss,
+		handlers: make([]Handler, n),
+		up:       make([]bool, n),
+		tracer:   cfg.Tracer,
+	}
+	if nw.latency == nil {
+		nw.latency = ConstantLatency{}
+	}
+	if nw.loss == nil {
+		nw.loss = NoLoss{}
+	}
+	for i := range nw.up {
+		nw.up[i] = true
+	}
+	return nw
+}
+
+// N returns the number of nodes.
+func (nw *Network) N() int { return len(nw.handlers) }
+
+// Kernel returns the driving kernel.
+func (nw *Network) Kernel() *sim.Kernel { return nw.kernel }
+
+// Register installs the message handler for id, replacing any previous one.
+func (nw *Network) Register(id NodeID, h Handler) {
+	nw.checkID(id)
+	nw.handlers[id] = h
+}
+
+// Send queues a message for delivery after the modeled latency. Messages
+// from crashed nodes are silently discarded; messages to nodes that are
+// crashed at delivery time are dropped (fail-stop: a crashed node never
+// processes anything).
+func (nw *Network) Send(from, to NodeID, payload any) {
+	nw.checkID(from)
+	nw.checkID(to)
+	now := nw.kernel.Now()
+	if !nw.up[from] {
+		nw.stats.DroppedCrash++
+		nw.trace(Event{Kind: EventDroppedCrash, From: from, To: to, At: now, SentAt: now})
+		return
+	}
+	nw.stats.Sent++
+	nw.trace(Event{Kind: EventSent, From: from, To: to, At: now, SentAt: now})
+	if nw.partition != nil && nw.partition(from, to) {
+		nw.stats.DroppedPart++
+		nw.trace(Event{Kind: EventDroppedPartition, From: from, To: to, At: now, SentAt: now})
+		return
+	}
+	if nw.loss.Drop(nw.rng, from, to) {
+		nw.stats.DroppedLoss++
+		nw.trace(Event{Kind: EventDroppedLoss, From: from, To: to, At: now, SentAt: now})
+		return
+	}
+	d := nw.latency.Latency(nw.rng, from, to)
+	if d < 0 {
+		d = 0
+	}
+	msg := Message{From: from, To: to, Payload: payload}
+	nw.kernel.After(d, func() { nw.deliver(msg, now) })
+}
+
+func (nw *Network) deliver(msg Message, sentAt sim.Time) {
+	now := nw.kernel.Now()
+	if !nw.up[msg.To] {
+		nw.stats.DroppedCrash++
+		nw.trace(Event{Kind: EventDroppedCrash, From: msg.From, To: msg.To, At: now, SentAt: sentAt})
+		return
+	}
+	h := nw.handlers[msg.To]
+	if h == nil {
+		nw.stats.DroppedCrash++
+		nw.trace(Event{Kind: EventDroppedCrash, From: msg.From, To: msg.To, At: now, SentAt: sentAt})
+		return
+	}
+	nw.stats.Delivered++
+	nw.trace(Event{Kind: EventDelivered, From: msg.From, To: msg.To, At: now, SentAt: sentAt})
+	h(now, msg)
+}
+
+// Crash marks id as failed: in-flight messages to it will be dropped at
+// delivery time and its sends are discarded (fail-stop crash).
+func (nw *Network) Crash(id NodeID) {
+	nw.checkID(id)
+	nw.up[id] = false
+}
+
+// Restart marks id as up again. (The paper's model is crash-stop; Restart
+// exists for the membership and failure-detector examples.)
+func (nw *Network) Restart(id NodeID) {
+	nw.checkID(id)
+	nw.up[id] = true
+}
+
+// Up reports whether id is currently up.
+func (nw *Network) Up(id NodeID) bool {
+	nw.checkID(id)
+	return nw.up[id]
+}
+
+// SetPartition installs a predicate blocking communication from a to b when
+// it returns true. nil clears the partition.
+func (nw *Network) SetPartition(blocked func(a, b NodeID) bool) {
+	nw.partition = blocked
+}
+
+// SplitPartition partitions the nodes into two sides by a membership
+// predicate; messages crossing sides are blocked in both directions.
+func SplitPartition(inLeft func(NodeID) bool) func(a, b NodeID) bool {
+	return func(a, b NodeID) bool { return inLeft(a) != inLeft(b) }
+}
+
+// Stats returns a snapshot of the network counters.
+func (nw *Network) Stats() Stats { return nw.stats }
+
+func (nw *Network) checkID(id NodeID) {
+	if id < 0 || int(id) >= len(nw.handlers) {
+		panic(fmt.Sprintf("simnet: node id %d out of range [0,%d)", id, len(nw.handlers)))
+	}
+}

@@ -1,0 +1,403 @@
+package simnet
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"gossipkit/internal/sim"
+	"gossipkit/internal/xrand"
+)
+
+func newNet(t *testing.T, n int, cfg Config) (*sim.Kernel, *Network) {
+	t.Helper()
+	k := sim.New()
+	return k, New(k, n, xrand.New(1), cfg)
+}
+
+func TestDeliveryZeroLatency(t *testing.T) {
+	k, nw := newNet(t, 2, Config{})
+	var got []Message
+	nw.Register(1, func(_ sim.Time, m Message) { got = append(got, m) })
+	nw.Send(0, 1, "hello")
+	if err := k.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Payload != "hello" || got[0].From != 0 {
+		t.Fatalf("delivered %v", got)
+	}
+	st := nw.Stats()
+	if st.Sent != 1 || st.Delivered != 1 {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+func TestConstantLatencyTiming(t *testing.T) {
+	k, nw := newNet(t, 2, Config{Latency: ConstantLatency{D: 250 * time.Millisecond}})
+	var at sim.Time
+	nw.Register(1, func(now sim.Time, _ Message) { at = now })
+	nw.Send(0, 1, nil)
+	if err := k.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if at != sim.Time(250*time.Millisecond) {
+		t.Errorf("delivered at %v", at)
+	}
+}
+
+func TestUniformLatencyBounds(t *testing.T) {
+	lo, hi := 10*time.Millisecond, 20*time.Millisecond
+	m := UniformLatency{Lo: lo, Hi: hi}
+	r := xrand.New(3)
+	for i := 0; i < 1000; i++ {
+		d := m.Latency(r, 0, 1)
+		if d < lo || d > hi {
+			t.Fatalf("latency %v outside [%v, %v]", d, lo, hi)
+		}
+	}
+	// Degenerate interval.
+	if d := (UniformLatency{Lo: lo, Hi: lo}).Latency(r, 0, 1); d != lo {
+		t.Errorf("degenerate uniform = %v", d)
+	}
+}
+
+func TestExponentialLatencyFloor(t *testing.T) {
+	m := ExponentialLatency{Floor: 5 * time.Millisecond, Mean: 10 * time.Millisecond}
+	r := xrand.New(5)
+	var sum time.Duration
+	const n = 20000
+	for i := 0; i < n; i++ {
+		d := m.Latency(r, 0, 1)
+		if d < 5*time.Millisecond {
+			t.Fatalf("latency %v below floor", d)
+		}
+		sum += d
+	}
+	mean := sum / n
+	want := 15 * time.Millisecond
+	if mean < want-time.Millisecond || mean > want+time.Millisecond {
+		t.Errorf("mean latency %v, want ~%v", mean, want)
+	}
+}
+
+func TestBernoulliLoss(t *testing.T) {
+	k, nw := newNet(t, 2, Config{Loss: BernoulliLoss{P: 0.5}})
+	delivered := 0
+	nw.Register(1, func(sim.Time, Message) { delivered++ })
+	const n = 10000
+	for i := 0; i < n; i++ {
+		nw.Send(0, 1, i)
+	}
+	if err := k.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	st := nw.Stats()
+	if st.DroppedLoss+int64(delivered) != n {
+		t.Errorf("loss %d + delivered %d != %d", st.DroppedLoss, delivered, n)
+	}
+	if delivered < 4600 || delivered > 5400 {
+		t.Errorf("delivered %d of %d at p=0.5", delivered, n)
+	}
+}
+
+func TestGilbertElliottBurstiness(t *testing.T) {
+	// Long Good runs with rare loss, Bad state drops most messages.
+	g := NewGilbertElliott(0.01, 0.2, 0.001, 0.9)
+	r := xrand.New(11)
+	drops := 0
+	const n = 100000
+	runLen, maxRun := 0, 0
+	for i := 0; i < n; i++ {
+		if g.Drop(r, 0, 1) {
+			drops++
+			runLen++
+			if runLen > maxRun {
+				maxRun = runLen
+			}
+		} else {
+			runLen = 0
+		}
+	}
+	// Stationary bad fraction = pG2B/(pG2B+pB2G) ≈ 0.0476; loss rate ≈
+	// 0.0476*0.9 + 0.952*0.001 ≈ 0.0438.
+	rate := float64(drops) / n
+	if rate < 0.03 || rate > 0.06 {
+		t.Errorf("GE loss rate %.4f, want ~0.044", rate)
+	}
+	if maxRun < 3 {
+		t.Errorf("GE produced no bursts (max run %d)", maxRun)
+	}
+}
+
+func TestGilbertElliottValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewGilbertElliott(1.5, 0, 0, 0)
+}
+
+func TestCrashSemantics(t *testing.T) {
+	k, nw := newNet(t, 3, Config{Latency: ConstantLatency{D: time.Millisecond}})
+	got := 0
+	nw.Register(1, func(sim.Time, Message) { got++ })
+
+	// Crashed destination: message in flight is dropped at delivery.
+	nw.Send(0, 1, "a")
+	nw.Crash(1)
+	if err := k.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Error("message delivered to crashed node")
+	}
+
+	// Crashed source: send discarded.
+	nw.Crash(0)
+	nw.Send(0, 2, "b")
+	if st := nw.Stats(); st.Sent != 1 {
+		t.Errorf("crashed sender counted as sent: %+v", st)
+	}
+
+	// Restart: deliveries resume.
+	nw.Restart(1)
+	nw.Send(2, 1, "c")
+	if err := k.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Errorf("delivered %d after restart, want 1", got)
+	}
+	if !nw.Up(1) || nw.Up(0) {
+		t.Error("Up() wrong")
+	}
+}
+
+func TestUnregisteredHandlerDrops(t *testing.T) {
+	k, nw := newNet(t, 2, Config{})
+	nw.Send(0, 1, nil)
+	if err := k.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if st := nw.Stats(); st.Delivered != 0 || st.DroppedCrash != 1 {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+func TestPartition(t *testing.T) {
+	k, nw := newNet(t, 4, Config{})
+	var got []NodeID
+	for i := 0; i < 4; i++ {
+		id := NodeID(i)
+		nw.Register(id, func(_ sim.Time, m Message) { got = append(got, m.To) })
+	}
+	// Nodes {0,1} | {2,3}.
+	nw.SetPartition(SplitPartition(func(id NodeID) bool { return id < 2 }))
+	nw.Send(0, 1, nil) // same side: ok
+	nw.Send(0, 2, nil) // cross: blocked
+	nw.Send(3, 1, nil) // cross: blocked
+	nw.Send(2, 3, nil) // same side: ok
+	if err := k.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("delivered %v", got)
+	}
+	if st := nw.Stats(); st.DroppedPart != 2 {
+		t.Errorf("partition drops = %d", st.DroppedPart)
+	}
+	// Healing the partition restores connectivity.
+	nw.SetPartition(nil)
+	nw.Send(0, 2, nil)
+	if err := k.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Error("partition not healed")
+	}
+}
+
+func TestBadIDPanics(t *testing.T) {
+	_, nw := newNet(t, 2, Config{})
+	for _, f := range []func(){
+		func() { nw.Send(-1, 0, nil) },
+		func() { nw.Send(0, 2, nil) },
+		func() { nw.Crash(5) },
+		func() { nw.Register(-1, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic for out-of-range id")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	run := func() []sim.Time {
+		k := sim.New()
+		nw := New(k, 10, xrand.New(42), Config{
+			Latency: UniformLatency{Lo: time.Millisecond, Hi: 50 * time.Millisecond},
+			Loss:    BernoulliLoss{P: 0.1},
+		})
+		var trace []sim.Time
+		for i := 0; i < 10; i++ {
+			id := NodeID(i)
+			nw.Register(id, func(now sim.Time, m Message) {
+				trace = append(trace, now)
+				if len(trace) < 200 {
+					nw.Send(m.To, NodeID((int(m.To)+1)%10), nil)
+				}
+			})
+		}
+		nw.Send(0, 1, nil)
+		if err := k.RunAll(); err != nil {
+			t.Fatal(err)
+		}
+		return trace
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("replay diverged at %d", i)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// LiveNet
+
+func TestLiveNetSendRecv(t *testing.T) {
+	l := NewLive(2, 8)
+	defer l.Close()
+	if !l.Send(0, 1, "x") {
+		t.Fatal("send failed")
+	}
+	m := <-l.Inbox(1)
+	if m.Payload != "x" || m.From != 0 {
+		t.Fatalf("got %v", m)
+	}
+}
+
+func TestLiveNetCrash(t *testing.T) {
+	l := NewLive(2, 8)
+	defer l.Close()
+	l.Crash(1)
+	if l.Send(0, 1, "x") {
+		t.Error("send to crashed node succeeded")
+	}
+	if l.Send(1, 0, "y") {
+		t.Error("send from crashed node succeeded")
+	}
+	if l.Up(1) || !l.Up(0) {
+		t.Error("Up() wrong")
+	}
+}
+
+func TestLiveNetOverflowDrops(t *testing.T) {
+	l := NewLive(2, 2)
+	defer l.Close()
+	if !l.Send(0, 1, 1) || !l.Send(0, 1, 2) {
+		t.Fatal("fills failed")
+	}
+	if l.Send(0, 1, 3) {
+		t.Error("overflow send succeeded")
+	}
+}
+
+func TestLiveNetBadIDs(t *testing.T) {
+	l := NewLive(2, 2)
+	defer l.Close()
+	if l.Send(-1, 0, nil) || l.Send(0, 7, nil) {
+		t.Error("bad ids accepted")
+	}
+	if l.Up(-1) || l.Up(9) {
+		t.Error("bad ids reported up")
+	}
+	l.Crash(-1) // must not panic
+}
+
+func TestLiveNetCloseIdempotentAndConcurrent(t *testing.T) {
+	l := NewLive(4, 16)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				l.Send(NodeID(i), NodeID((i+1)%4), j)
+			}
+		}(i)
+	}
+	l.Close()
+	l.Close() // idempotent
+	wg.Wait()
+	if l.Send(0, 1, nil) {
+		t.Error("send after close succeeded")
+	}
+}
+
+func TestLiveNetConcurrentTraffic(t *testing.T) {
+	const n, msgs = 8, 500
+	l := NewLive(n, msgs*n)
+	var wg sync.WaitGroup
+	received := make([]int, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for m := range l.Inbox(NodeID(i)) {
+				_ = m
+				received[i]++
+			}
+		}(i)
+	}
+	var sendWg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		sendWg.Add(1)
+		go func(i int) {
+			defer sendWg.Done()
+			for j := 0; j < msgs; j++ {
+				l.Send(NodeID(i), NodeID(j%n), j)
+			}
+		}(i)
+	}
+	sendWg.Wait()
+	l.Close()
+	wg.Wait()
+	total := 0
+	for _, r := range received {
+		total += r
+	}
+	if total != n*msgs {
+		t.Errorf("received %d messages, want %d", total, n*msgs)
+	}
+}
+
+func BenchmarkNetworkSendDeliver(b *testing.B) {
+	k := sim.New()
+	nw := New(k, 100, xrand.New(1), Config{Latency: ConstantLatency{D: time.Millisecond}})
+	for i := 0; i < 100; i++ {
+		nw.Register(NodeID(i), func(sim.Time, Message) {})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nw.Send(NodeID(i%100), NodeID((i+1)%100), nil)
+		if i%256 == 255 {
+			if err := k.RunAll(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	if err := k.RunAll(); err != nil {
+		b.Fatal(err)
+	}
+}

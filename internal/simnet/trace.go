@@ -1,0 +1,112 @@
+package simnet
+
+import (
+	"time"
+
+	"gossipkit/internal/sim"
+	"gossipkit/internal/stats"
+)
+
+// EventKind classifies a traced network event.
+type EventKind int
+
+const (
+	// EventSent: a message was accepted for transmission.
+	EventSent EventKind = iota
+	// EventDelivered: a message reached its handler.
+	EventDelivered
+	// EventDroppedLoss: lost in transit.
+	EventDroppedLoss
+	// EventDroppedCrash: endpoint crashed (or had no handler).
+	EventDroppedCrash
+	// EventDroppedPartition: blocked by a partition.
+	EventDroppedPartition
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EventSent:
+		return "sent"
+	case EventDelivered:
+		return "delivered"
+	case EventDroppedLoss:
+		return "dropped-loss"
+	case EventDroppedCrash:
+		return "dropped-crash"
+	case EventDroppedPartition:
+		return "dropped-partition"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one traced network occurrence.
+type Event struct {
+	Kind EventKind
+	From NodeID
+	To   NodeID
+	// At is the simulated time of the event (send time for EventSent and
+	// drop decisions made at send time; delivery time for
+	// EventDelivered and crash drops at delivery).
+	At sim.Time
+	// SentAt is the send time of the underlying message, so
+	// At − SentAt is the transit latency for deliveries.
+	SentAt sim.Time
+}
+
+// Tracer consumes network events. Install with Config.Tracer or
+// Network.SetTracer; it runs synchronously on the kernel goroutine.
+type Tracer func(Event)
+
+// SetTracer installs (or clears, with nil) the event tracer.
+func (nw *Network) SetTracer(t Tracer) { nw.tracer = t }
+
+func (nw *Network) trace(e Event) {
+	if nw.tracer != nil {
+		nw.tracer(e)
+	}
+}
+
+// LatencyRecorder is a Tracer that accumulates delivery latency statistics
+// and per-destination first-delivery times.
+type LatencyRecorder struct {
+	// Latency aggregates transit times (seconds) over all deliveries.
+	Latency stats.Running
+	// FirstDelivery maps each destination to the simulated time of its
+	// first delivery.
+	FirstDelivery map[NodeID]sim.Time
+	// Counts tallies events by kind.
+	Counts map[EventKind]int64
+}
+
+// NewLatencyRecorder returns an empty recorder.
+func NewLatencyRecorder() *LatencyRecorder {
+	return &LatencyRecorder{
+		FirstDelivery: map[NodeID]sim.Time{},
+		Counts:        map[EventKind]int64{},
+	}
+}
+
+// Observe implements Tracer.
+func (lr *LatencyRecorder) Observe(e Event) {
+	lr.Counts[e.Kind]++
+	if e.Kind != EventDelivered {
+		return
+	}
+	lr.Latency.Add(e.At.Sub(e.SentAt).Seconds())
+	if _, ok := lr.FirstDelivery[e.To]; !ok {
+		lr.FirstDelivery[e.To] = e.At
+	}
+}
+
+// SpreadTime returns the latest first-delivery time (zero when nothing was
+// delivered).
+func (lr *LatencyRecorder) SpreadTime() time.Duration {
+	var max sim.Time
+	for _, t := range lr.FirstDelivery {
+		if t > max {
+			max = t
+		}
+	}
+	return max.Duration()
+}

@@ -1,0 +1,132 @@
+package simnet
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"gossipkit/internal/sim"
+	"gossipkit/internal/xrand"
+)
+
+func TestTracerSeesAllEventKinds(t *testing.T) {
+	k := sim.New()
+	rec := NewLatencyRecorder()
+	nw := New(k, 4, xrand.New(1), Config{
+		Latency: ConstantLatency{D: 5 * time.Millisecond},
+		Tracer:  rec.Observe,
+	})
+	nw.Register(1, func(sim.Time, Message) {})
+	// Delivered.
+	nw.Send(0, 1, "a")
+	// Crash drop at delivery.
+	nw.Send(0, 2, "b")
+	// Partition drop.
+	nw.SetPartition(SplitPartition(func(id NodeID) bool { return id < 2 }))
+	nw.Send(0, 3, "c")
+	nw.SetPartition(nil)
+	// Crashed sender.
+	nw.Crash(3)
+	nw.Send(3, 1, "d")
+	if err := k.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Counts[EventDelivered] != 1 {
+		t.Errorf("delivered events = %d", rec.Counts[EventDelivered])
+	}
+	if rec.Counts[EventSent] != 3 { // the crashed sender's is not "sent"
+		t.Errorf("sent events = %d", rec.Counts[EventSent])
+	}
+	if rec.Counts[EventDroppedCrash] != 2 { // no-handler drop + crashed sender
+		t.Errorf("crash drops = %d", rec.Counts[EventDroppedCrash])
+	}
+	if rec.Counts[EventDroppedPartition] != 1 {
+		t.Errorf("partition drops = %d", rec.Counts[EventDroppedPartition])
+	}
+}
+
+func TestLatencyRecorderMeasuresTransit(t *testing.T) {
+	k := sim.New()
+	rec := NewLatencyRecorder()
+	nw := New(k, 2, xrand.New(1), Config{
+		Latency: ConstantLatency{D: 30 * time.Millisecond},
+		Tracer:  rec.Observe,
+	})
+	nw.Register(1, func(sim.Time, Message) {})
+	for i := 0; i < 10; i++ {
+		nw.Send(0, 1, i)
+	}
+	if err := k.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Latency.N() != 10 {
+		t.Fatalf("latency samples = %d", rec.Latency.N())
+	}
+	if math.Abs(rec.Latency.Mean()-0.030) > 1e-9 {
+		t.Errorf("mean latency %.6fs, want 0.030", rec.Latency.Mean())
+	}
+	if rec.SpreadTime() != 30*time.Millisecond {
+		t.Errorf("spread time %v", rec.SpreadTime())
+	}
+}
+
+func TestLatencyRecorderFirstDeliveryOnly(t *testing.T) {
+	k := sim.New()
+	rec := NewLatencyRecorder()
+	nw := New(k, 2, xrand.New(1), Config{Tracer: rec.Observe})
+	nw.Register(1, func(sim.Time, Message) {})
+	nw.Send(0, 1, "first")
+	if err := k.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	first := rec.FirstDelivery[1]
+	// Advance time, deliver again; FirstDelivery must not move.
+	k.After(time.Second, func() { nw.Send(0, 1, "second") })
+	if err := k.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if rec.FirstDelivery[1] != first {
+		t.Error("first delivery time moved")
+	}
+	if rec.Counts[EventDelivered] != 2 {
+		t.Errorf("delivered = %d", rec.Counts[EventDelivered])
+	}
+}
+
+func TestSetTracerDynamically(t *testing.T) {
+	k := sim.New()
+	nw := New(k, 2, xrand.New(1), Config{})
+	nw.Register(1, func(sim.Time, Message) {})
+	count := 0
+	nw.SetTracer(func(Event) { count++ })
+	nw.Send(0, 1, nil)
+	if err := k.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if count != 2 { // sent + delivered
+		t.Errorf("traced %d events, want 2", count)
+	}
+	nw.SetTracer(nil)
+	nw.Send(0, 1, nil)
+	if err := k.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if count != 2 {
+		t.Error("cleared tracer still firing")
+	}
+}
+
+func TestEventKindStrings(t *testing.T) {
+	for k, want := range map[EventKind]string{
+		EventSent:             "sent",
+		EventDelivered:        "delivered",
+		EventDroppedLoss:      "dropped-loss",
+		EventDroppedCrash:     "dropped-crash",
+		EventDroppedPartition: "dropped-partition",
+		EventKind(99):         "unknown",
+	} {
+		if k.String() != want {
+			t.Errorf("%d: %q != %q", k, k.String(), want)
+		}
+	}
+}

@@ -1,0 +1,213 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, msg any) any {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Encode(&buf, msg); err != nil {
+		t.Fatalf("encode %T: %v", msg, err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatalf("decode %T: %v", msg, err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("decode left %d bytes", buf.Len())
+	}
+	return got
+}
+
+func TestGossipRoundTrip(t *testing.T) {
+	in := Gossip{MsgID: 0xdeadbeef12345678, Origin: "127.0.0.1:9000", Hops: 7, Payload: []byte("hello")}
+	out := roundTrip(t, in).(Gossip)
+	if out.MsgID != in.MsgID || out.Origin != in.Origin || out.Hops != in.Hops ||
+		!bytes.Equal(out.Payload, in.Payload) {
+		t.Errorf("round trip mismatch: %+v vs %+v", out, in)
+	}
+}
+
+func TestGossipEmptyPayload(t *testing.T) {
+	out := roundTrip(t, Gossip{MsgID: 1, Origin: "a"}).(Gossip)
+	if len(out.Payload) != 0 {
+		t.Errorf("payload %v", out.Payload)
+	}
+}
+
+func TestJoinRoundTrip(t *testing.T) {
+	out := roundTrip(t, Join{Addr: "10.0.0.1:7777"}).(Join)
+	if out.Addr != "10.0.0.1:7777" {
+		t.Errorf("addr %q", out.Addr)
+	}
+}
+
+func TestJoinAckRoundTrip(t *testing.T) {
+	in := JoinAck{Peers: []string{"a:1", "b:2", "c:3"}}
+	out := roundTrip(t, in).(JoinAck)
+	if len(out.Peers) != 3 || out.Peers[1] != "b:2" {
+		t.Errorf("peers %v", out.Peers)
+	}
+	// Empty ack.
+	out2 := roundTrip(t, JoinAck{}).(JoinAck)
+	if len(out2.Peers) != 0 {
+		t.Errorf("empty ack peers %v", out2.Peers)
+	}
+}
+
+func TestPingPongRoundTrip(t *testing.T) {
+	if got := roundTrip(t, Ping{Seq: 42}).(Ping); got.Seq != 42 {
+		t.Errorf("ping %+v", got)
+	}
+	if got := roundTrip(t, Pong{Seq: 43}).(Pong); got.Seq != 43 {
+		t.Errorf("pong %+v", got)
+	}
+}
+
+func TestSequentialMessagesOnOneStream(t *testing.T) {
+	var buf bytes.Buffer
+	msgs := []any{
+		Ping{Seq: 1},
+		Gossip{MsgID: 2, Origin: "x", Payload: []byte{1, 2, 3}},
+		Join{Addr: "y:1"},
+		Pong{Seq: 4},
+	}
+	for _, m := range msgs {
+		if err := Encode(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range msgs {
+		got, err := Decode(&buf)
+		if err != nil {
+			t.Fatalf("message %d: %v", i, err)
+		}
+		switch g := got.(type) {
+		case Ping:
+			if g.Seq != 1 {
+				t.Errorf("msg %d: %+v", i, g)
+			}
+		case Gossip:
+			if g.MsgID != 2 {
+				t.Errorf("msg %d: %+v", i, g)
+			}
+		}
+	}
+}
+
+func TestEncodeUnknownType(t *testing.T) {
+	if err := Encode(io.Discard, 42); err == nil {
+		t.Error("encoding an int succeeded")
+	}
+}
+
+func TestEncodeOversized(t *testing.T) {
+	big := Gossip{MsgID: 1, Origin: "x", Payload: make([]byte, MaxFrame)}
+	if err := Encode(io.Discard, big); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("want ErrFrameTooLarge, got %v", err)
+	}
+	longStr := strings.Repeat("a", 70000)
+	if err := Encode(io.Discard, Join{Addr: longStr}); err == nil {
+		t.Error("oversized string accepted")
+	}
+}
+
+func TestDecodeTruncatedFrames(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Encode(&buf, Gossip{MsgID: 9, Origin: "o", Payload: []byte("abc")}); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Every proper prefix must fail cleanly, never panic.
+	for cut := 0; cut < len(full); cut++ {
+		_, err := Decode(bytes.NewReader(full[:cut]))
+		if err == nil {
+			t.Fatalf("prefix of %d bytes decoded successfully", cut)
+		}
+	}
+}
+
+func TestDecodeGarbageBody(t *testing.T) {
+	// Declared length larger than actual body contents.
+	frame := []byte{0, 0, 0, 10, TypeGossip, 1, 2} // length 10, only 2 body bytes
+	if _, err := Decode(bytes.NewReader(frame)); err == nil {
+		t.Error("short body accepted")
+	}
+	// Unknown type.
+	frame2 := []byte{0, 0, 0, 1, 0x7f}
+	if _, err := Decode(bytes.NewReader(frame2)); !errors.Is(err, ErrUnknownType) {
+		t.Errorf("want ErrUnknownType, got %v", err)
+	}
+	// Zero-length frame.
+	frame3 := []byte{0, 0, 0, 0}
+	if _, err := Decode(bytes.NewReader(frame3)); !errors.Is(err, ErrTruncated) {
+		t.Errorf("want ErrTruncated, got %v", err)
+	}
+	// Huge declared frame must be rejected before allocation.
+	frame4 := []byte{0xff, 0xff, 0xff, 0xff}
+	if _, err := Decode(bytes.NewReader(frame4)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("want ErrFrameTooLarge, got %v", err)
+	}
+}
+
+func TestDecodeInteriorCorruption(t *testing.T) {
+	// A gossip frame whose inner payload length field points past the
+	// body must error, not panic or over-read.
+	var buf bytes.Buffer
+	if err := Encode(&buf, Gossip{MsgID: 1, Origin: "ab", Payload: []byte("xyz")}); err != nil {
+		t.Fatal(err)
+	}
+	frame := buf.Bytes()
+	// Payload length lives 4 bytes from the end of the payload; bump it.
+	frame[len(frame)-4-3] = 0xff
+	if _, err := Decode(bytes.NewReader(frame)); err == nil {
+		t.Error("corrupted inner length accepted")
+	}
+}
+
+func TestGossipQuickRoundTrip(t *testing.T) {
+	f := func(id uint64, origin string, hops uint8, payload []byte) bool {
+		if len(origin) > 1000 {
+			origin = origin[:1000]
+		}
+		if len(payload) > 4096 {
+			payload = payload[:4096]
+		}
+		in := Gossip{MsgID: id, Origin: origin, Hops: hops, Payload: payload}
+		var buf bytes.Buffer
+		if err := Encode(&buf, in); err != nil {
+			return false
+		}
+		got, err := Decode(&buf)
+		if err != nil {
+			return false
+		}
+		out, ok := got.(Gossip)
+		return ok && out.MsgID == id && out.Origin == origin &&
+			out.Hops == hops && bytes.Equal(out.Payload, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkEncodeDecodeGossip(b *testing.B) {
+	msg := Gossip{MsgID: 1, Origin: "127.0.0.1:9000", Hops: 3, Payload: make([]byte, 256)}
+	var buf bytes.Buffer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := Encode(&buf, msg); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Decode(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

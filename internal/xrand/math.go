@@ -1,0 +1,9 @@
+package xrand
+
+import "math"
+
+// Thin wrappers keep the hot sampling paths readable; the compiler inlines
+// them to direct math calls.
+
+func sqrt(x float64) float64 { return math.Sqrt(x) }
+func ln(x float64) float64   { return math.Log(x) }
