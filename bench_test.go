@@ -82,6 +82,39 @@ func BenchmarkAblations(b *testing.B) {
 	}
 }
 
+// BenchmarkScenarioSweep measures the scenario engine's sweep throughput —
+// fault-injection executions per second across the bundled campaign suite —
+// so future PRs can track runner speed. The custom scenario-runs/sec metric
+// is the headline number; it scales with worker count on multicore hosts.
+func BenchmarkScenarioSweep(b *testing.B) {
+	suite := DefaultScenarioSuite()
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := ScenarioSweepConfig{
+				Run: ScenarioRunConfig{
+					Params:            Params{N: 500, Fanout: Poisson(5), AliveRatio: 1},
+					PartialViewCopies: 2,
+				},
+				Seeds:   4,
+				Workers: workers,
+			}
+			cells := len(suite) * cfg.Seeds
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cfg.BaseSeed = uint64(i + 1)
+				res, err := SweepScenarios(suite, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Scenarios) != len(suite) {
+					b.Fatal("incomplete sweep")
+				}
+			}
+			b.ReportMetric(float64(cells*b.N)/b.Elapsed().Seconds(), "scenario-runs/sec")
+		})
+	}
+}
+
 // BenchmarkEndToEndMulticast measures one full execution of the general
 // gossiping algorithm (the paper's inner loop) at the paper's group sizes.
 func BenchmarkEndToEndMulticast(b *testing.B) {

@@ -1,0 +1,215 @@
+// Command gossipscenario runs declarative fault-injection campaigns over
+// the gossip simulator and reports how delivery degrades against the
+// paper's static-q model (Eq. 11).
+//
+// Usage:
+//
+//	gossipscenario list
+//	gossipscenario run -suite default -seed 42
+//	gossipscenario run -scenario crash-wave -n 2000 -fanout 6 -format ascii
+//	gossipscenario run -spec campaign.json -format csv
+//	gossipscenario sweep -seeds 20 -workers 8 -format ascii
+//
+// Output on stdout is a pure function of the flags and seed (timing and
+// throughput diagnostics go to stderr), so reports can be diffed and
+// checked into regression suites.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"gossipkit/internal/core"
+	"gossipkit/internal/dist"
+	"gossipkit/internal/scenario"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "list":
+		err = list()
+	case "run":
+		err = run(os.Args[2:], false)
+	case "sweep":
+		err = run(os.Args[2:], true)
+	case "-h", "-help", "--help", "help":
+		usage()
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gossipscenario:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage:
+  gossipscenario list                     show the bundled scenario suite
+  gossipscenario run   [flags]            run each selected scenario, per-run reports
+  gossipscenario sweep [flags]            replicate scenarios x seeds on a worker pool
+
+flags (run/sweep):
+  -suite default        run the whole bundled suite (default when nothing else selected)
+  -scenario NAME        run one bundled scenario
+  -spec FILE.json       run a scenario loaded from a JSON spec
+  -n INT                group size (default 1000)
+  -dist NAME            fanout distribution: poisson, fixed, geometric, uniform (default poisson)
+  -fanout FLOAT         mean/exact fanout (default 5)
+  -q FLOAT              static nonfailed ratio composed with the campaign (default 1)
+  -views INT            SCAMP partial-view extra copies; 0 = full view (default 2)
+  -seed UINT            base random seed (default 42)
+  -seeds INT            replications per scenario (default 1 for run, 10 for sweep)
+  -workers INT          worker pool size; 0 = GOMAXPROCS (sweep)
+  -format FMT           json, csv, or ascii (default json)
+`)
+}
+
+func list() error {
+	for _, s := range scenario.DefaultSuite() {
+		fmt.Printf("%-18s %2d steps  %s\n", s.Name, len(s.Steps), s.Description)
+	}
+	return nil
+}
+
+func run(args []string, sweep bool) error {
+	fs := flag.NewFlagSet("gossipscenario", flag.ExitOnError)
+	var (
+		suite    = fs.String("suite", "", "run the bundled suite (\"default\")")
+		name     = fs.String("scenario", "", "run one bundled scenario by name")
+		spec     = fs.String("spec", "", "run a scenario from a JSON spec file")
+		n        = fs.Int("n", 1000, "group size")
+		distKind = fs.String("dist", "poisson", "fanout distribution")
+		fanout   = fs.Float64("fanout", 5, "mean fanout")
+		q        = fs.Float64("q", 1, "static nonfailed ratio")
+		views    = fs.Int("views", 2, "SCAMP partial-view extra copies (0 = full view)")
+		seed     = fs.Uint64("seed", 42, "base random seed")
+		seeds    = fs.Int("seeds", 0, "replications per scenario")
+		workers  = fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		format   = fs.String("format", "json", "output format: json, csv, ascii")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *seeds == 0 {
+		if sweep {
+			*seeds = 10
+		} else {
+			*seeds = 1
+		}
+	}
+
+	scenarios, err := selectScenarios(*suite, *name, *spec)
+	if err != nil {
+		return err
+	}
+	d, err := makeDist(*distKind, *fanout)
+	if err != nil {
+		return err
+	}
+	cfg := scenario.SweepConfig{
+		Run: scenario.RunConfig{
+			Params:            core.Params{N: *n, Fanout: d, AliveRatio: *q},
+			PartialViewCopies: *views,
+		},
+		Seeds:    *seeds,
+		BaseSeed: *seed,
+		Workers:  *workers,
+	}
+
+	start := time.Now()
+	result, err := scenario.Sweep(scenarios, cfg)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	cells := len(scenarios) * *seeds
+	w := *workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	fmt.Fprintf(os.Stderr, "ran %d scenarios x %d seeds = %d executions in %v (%.1f runs/sec, %d workers)\n",
+		len(scenarios), *seeds, cells, elapsed.Round(time.Millisecond),
+		float64(cells)/elapsed.Seconds(), w)
+
+	switch *format {
+	case "json":
+		out, err := json.MarshalIndent(result, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(out))
+	case "csv":
+		fmt.Print(result.CSV())
+	case "ascii":
+		fmt.Print(result.Table())
+	default:
+		return fmt.Errorf("unknown format %q (want json, csv, or ascii)", *format)
+	}
+	return nil
+}
+
+func selectScenarios(suite, name, spec string) ([]*scenario.Scenario, error) {
+	selected := 0
+	for _, s := range []string{suite, name, spec} {
+		if s != "" {
+			selected++
+		}
+	}
+	if selected > 1 {
+		return nil, fmt.Errorf("choose one of -suite, -scenario, -spec")
+	}
+	switch {
+	case name != "":
+		s, ok := scenario.ByName(name)
+		if !ok {
+			var names []string
+			for _, b := range scenario.DefaultSuite() {
+				names = append(names, b.Name)
+			}
+			return nil, fmt.Errorf("unknown scenario %q (bundled: %s)", name, strings.Join(names, ", "))
+		}
+		return []*scenario.Scenario{s}, nil
+	case spec != "":
+		data, err := os.ReadFile(spec)
+		if err != nil {
+			return nil, err
+		}
+		s, err := scenario.Parse(data)
+		if err != nil {
+			return nil, err
+		}
+		return []*scenario.Scenario{s}, nil
+	case suite == "" || suite == "default":
+		return scenario.DefaultSuite(), nil
+	default:
+		return nil, fmt.Errorf("unknown suite %q (only \"default\" is bundled)", suite)
+	}
+}
+
+func makeDist(kind string, fanout float64) (dist.Distribution, error) {
+	switch kind {
+	case "poisson":
+		return dist.NewPoisson(fanout), nil
+	case "fixed":
+		return dist.NewFixed(int(fanout)), nil
+	case "geometric":
+		// Mean (1-p)/p = fanout → p = 1/(1+fanout).
+		return dist.NewGeometric(1 / (1 + fanout)), nil
+	case "uniform":
+		return dist.NewUniformRange(1, int(fanout)), nil
+	default:
+		return nil, fmt.Errorf("unknown distribution %q", kind)
+	}
+}

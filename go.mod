@@ -1,0 +1,3 @@
+module gossipkit
+
+go 1.24

@@ -40,6 +40,7 @@ import (
 	"gossipkit/internal/dist"
 	"gossipkit/internal/genfunc"
 	"gossipkit/internal/membership"
+	"gossipkit/internal/scenario"
 	"gossipkit/internal/simnet"
 	"gossipkit/internal/xrand"
 )
@@ -165,6 +166,73 @@ type NetResult = core.NetResult
 func ExecuteOnNetwork(p Params, cfg NetConfig, r *RNG) (NetResult, error) {
 	return core.ExecuteOnNetwork(p, cfg, r)
 }
+
+// ---------------------------------------------------------------------------
+// Scenario engine: declarative time-varying fault campaigns
+
+// Scenario is a named, timestamped fault-injection campaign applied to a
+// running network execution (crash waves, zone failures, partitions that
+// heal, churn bursts, loss episodes, flash crowds). Build one with
+// NewScenario and the scenario action constructors, or parse a JSON spec
+// with ParseScenario.
+type Scenario = scenario.Scenario
+
+// ScenarioAction is one fault-injection operation of a Scenario.
+type ScenarioAction = scenario.Action
+
+// ScenarioRunConfig parameterizes scenario executions.
+type ScenarioRunConfig = scenario.RunConfig
+
+// ScenarioReport is the outcome of one scenario execution, including the
+// static-q (Eq. 11) and effective-q model comparisons.
+type ScenarioReport = scenario.RunReport
+
+// ScenarioSweepConfig parameterizes a parallel scenario × seed sweep.
+type ScenarioSweepConfig = scenario.SweepConfig
+
+// ScenarioSweepResult aggregates a scenario × seed sweep.
+type ScenarioSweepResult = scenario.SweepResult
+
+// NewScenario starts a fault-injection campaign for the builder API:
+//
+//	s := gossipkit.NewScenario("wave", "crash wave mid-spread").
+//		At(5*time.Millisecond, gossipkit.CrashFraction(0.2))
+func NewScenario(name, description string) *Scenario { return scenario.New(name, description) }
+
+// ParseScenario decodes and validates a JSON scenario spec.
+func ParseScenario(data []byte) (*Scenario, error) { return scenario.Parse(data) }
+
+// DefaultScenarioSuite returns the bundled fault campaigns.
+func DefaultScenarioSuite() []*Scenario { return scenario.DefaultSuite() }
+
+// RunScenario executes one campaign over one gossip execution;
+// deterministic in (cfg, s, seed).
+func RunScenario(s *Scenario, cfg ScenarioRunConfig, seed uint64) (ScenarioReport, error) {
+	return scenario.Run(s, cfg, seed)
+}
+
+// SweepScenarios replicates scenarios × seeds on a worker pool and
+// aggregates per-scenario summaries; the result is identical for any
+// worker count.
+func SweepScenarios(scenarios []*Scenario, cfg ScenarioSweepConfig) (*ScenarioSweepResult, error) {
+	return scenario.Sweep(scenarios, cfg)
+}
+
+// Scenario action constructors, re-exported for campaign building.
+var (
+	CrashFraction   = scenario.CrashFraction
+	CrashZone       = scenario.CrashZone
+	RestartFraction = scenario.RestartFraction
+	PartitionRange  = scenario.Partition
+	HealPartition   = scenario.Heal
+	ScenarioLoss    = scenario.Loss
+	ScenarioLatency = scenario.Latency
+	BurstLoss       = scenario.BurstLoss
+	ClearLoss       = scenario.ClearLoss
+	ChurnFraction   = scenario.ChurnFraction
+	FlashCrowd      = scenario.FlashCrowd
+	Regossip        = scenario.Regossip
+)
 
 // ConstantLatency delays every message by d.
 func ConstantLatency(d time.Duration) simnet.LatencyModel { return simnet.ConstantLatency{D: d} }

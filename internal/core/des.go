@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"gossipkit/internal/failure"
+	"gossipkit/internal/membership"
 	"gossipkit/internal/sim"
 	"gossipkit/internal/simnet"
 	"gossipkit/internal/stats"
@@ -22,7 +23,51 @@ type NetResult struct {
 	DeliveryLatency stats.Running
 	// Net is the network's final counters.
 	Net simnet.Stats
+	// UpAtEnd is the number of nodes still up when the execution drained
+	// (differs from AliveCount when fault-injection hooks crash or
+	// restart nodes mid-run).
+	UpAtEnd int
+	// DeliveredUp is the number of nodes that received m and were still
+	// up at the end.
+	DeliveredUp int
+	// SurvivorReliability is DeliveredUp/UpAtEnd: delivery measured over
+	// the members that survived the whole execution.
+	SurvivorReliability float64
 }
+
+// NetRun exposes a running network execution to fault-injection hooks (the
+// scenario engine in internal/scenario schedules its timed actions through
+// it). All methods must be called from the kernel goroutine — i.e. from
+// inside scheduled events or before the run starts.
+type NetRun struct {
+	// Kernel is the discrete-event driver; hooks schedule future actions
+	// with Kernel.At / Kernel.After.
+	Kernel *sim.Kernel
+	// Net is the network under execution (crash, restart, partition,
+	// loss and latency swaps).
+	Net *simnet.Network
+	// View is the membership view targets are drawn from; scenario churn
+	// mutates it when it is a *membership.PartialViews.
+	View     membership.View
+	mask     *failure.Mask
+	received []bool
+	publish  func(id int)
+}
+
+// HasReceived reports whether id has received the multicast so far.
+func (nr *NetRun) HasReceived(id int) bool { return nr.received[id] }
+
+// Restartable reports whether id may be restarted: only members that were
+// alive under the execution's initial failure mask have a registered
+// handler; mask-failed members are permanently gone (fail-stop) and
+// restarting them would create zombies that absorb messages without
+// processing them.
+func (nr *NetRun) Restartable(id int) bool { return nr.mask.Alive(id) }
+
+// Publish makes id gossip the message: if id has not received m yet it
+// obtains it out of band (an additional publisher — flash crowd), otherwise
+// it forwards it again (re-gossip). Crashed nodes cannot publish.
+func (nr *NetRun) Publish(id int) { nr.publish(id) }
 
 // ExecuteOnNetwork runs one execution of the general gossiping algorithm as
 // an event-driven protocol over a simulated network: each first receipt
@@ -32,6 +77,16 @@ type NetResult struct {
 // asserts this); with loss or partitions, the network becomes an additional
 // failure source beyond the paper's model.
 func ExecuteOnNetwork(p Params, netCfg simnet.Config, r *xrand.RNG) (NetResult, error) {
+	return ExecuteOnNetworkInjected(p, netCfg, r, nil)
+}
+
+// ExecuteOnNetworkInjected is ExecuteOnNetwork with a fault-injection hook:
+// after the network and handlers are set up — and before the source
+// publishes at t=0 — inject (if non-nil) is called with the run's NetRun so
+// it can schedule mid-execution actions (crashes, restarts, partitions,
+// loss episodes, extra publishers) on the kernel. The run is a pure
+// function of (p, netCfg, r, inject), so scenarios replay deterministically.
+func ExecuteOnNetworkInjected(p Params, netCfg simnet.Config, r *xrand.RNG, inject func(*NetRun)) (NetResult, error) {
 	if err := p.Validate(); err != nil {
 		return NetResult{}, err
 	}
@@ -57,6 +112,16 @@ func ExecuteOnNetwork(p Params, netCfg simnet.Config, r *xrand.RNG) (NetResult, 
 		}
 	}
 
+	receive := func(id int, now sim.Time) {
+		received[id] = true
+		res.Delivered++
+		res.DeliveryLatency.Add(now.Seconds())
+		if d := now.Duration(); d > res.SpreadTime {
+			res.SpreadTime = d
+		}
+		forward(id)
+	}
+
 	for i := 0; i < p.N; i++ {
 		id := i
 		if !mask.Alive(id) {
@@ -71,25 +136,53 @@ func ExecuteOnNetwork(p Params, netCfg simnet.Config, r *xrand.RNG) (NetResult, 
 				res.Duplicates++
 				return
 			}
-			received[id] = true
-			res.Delivered++
-			res.DeliveryLatency.Add(now.Seconds())
-			if d := now.Duration(); d > res.SpreadTime {
-				res.SpreadTime = d
-			}
-			forward(id)
+			receive(id, now)
 		})
 	}
 
-	// The source initiates at t=0.
-	received[p.Source] = true
-	res.Delivered = 1
-	forward(p.Source)
+	if inject != nil {
+		inject(&NetRun{
+			Kernel:   kernel,
+			Net:      nw,
+			View:     view,
+			mask:     mask,
+			received: received,
+			publish: func(id int) {
+				if id < 0 || id >= p.N || !nw.Up(simnet.NodeID(id)) || !mask.Alive(id) {
+					return
+				}
+				if received[id] {
+					forward(id) // re-gossip
+					return
+				}
+				receive(id, kernel.Now()) // additional publisher
+			},
+		})
+	}
+
+	// The source initiates at t=0 (unless an injection hook already
+	// published from it directly).
+	if !received[p.Source] {
+		received[p.Source] = true
+		res.Delivered++
+		forward(p.Source)
+	}
 	if err := kernel.RunAll(); err != nil {
 		return NetResult{}, fmt.Errorf("core: network execution aborted: %w", err)
 	}
 	if res.AliveCount > 0 {
 		res.Reliability = float64(res.Delivered) / float64(res.AliveCount)
+	}
+	for id := 0; id < p.N; id++ {
+		if nw.Up(simnet.NodeID(id)) {
+			res.UpAtEnd++
+			if received[id] {
+				res.DeliveredUp++
+			}
+		}
+	}
+	if res.UpAtEnd > 0 {
+		res.SurvivorReliability = float64(res.DeliveredUp) / float64(res.UpAtEnd)
 	}
 	res.Net = nw.Stats()
 	return res, nil

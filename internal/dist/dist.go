@@ -1,0 +1,661 @@
+// Package dist provides the discrete fanout distributions P of the gossip
+// model Gossip(n, P, q) — the paper's Poisson case study plus the
+// traditional fixed fanout and several heavier-tailed families used by the
+// ablation studies — together with the probability-generating-function
+// machinery (PGF, PGF', PGF”) the analytic model in internal/genfunc is
+// built on.
+//
+// Every Distribution is immutable and safe for concurrent use; sampling
+// consumes randomness only from the caller's RNG, so Monte-Carlo runs stay
+// deterministic under parallelism.
+package dist
+
+import (
+	"fmt"
+	"math"
+
+	"gossipkit/internal/xrand"
+)
+
+// Distribution is a probability distribution over the nonnegative integers,
+// used as the gossip fanout distribution P.
+type Distribution interface {
+	// Name identifies the distribution for reports ("Poisson(4)").
+	Name() string
+	// Mean returns E[P].
+	Mean() float64
+	// PMF returns Pr[P = k] (0 for k < 0).
+	PMF(k int) float64
+	// Sample draws one value, consuming randomness from r.
+	Sample(r *xrand.RNG) int
+}
+
+// pgfer is an optional closed-form PGF; distributions that implement it
+// skip the generic series summation.
+type pgfer interface{ PGFAt(x float64) float64 }
+
+// pgfPrimer is an optional closed-form first PGF derivative.
+type pgfPrimer interface{ PGFPrimeAt(x float64) float64 }
+
+// pgfPrime2er is an optional closed-form second PGF derivative.
+type pgfPrime2er interface{ PGFPrime2At(x float64) float64 }
+
+// maxPGFTerms caps the generic series summation; the tail test inside the
+// loop terminates far earlier for every light-tailed distribution.
+const maxPGFTerms = 1 << 20
+
+// PGF evaluates the probability generating function G(x) = Σ p_k x^k for
+// |x| <= 1. It uses a closed form when the distribution provides one and
+// otherwise sums the series until the remaining probability mass is
+// negligible.
+func PGF(d Distribution, x float64) float64 {
+	if c, ok := d.(pgfer); ok {
+		return c.PGFAt(x)
+	}
+	sum, mass := 0.0, 0.0
+	xe := 1.0
+	for k := 0; k < maxPGFTerms; k++ {
+		p := d.PMF(k)
+		sum += p * xe
+		mass += p
+		if mass > 1-1e-14 {
+			break
+		}
+		xe *= x
+	}
+	return sum
+}
+
+// PGFPrime evaluates G'(x) = Σ k p_k x^(k-1).
+func PGFPrime(d Distribution, x float64) float64 {
+	if c, ok := d.(pgfPrimer); ok {
+		return c.PGFPrimeAt(x)
+	}
+	sum, mass := 0.0, 0.0
+	xe := 1.0 // x^(k-1) for k = 1
+	for k := 0; k < maxPGFTerms; k++ {
+		p := d.PMF(k)
+		if k >= 1 {
+			sum += float64(k) * p * xe
+			xe *= x
+		}
+		mass += p
+		if mass > 1-1e-14 {
+			break
+		}
+	}
+	return sum
+}
+
+// PGFPrime2 evaluates G”(x) = Σ k(k-1) p_k x^(k-2).
+func PGFPrime2(d Distribution, x float64) float64 {
+	if c, ok := d.(pgfPrime2er); ok {
+		return c.PGFPrime2At(x)
+	}
+	sum, mass := 0.0, 0.0
+	xe := 1.0 // x^(k-2) for k = 2
+	for k := 0; k < maxPGFTerms; k++ {
+		p := d.PMF(k)
+		if k >= 2 {
+			sum += float64(k) * float64(k-1) * p * xe
+			xe *= x
+		}
+		mass += p
+		if mass > 1-1e-14 {
+			break
+		}
+	}
+	return sum
+}
+
+// ---------------------------------------------------------------------------
+// Poisson
+
+// Poisson is the Po(z) fanout of the paper's case study.
+type Poisson struct{ z float64 }
+
+// NewPoisson returns the Poisson distribution with mean z >= 0.
+func NewPoisson(z float64) Poisson {
+	if z < 0 || math.IsNaN(z) || math.IsInf(z, 0) {
+		panic(fmt.Sprintf("dist: invalid Poisson mean %g", z))
+	}
+	return Poisson{z: z}
+}
+
+// Name implements Distribution.
+func (p Poisson) Name() string { return fmt.Sprintf("Poisson(%g)", p.z) }
+
+// Mean implements Distribution.
+func (p Poisson) Mean() float64 { return p.z }
+
+// PMF implements Distribution.
+func (p Poisson) PMF(k int) float64 {
+	if k < 0 {
+		return 0
+	}
+	if p.z == 0 {
+		if k == 0 {
+			return 1
+		}
+		return 0
+	}
+	lk, _ := math.Lgamma(float64(k) + 1)
+	return math.Exp(float64(k)*math.Log(p.z) - p.z - lk)
+}
+
+// Sample implements Distribution.
+func (p Poisson) Sample(r *xrand.RNG) int { return samplePoisson(r, p.z) }
+
+// PGFAt returns the closed form e^{z(x-1)}.
+func (p Poisson) PGFAt(x float64) float64 { return math.Exp(p.z * (x - 1)) }
+
+// PGFPrimeAt returns z·e^{z(x-1)}.
+func (p Poisson) PGFPrimeAt(x float64) float64 { return p.z * math.Exp(p.z*(x-1)) }
+
+// PGFPrime2At returns z²·e^{z(x-1)}.
+func (p Poisson) PGFPrime2At(x float64) float64 { return p.z * p.z * math.Exp(p.z*(x-1)) }
+
+// samplePoisson draws from Po(z). Knuth's product method is exact but costs
+// O(z) uniforms; for large z the draw is split as Po(z) = Po(z/2) + Po(z/2),
+// which stays exact (sum of independent Poissons) with logarithmic extra
+// depth and no normal approximation.
+func samplePoisson(r *xrand.RNG, z float64) int {
+	if z <= 0 {
+		return 0
+	}
+	if z < 30 {
+		l := math.Exp(-z)
+		k := 0
+		prod := r.Float64()
+		for prod > l {
+			k++
+			prod *= r.Float64()
+		}
+		return k
+	}
+	half := z / 2
+	return samplePoisson(r, half) + samplePoisson(r, z-half)
+}
+
+// ---------------------------------------------------------------------------
+// Fixed
+
+// Fixed is the traditional deterministic fanout: every member forwards to
+// exactly k targets.
+type Fixed struct{ k int }
+
+// NewFixed returns the point mass at k >= 0.
+func NewFixed(k int) Fixed {
+	if k < 0 {
+		panic(fmt.Sprintf("dist: negative fixed fanout %d", k))
+	}
+	return Fixed{k: k}
+}
+
+// Name implements Distribution.
+func (f Fixed) Name() string { return fmt.Sprintf("Fixed(%d)", f.k) }
+
+// Mean implements Distribution.
+func (f Fixed) Mean() float64 { return float64(f.k) }
+
+// PMF implements Distribution.
+func (f Fixed) PMF(k int) float64 {
+	if k == f.k {
+		return 1
+	}
+	return 0
+}
+
+// Sample implements Distribution.
+func (f Fixed) Sample(*xrand.RNG) int { return f.k }
+
+// PGFAt returns x^k.
+func (f Fixed) PGFAt(x float64) float64 { return math.Pow(x, float64(f.k)) }
+
+// PGFPrimeAt returns k·x^(k-1).
+func (f Fixed) PGFPrimeAt(x float64) float64 {
+	if f.k == 0 {
+		return 0
+	}
+	return float64(f.k) * math.Pow(x, float64(f.k-1))
+}
+
+// PGFPrime2At returns k(k-1)·x^(k-2).
+func (f Fixed) PGFPrime2At(x float64) float64 {
+	if f.k < 2 {
+		return 0
+	}
+	return float64(f.k) * float64(f.k-1) * math.Pow(x, float64(f.k-2))
+}
+
+// ---------------------------------------------------------------------------
+// Geometric
+
+// Geometric is the geometric distribution on {0, 1, ...} with success
+// probability p: Pr[k] = p(1−p)^k, mean (1−p)/p.
+type Geometric struct{ p float64 }
+
+// NewGeometric returns the geometric distribution with parameter p in (0, 1].
+func NewGeometric(p float64) Geometric {
+	if !(p > 0 && p <= 1) {
+		panic(fmt.Sprintf("dist: geometric parameter %g outside (0,1]", p))
+	}
+	return Geometric{p: p}
+}
+
+// Name implements Distribution.
+func (g Geometric) Name() string { return fmt.Sprintf("Geometric(%g)", g.p) }
+
+// Mean implements Distribution.
+func (g Geometric) Mean() float64 { return (1 - g.p) / g.p }
+
+// PMF implements Distribution.
+func (g Geometric) PMF(k int) float64 {
+	if k < 0 {
+		return 0
+	}
+	return g.p * math.Pow(1-g.p, float64(k))
+}
+
+// Sample implements Distribution (inversion).
+func (g Geometric) Sample(r *xrand.RNG) int {
+	if g.p == 1 {
+		return 0
+	}
+	u := 1 - r.Float64() // in (0, 1]
+	return int(math.Log(u) / math.Log(1-g.p))
+}
+
+// PGFAt returns p / (1 − (1−p)x).
+func (g Geometric) PGFAt(x float64) float64 { return g.p / (1 - (1-g.p)*x) }
+
+// PGFPrimeAt returns p(1−p) / (1 − (1−p)x)².
+func (g Geometric) PGFPrimeAt(x float64) float64 {
+	d := 1 - (1-g.p)*x
+	return g.p * (1 - g.p) / (d * d)
+}
+
+// PGFPrime2At returns 2p(1−p)² / (1 − (1−p)x)³.
+func (g Geometric) PGFPrime2At(x float64) float64 {
+	d := 1 - (1-g.p)*x
+	return 2 * g.p * (1 - g.p) * (1 - g.p) / (d * d * d)
+}
+
+// ---------------------------------------------------------------------------
+// Uniform range
+
+// UniformRange is the uniform distribution on the integers {lo..hi}.
+type UniformRange struct{ lo, hi int }
+
+// NewUniformRange returns the uniform distribution on {lo..hi}.
+func NewUniformRange(lo, hi int) UniformRange {
+	if lo < 0 || hi < lo {
+		panic(fmt.Sprintf("dist: invalid uniform range [%d,%d]", lo, hi))
+	}
+	return UniformRange{lo: lo, hi: hi}
+}
+
+// Name implements Distribution.
+func (u UniformRange) Name() string { return fmt.Sprintf("Uniform(%d..%d)", u.lo, u.hi) }
+
+// Mean implements Distribution.
+func (u UniformRange) Mean() float64 { return float64(u.lo+u.hi) / 2 }
+
+// PMF implements Distribution.
+func (u UniformRange) PMF(k int) float64 {
+	if k < u.lo || k > u.hi {
+		return 0
+	}
+	return 1 / float64(u.hi-u.lo+1)
+}
+
+// Sample implements Distribution.
+func (u UniformRange) Sample(r *xrand.RNG) int { return u.lo + r.Intn(u.hi-u.lo+1) }
+
+// ---------------------------------------------------------------------------
+// Binomial
+
+// Binomial is B(n, p).
+type Binomial struct {
+	n int
+	p float64
+}
+
+// NewBinomial returns the binomial distribution with n trials and success
+// probability p.
+func NewBinomial(n int, p float64) Binomial {
+	if n < 0 || p < 0 || p > 1 || math.IsNaN(p) {
+		panic(fmt.Sprintf("dist: invalid binomial B(%d, %g)", n, p))
+	}
+	return Binomial{n: n, p: p}
+}
+
+// Name implements Distribution.
+func (b Binomial) Name() string { return fmt.Sprintf("Binomial(%d,%g)", b.n, b.p) }
+
+// Mean implements Distribution.
+func (b Binomial) Mean() float64 { return float64(b.n) * b.p }
+
+// PMF implements Distribution.
+func (b Binomial) PMF(k int) float64 {
+	if k < 0 || k > b.n {
+		return 0
+	}
+	if b.p == 0 {
+		if k == 0 {
+			return 1
+		}
+		return 0
+	}
+	if b.p == 1 {
+		if k == b.n {
+			return 1
+		}
+		return 0
+	}
+	ln, _ := math.Lgamma(float64(b.n) + 1)
+	lk, _ := math.Lgamma(float64(k) + 1)
+	lnk, _ := math.Lgamma(float64(b.n-k) + 1)
+	return math.Exp(ln - lk - lnk + float64(k)*math.Log(b.p) + float64(b.n-k)*math.Log1p(-b.p))
+}
+
+// Sample implements Distribution.
+func (b Binomial) Sample(r *xrand.RNG) int {
+	k := 0
+	for i := 0; i < b.n; i++ {
+		if r.Bool(b.p) {
+			k++
+		}
+	}
+	return k
+}
+
+// PGFAt returns (1 − p + px)^n.
+func (b Binomial) PGFAt(x float64) float64 { return math.Pow(1-b.p+b.p*x, float64(b.n)) }
+
+// PGFPrimeAt returns np(1 − p + px)^(n-1).
+func (b Binomial) PGFPrimeAt(x float64) float64 {
+	if b.n == 0 {
+		return 0
+	}
+	return float64(b.n) * b.p * math.Pow(1-b.p+b.p*x, float64(b.n-1))
+}
+
+// PGFPrime2At returns n(n-1)p²(1 − p + px)^(n-2).
+func (b Binomial) PGFPrime2At(x float64) float64 {
+	if b.n < 2 {
+		return 0
+	}
+	return float64(b.n) * float64(b.n-1) * b.p * b.p * math.Pow(1-b.p+b.p*x, float64(b.n-2))
+}
+
+// ---------------------------------------------------------------------------
+// Negative binomial
+
+// NegBinomial is the overdispersed NB(r, p) on {0, 1, ...}: the number of
+// failures before the r-th success, mean r(1−p)/p.
+type NegBinomial struct {
+	r int
+	p float64
+}
+
+// NewNegBinomial returns NB(r, p) with r >= 1 successes and success
+// probability p in (0, 1].
+func NewNegBinomial(r int, p float64) NegBinomial {
+	if r < 1 || !(p > 0 && p <= 1) {
+		panic(fmt.Sprintf("dist: invalid negative binomial NB(%d, %g)", r, p))
+	}
+	return NegBinomial{r: r, p: p}
+}
+
+// Name implements Distribution.
+func (nb NegBinomial) Name() string { return fmt.Sprintf("NegBinomial(%d,%g)", nb.r, nb.p) }
+
+// Mean implements Distribution.
+func (nb NegBinomial) Mean() float64 { return float64(nb.r) * (1 - nb.p) / nb.p }
+
+// PMF implements Distribution.
+func (nb NegBinomial) PMF(k int) float64 {
+	if k < 0 {
+		return 0
+	}
+	if nb.p == 1 {
+		if k == 0 {
+			return 1
+		}
+		return 0
+	}
+	lkr, _ := math.Lgamma(float64(k + nb.r))
+	lk, _ := math.Lgamma(float64(k) + 1)
+	lr, _ := math.Lgamma(float64(nb.r))
+	return math.Exp(lkr - lk - lr + float64(nb.r)*math.Log(nb.p) + float64(k)*math.Log1p(-nb.p))
+}
+
+// Sample implements Distribution: the sum of r independent geometrics.
+func (nb NegBinomial) Sample(r *xrand.RNG) int {
+	g := Geometric{p: nb.p}
+	k := 0
+	for i := 0; i < nb.r; i++ {
+		k += g.Sample(r)
+	}
+	return k
+}
+
+// PGFAt returns (p / (1 − (1−p)x))^r.
+func (nb NegBinomial) PGFAt(x float64) float64 {
+	return math.Pow(nb.p/(1-(1-nb.p)*x), float64(nb.r))
+}
+
+// ---------------------------------------------------------------------------
+// Power law
+
+// PowerLaw is the truncated power law Pr[k] ∝ k^(−alpha) on {1..cutoff},
+// a heavy-tailed fanout used to probe the model outside the paper's
+// Poisson setting.
+type PowerLaw struct {
+	alpha  float64
+	cutoff int
+	pmf    []float64
+	cdf    []float64
+	mean   float64
+}
+
+// NewPowerLaw returns the power law with exponent alpha > 1 truncated at
+// cutoff >= 1.
+func NewPowerLaw(alpha float64, cutoff int) *PowerLaw {
+	if alpha <= 1 || cutoff < 1 {
+		panic(fmt.Sprintf("dist: invalid power law (alpha=%g, cutoff=%d)", alpha, cutoff))
+	}
+	pl := &PowerLaw{alpha: alpha, cutoff: cutoff}
+	pl.pmf = make([]float64, cutoff+1)
+	pl.cdf = make([]float64, cutoff+1)
+	var z float64
+	for k := 1; k <= cutoff; k++ {
+		pl.pmf[k] = math.Pow(float64(k), -alpha)
+		z += pl.pmf[k]
+	}
+	var c float64
+	for k := 1; k <= cutoff; k++ {
+		pl.pmf[k] /= z
+		c += pl.pmf[k]
+		pl.cdf[k] = c
+		pl.mean += float64(k) * pl.pmf[k]
+	}
+	return pl
+}
+
+// Name implements Distribution.
+func (pl *PowerLaw) Name() string { return fmt.Sprintf("PowerLaw(%g,%d)", pl.alpha, pl.cutoff) }
+
+// Mean implements Distribution.
+func (pl *PowerLaw) Mean() float64 { return pl.mean }
+
+// PMF implements Distribution.
+func (pl *PowerLaw) PMF(k int) float64 {
+	if k < 1 || k > pl.cutoff {
+		return 0
+	}
+	return pl.pmf[k]
+}
+
+// Sample implements Distribution (CDF inversion by binary search).
+func (pl *PowerLaw) Sample(r *xrand.RNG) int {
+	u := r.Float64()
+	lo, hi := 1, pl.cutoff
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if pl.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// ---------------------------------------------------------------------------
+// Mixture
+
+// Mixture is a finite mixture of component distributions.
+type Mixture struct {
+	comps   []Distribution
+	weights []float64
+	cum     []float64
+	mean    float64
+}
+
+// NewMixture returns the mixture of comps with the given weights (which are
+// normalized to sum to 1).
+func NewMixture(comps []Distribution, weights []float64) *Mixture {
+	if len(comps) == 0 || len(comps) != len(weights) {
+		panic(fmt.Sprintf("dist: mixture of %d components with %d weights", len(comps), len(weights)))
+	}
+	var total float64
+	for _, w := range weights {
+		if w < 0 || math.IsNaN(w) {
+			panic(fmt.Sprintf("dist: negative mixture weight %g", w))
+		}
+		total += w
+	}
+	if total <= 0 {
+		panic("dist: mixture weights sum to zero")
+	}
+	m := &Mixture{
+		comps:   append([]Distribution(nil), comps...),
+		weights: make([]float64, len(weights)),
+		cum:     make([]float64, len(weights)),
+	}
+	var c float64
+	for i, w := range weights {
+		m.weights[i] = w / total
+		c += m.weights[i]
+		m.cum[i] = c
+		m.mean += m.weights[i] * comps[i].Mean()
+	}
+	return m
+}
+
+// Name implements Distribution.
+func (m *Mixture) Name() string { return fmt.Sprintf("Mixture(%d)", len(m.comps)) }
+
+// Mean implements Distribution.
+func (m *Mixture) Mean() float64 { return m.mean }
+
+// PMF implements Distribution.
+func (m *Mixture) PMF(k int) float64 {
+	var p float64
+	for i, c := range m.comps {
+		p += m.weights[i] * c.PMF(k)
+	}
+	return p
+}
+
+// Sample implements Distribution.
+func (m *Mixture) Sample(r *xrand.RNG) int {
+	u := r.Float64()
+	for i, c := range m.cum {
+		if u <= c {
+			return m.comps[i].Sample(r)
+		}
+	}
+	return m.comps[len(m.comps)-1].Sample(r)
+}
+
+// PGFAt returns the weighted sum of component PGFs.
+func (m *Mixture) PGFAt(x float64) float64 {
+	var s float64
+	for i, c := range m.comps {
+		s += m.weights[i] * PGF(c, x)
+	}
+	return s
+}
+
+// PGFPrimeAt returns the weighted sum of component PGF derivatives.
+func (m *Mixture) PGFPrimeAt(x float64) float64 {
+	var s float64
+	for i, c := range m.comps {
+		s += m.weights[i] * PGFPrime(c, x)
+	}
+	return s
+}
+
+// PGFPrime2At returns the weighted sum of component second derivatives.
+func (m *Mixture) PGFPrime2At(x float64) float64 {
+	var s float64
+	for i, c := range m.comps {
+		s += m.weights[i] * PGFPrime2(c, x)
+	}
+	return s
+}
+
+// ---------------------------------------------------------------------------
+// Zero truncation
+
+// ZeroTruncated conditions a base distribution on being at least 1, so no
+// member ever stays silent.
+type ZeroTruncated struct {
+	base Distribution
+	p0   float64
+}
+
+// NewZeroTruncated returns base conditioned on {P >= 1}. The base must have
+// Pr[P = 0] < 1.
+func NewZeroTruncated(base Distribution) ZeroTruncated {
+	p0 := base.PMF(0)
+	if p0 >= 1 {
+		panic("dist: cannot zero-truncate a point mass at zero")
+	}
+	return ZeroTruncated{base: base, p0: p0}
+}
+
+// Name implements Distribution.
+func (z ZeroTruncated) Name() string { return "AtLeastOnce(" + z.base.Name() + ")" }
+
+// Mean implements Distribution: E[P | P >= 1] = E[P] / (1 − p0).
+func (z ZeroTruncated) Mean() float64 { return z.base.Mean() / (1 - z.p0) }
+
+// PMF implements Distribution.
+func (z ZeroTruncated) PMF(k int) float64 {
+	if k < 1 {
+		return 0
+	}
+	return z.base.PMF(k) / (1 - z.p0)
+}
+
+// Sample implements Distribution (rejection).
+func (z ZeroTruncated) Sample(r *xrand.RNG) int {
+	for {
+		if k := z.base.Sample(r); k >= 1 {
+			return k
+		}
+	}
+}
+
+// PGFAt returns (G(x) − p0) / (1 − p0).
+func (z ZeroTruncated) PGFAt(x float64) float64 { return (PGF(z.base, x) - z.p0) / (1 - z.p0) }
+
+// PGFPrimeAt returns G'(x) / (1 − p0).
+func (z ZeroTruncated) PGFPrimeAt(x float64) float64 { return PGFPrime(z.base, x) / (1 - z.p0) }
+
+// PGFPrime2At returns G”(x) / (1 − p0).
+func (z ZeroTruncated) PGFPrime2At(x float64) float64 { return PGFPrime2(z.base, x) / (1 - z.p0) }

@@ -153,6 +153,7 @@ func All() []Experiment {
 		{ID: "ablation-message-loss", Paper: "extension (A7)", Description: "Message loss as bond percolation: network simulation vs thinned Eq. 11", Run: AblationMessageLoss},
 		{ID: "ablation-epidemic-curve", Paper: "extension (A8)", Description: "Per-round infection curve vs the pbcast-style round recurrence", Run: AblationEpidemicCurve},
 		{ID: "ablation-protocol-comparison", Paper: "extension (A9)", Description: "Reliability vs message cost across protocol families", Run: AblationProtocolComparison},
+		{ID: "scenario-grid", Paper: "extension (S1)", Description: "Bundled time-varying fault campaigns vs the static-q model (internal/scenario)", Run: ScenarioGrid},
 	}
 }
 

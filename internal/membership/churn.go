@@ -7,11 +7,13 @@ import "gossipkit/internal/xrand"
 // from id's own view (so the leaver donates its arcs, preserving
 // connectivity), and id's view is cleared. Entries that cannot be replaced
 // (the donor view is exhausted or would create self-loops/duplicates) are
-// dropped.
-func (pv *PartialViews) Unsubscribe(id int, r *xrand.RNG) {
+// dropped. It returns the number of arcs the leaver donated — callers use
+// it to gauge how much connectivity a departure preserved.
+func (pv *PartialViews) Unsubscribe(id int, r *xrand.RNG) int {
 	if id < 0 || id >= len(pv.views) {
-		return
+		return 0
 	}
+	donated := 0
 	donors := append([]int32(nil), pv.views[id]...)
 	for node := range pv.views {
 		if node == id {
@@ -19,7 +21,6 @@ func (pv *PartialViews) Unsubscribe(id int, r *xrand.RNG) {
 		}
 		v := pv.views[node]
 		w := v[:0]
-		replaced := false
 		for _, e := range v {
 			if int(e) != id {
 				w = append(w, e)
@@ -30,15 +31,15 @@ func (pv *PartialViews) Unsubscribe(id int, r *xrand.RNG) {
 				d := donors[r.Intn(len(donors))]
 				if int(d) != node && !pv.contains(node, int(d)) {
 					w = append(w, d)
-					replaced = true
+					donated++
 					break
 				}
 			}
 		}
 		pv.views[node] = w
-		_ = replaced
 	}
 	pv.views[id] = nil
+	return donated
 }
 
 // Subscribe adds a new member via an existing contact, running the same

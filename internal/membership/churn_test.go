@@ -52,10 +52,13 @@ func TestUnsubscribeDonatesArcs(t *testing.T) {
 	r := xrand.New(5)
 	pv := NewPartialViews(1000, 1, r)
 	before := pv.Stats().MeanOut
-	leavers := 0
+	leavers, donated := 0, 0
 	for id := 10; id < 1000; id += 37 {
-		pv.Unsubscribe(id, r)
+		donated += pv.Unsubscribe(id, r)
 		leavers++
+	}
+	if donated == 0 {
+		t.Error("no arcs donated across any departure")
 	}
 	after := pv.Stats()
 	// Mean over survivors: total arcs shrank by the leavers' views, but

@@ -1,0 +1,157 @@
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"gossipkit/internal/core"
+	"gossipkit/internal/membership"
+	"gossipkit/internal/sim"
+	"gossipkit/internal/simnet"
+	"gossipkit/internal/stats"
+	"gossipkit/internal/xrand"
+)
+
+// RunConfig parameterizes scenario executions.
+type RunConfig struct {
+	// Params is the gossip model under test. AliveRatio is usually 1 for
+	// scenario runs — failures come from the campaign, not a static
+	// pre-drawn mask — but any q composes with the scenario.
+	Params core.Params
+	// Net is the network substrate. A nil latency model defaults to
+	// uniform 1–20ms delays (rather than simnet's zero-latency default)
+	// so that the spread actually extends over simulated time and timed
+	// actions can interleave with it.
+	Net simnet.Config
+	// PartialViewCopies, when > 0, builds fresh SCAMP partial views
+	// (membership.NewPartialViews with that many extra subscription
+	// copies) for every run. Churn campaigns need this: each run then
+	// owns the views its departures mutate. Ignored when Params.View is
+	// already set — but beware that a caller-supplied view is shared and
+	// mutated across churn runs.
+	PartialViewCopies int
+}
+
+func (c RunConfig) netConfig() simnet.Config {
+	cfg := c.Net
+	if cfg.Latency == nil {
+		cfg.Latency = simnet.UniformLatency{Lo: time.Millisecond, Hi: 20 * time.Millisecond}
+	}
+	return cfg
+}
+
+// RunReport is the outcome of one scenario execution.
+type RunReport struct {
+	// Scenario names the campaign that ran.
+	Scenario string `json:"scenario"`
+	// Seed is the run's random seed.
+	Seed uint64 `json:"seed"`
+	// Delivered is the number of members that received m.
+	Delivered int `json:"delivered"`
+	// Reliability is delivered / initially-alive (the paper's metric,
+	// denominated in the pre-campaign group).
+	Reliability float64 `json:"reliability"`
+	// SurvivorReliability is delivered-and-up / up at the end of the
+	// run: delivery measured over the members that survived the
+	// campaign.
+	SurvivorReliability float64 `json:"survivor_reliability"`
+	// UpAtEnd is how many members were up when the run drained.
+	UpAtEnd int `json:"up_at_end"`
+	// SpreadMs is the time of the last first-receipt, in milliseconds.
+	SpreadMs float64 `json:"spread_ms"`
+	// MessagesSent counts gossip sends.
+	MessagesSent int `json:"messages_sent"`
+	// Crashed, Restarted, Departed and Published count what the campaign
+	// actually did; ArcsDonated counts SCAMP arcs donated by churn.
+	Crashed     int `json:"crashed,omitempty"`
+	Restarted   int `json:"restarted,omitempty"`
+	Departed    int `json:"departed,omitempty"`
+	ArcsDonated int `json:"arcs_donated,omitempty"`
+	Published   int `json:"published,omitempty"`
+	// StaticPrediction is the paper's Eq. 11 reliability at the initial
+	// q — the static model the scenario stresses.
+	StaticPrediction float64 `json:"static_prediction"`
+	// EffectivePrediction is Eq. 11 re-evaluated at the end-of-run up
+	// fraction q_eff = UpAtEnd/n: the best the static model can do with
+	// hindsight about how many members the campaign removed.
+	EffectivePrediction float64 `json:"effective_prediction"`
+	// Latency summarizes per-member first-receipt latencies (seconds).
+	Latency LatencySummary `json:"latency"`
+}
+
+// LatencySummary is the flattened delivery-latency statistics of one or
+// more runs.
+type LatencySummary struct {
+	N      int     `json:"n"`
+	MeanMs float64 `json:"mean_ms"`
+	MaxMs  float64 `json:"max_ms"`
+}
+
+// Run executes one scenario campaign over one gossip execution and reports
+// the outcome against the static-q model. The run is deterministic in
+// (cfg, s, seed).
+func Run(s *Scenario, cfg RunConfig, seed uint64) (RunReport, error) {
+	rep, _, err := runWithLatency(s, cfg, seed)
+	return rep, err
+}
+
+// runWithLatency is Run plus the raw per-member delivery-latency
+// accumulator, which the sweep merges across replications.
+func runWithLatency(s *Scenario, cfg RunConfig, seed uint64) (RunReport, stats.Running, error) {
+	if err := s.Validate(); err != nil {
+		return RunReport{}, stats.Running{}, err
+	}
+	p := cfg.Params
+	if err := p.Validate(); err != nil {
+		return RunReport{}, stats.Running{}, err
+	}
+	root := xrand.New(seed)
+	actionRNG := root.Split(0x5ce9a810)
+	if cfg.PartialViewCopies > 0 && p.View == nil {
+		p.View = membership.NewPartialViews(p.N, cfg.PartialViewCopies, root.Split(0x71e75))
+	}
+
+	var e *env
+	res, err := core.ExecuteOnNetworkInjected(p, cfg.netConfig(), root, func(run *core.NetRun) {
+		e = &env{run: run, rng: actionRNG, n: p.N, source: p.Source}
+		for _, st := range s.Steps {
+			action := st.Action
+			run.Kernel.At(sim.Time(st.At), func() { action.apply(e) })
+		}
+	})
+	if err != nil {
+		return RunReport{}, stats.Running{}, fmt.Errorf("scenario %q: %w", s.Name, err)
+	}
+
+	rep := RunReport{
+		Scenario:            s.Name,
+		Seed:                seed,
+		Delivered:           res.Delivered,
+		Reliability:         res.Reliability,
+		SurvivorReliability: res.SurvivorReliability,
+		UpAtEnd:             res.UpAtEnd,
+		SpreadMs:            float64(res.SpreadTime) / float64(time.Millisecond),
+		MessagesSent:        res.MessagesSent,
+		Latency: LatencySummary{
+			N:      res.DeliveryLatency.N(),
+			MeanMs: res.DeliveryLatency.Mean() * 1e3,
+			MaxMs:  res.DeliveryLatency.Max() * 1e3,
+		},
+	}
+	if e != nil {
+		rep.Crashed = e.crashed
+		rep.Restarted = e.restarted
+		rep.Departed = e.departed
+		rep.ArcsDonated = e.arcsDonated
+		rep.Published = e.published
+	}
+	if pred, err := core.Predict(p); err == nil {
+		rep.StaticPrediction = pred.Reliability
+	}
+	pEff := p
+	pEff.AliveRatio = float64(res.UpAtEnd) / float64(p.N)
+	if pred, err := core.Predict(pEff); err == nil {
+		rep.EffectivePrediction = pred.Reliability
+	}
+	return rep, res.DeliveryLatency, nil
+}

@@ -1,0 +1,71 @@
+package scenario
+
+import "time"
+
+// DefaultSuite returns the bundled fault campaigns, in canonical order.
+// Every scenario is group-size independent (ranges and fractions scale with
+// n) and assumes the runner's default 1–20ms latency, which places the bulk
+// of a Poisson(5) spread in the first ~60ms of simulated time — the
+// campaigns below strike while the spread is in flight.
+func DefaultSuite() []*Scenario {
+	ms := func(d int) time.Duration { return time.Duration(d) * time.Millisecond }
+	return []*Scenario{
+		New("baseline",
+			"no injected faults: the paper's static setting, for reference"),
+
+		New("crash-wave",
+			"three successive 10% crash waves while the spread is in flight").
+			At(ms(5), CrashFraction(0.10)).
+			At(ms(12), CrashFraction(0.10)).
+			At(ms(19), CrashFraction(0.10)),
+
+		New("zone-failure",
+			"correlated failure of a contiguous 25% zone (rack/AZ loss)").
+			At(ms(8), CrashZone(0.50, 0.75)),
+
+		New("partition-heal",
+			"half the group is partitioned away mid-spread, heals later, then a re-gossip wave repairs delivery").
+			At(ms(3), Partition(0.50, 1.0)).
+			At(ms(60), Heal()).
+			At(ms(65), Regossip(8)),
+
+		New("rolling-partition",
+			"a quarter-group partition rolls across the id space before healing").
+			At(ms(3), Partition(0.00, 0.25)).
+			At(ms(12), Partition(0.25, 0.50)).
+			At(ms(21), Partition(0.50, 0.75)).
+			At(ms(30), Heal()).
+			At(ms(35), Regossip(8)),
+
+		New("churn-burst",
+			"two 7% membership churn bursts: leavers unsubscribe (donating arcs under SCAMP views) and fail-stop").
+			At(ms(6), ChurnFraction(0.07)).
+			At(ms(14), ChurnFraction(0.07)),
+
+		New("burst-loss",
+			"a Gilbert-Elliott bad episode (80% loss in Bad state) covers the first 25ms of the spread").
+			At(0, BurstLoss(0.05, 0.30, 0.01, 0.80)).
+			At(ms(25), ClearLoss()),
+
+		New("flash-crowd",
+			"five additional publishers seed the same message under 10% ambient loss").
+			At(0, Loss(0.10)).
+			At(ms(2), FlashCrowd(5)),
+
+		New("crash-restart",
+			"a 30% crash wave followed by a partial recovery: half the failed members restart and a re-gossip wave reaches them").
+			At(ms(6), CrashFraction(0.30)).
+			At(ms(40), RestartFraction(0.50)).
+			At(ms(45), Regossip(10)),
+	}
+}
+
+// ByName returns the bundled scenario with the given name.
+func ByName(name string) (*Scenario, bool) {
+	for _, s := range DefaultSuite() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return nil, false
+}

@@ -240,6 +240,13 @@ func (nw *Network) deliver(msg Message, sentAt sim.Time) {
 		nw.trace(Event{Kind: EventDroppedCrash, From: msg.From, To: msg.To, At: now, SentAt: sentAt})
 		return
 	}
+	// A partition severs in-flight traffic too: a message crossing the
+	// boundary when the partition forms never arrives.
+	if nw.partition != nil && nw.partition(msg.From, msg.To) {
+		nw.stats.DroppedPart++
+		nw.trace(Event{Kind: EventDroppedPartition, From: msg.From, To: msg.To, At: now, SentAt: sentAt})
+		return
+	}
 	h := nw.handlers[msg.To]
 	if h == nil {
 		nw.stats.DroppedCrash++
@@ -275,6 +282,25 @@ func (nw *Network) Up(id NodeID) bool {
 // it returns true. nil clears the partition.
 func (nw *Network) SetPartition(blocked func(a, b NodeID) bool) {
 	nw.partition = blocked
+}
+
+// SetLoss swaps the loss model mid-run; nil restores no loss. In-flight
+// messages already past their loss draw are unaffected, so a loss episode
+// applies exactly to the sends issued while it is installed.
+func (nw *Network) SetLoss(l LossModel) {
+	if l == nil {
+		l = NoLoss{}
+	}
+	nw.loss = l
+}
+
+// SetLatency swaps the latency model mid-run; nil restores zero latency.
+// Messages already in flight keep their original delivery times.
+func (nw *Network) SetLatency(l LatencyModel) {
+	if l == nil {
+		l = ConstantLatency{}
+	}
+	nw.latency = l
 }
 
 // SplitPartition partitions the nodes into two sides by a membership
