@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
@@ -42,6 +43,8 @@ func main() {
 		err = run(os.Args[2:], false)
 	case "sweep":
 		err = run(os.Args[2:], true)
+	case "grid":
+		err = grid(os.Args[2:])
 	case "-h", "-help", "--help", "help":
 		usage()
 	default:
@@ -59,6 +62,7 @@ func usage() {
   gossipscenario list                     show the bundled scenario suite
   gossipscenario run   [flags]            run each selected scenario, per-run reports
   gossipscenario sweep [flags]            replicate scenarios x seeds on a worker pool
+  gossipscenario grid  [flags]            sweep the (scenario x q x fanout) grid, CSV/JSON
 
 flags (run/sweep):
   -suite default        run the whole bundled suite (default when nothing else selected)
@@ -71,8 +75,12 @@ flags (run/sweep):
   -views INT            SCAMP partial-view extra copies; 0 = full view (default 2)
   -seed UINT            base random seed (default 42)
   -seeds INT            replications per scenario (default 1 for run, 10 for sweep)
-  -workers INT          worker pool size; 0 = GOMAXPROCS (sweep)
-  -format FMT           json, csv, or ascii (default json)
+  -workers INT          worker pool size; 0 = GOMAXPROCS (sweep/grid)
+  -format FMT           json, csv, or ascii (default json; grid: csv or json)
+
+flags (grid only):
+  -qs LIST              comma-separated nonfailed ratios, e.g. 0.6,0.8,1.0
+  -fanouts LIST         comma-separated mean fanouts, e.g. 3,5,8 (uses -dist)
 `)
 }
 
@@ -158,6 +166,102 @@ func run(args []string, sweep bool) error {
 		return fmt.Errorf("unknown format %q (want json, csv, or ascii)", *format)
 	}
 	return nil
+}
+
+// grid sweeps the (scenario × q × fanout) plane and emits the full grid.
+func grid(args []string) error {
+	fs := flag.NewFlagSet("gossipscenario grid", flag.ExitOnError)
+	var (
+		suite    = fs.String("suite", "", "run the bundled suite (\"default\")")
+		name     = fs.String("scenario", "", "run one bundled scenario by name")
+		spec     = fs.String("spec", "", "run a scenario from a JSON spec file")
+		n        = fs.Int("n", 1000, "group size")
+		distKind = fs.String("dist", "poisson", "fanout distribution")
+		qsFlag   = fs.String("qs", "0.6,0.8,1.0", "comma-separated nonfailed ratios")
+		fanFlag  = fs.String("fanouts", "3,5,8", "comma-separated mean fanouts")
+		views    = fs.Int("views", 2, "SCAMP partial-view extra copies (0 = full view)")
+		seed     = fs.Uint64("seed", 42, "base random seed")
+		seeds    = fs.Int("seeds", 5, "replications per grid cell")
+		workers  = fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		format   = fs.String("format", "csv", "output format: csv or json")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	scenarios, err := selectScenarios(*suite, *name, *spec)
+	if err != nil {
+		return err
+	}
+	qs, err := parseFloats("-qs", *qsFlag)
+	if err != nil {
+		return err
+	}
+	fans, err := parseFloats("-fanouts", *fanFlag)
+	if err != nil {
+		return err
+	}
+	var fanouts []dist.Distribution
+	for _, f := range fans {
+		d, err := makeDist(*distKind, f)
+		if err != nil {
+			return err
+		}
+		fanouts = append(fanouts, d)
+	}
+	d0, err := makeDist(*distKind, 5)
+	if err != nil {
+		return err
+	}
+	cfg := scenario.GridConfig{
+		Run: scenario.RunConfig{
+			Params:            core.Params{N: *n, Fanout: d0, AliveRatio: 1},
+			PartialViewCopies: *views,
+		},
+		Qs:       qs,
+		Fanouts:  fanouts,
+		Seeds:    *seeds,
+		BaseSeed: *seed,
+		Workers:  *workers,
+	}
+
+	start := time.Now()
+	result, err := scenario.SweepGrid(scenarios, cfg)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	cells := len(scenarios) * len(qs) * len(fanouts) * *seeds
+	fmt.Fprintf(os.Stderr, "ran %d scenarios x %d qs x %d fanouts x %d seeds = %d executions in %v (%.1f runs/sec)\n",
+		len(scenarios), len(qs), len(fanouts), *seeds, cells,
+		elapsed.Round(time.Millisecond), float64(cells)/elapsed.Seconds())
+
+	switch *format {
+	case "csv":
+		fmt.Print(result.CSV())
+	case "json":
+		out, err := json.MarshalIndent(result, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(out))
+	default:
+		return fmt.Errorf("unknown format %q (want csv or json)", *format)
+	}
+	return nil
+}
+
+// parseFloats parses a comma-separated list of floats, rejecting any
+// malformed entry outright.
+func parseFloats(flagName, list string) ([]float64, error) {
+	var out []float64
+	for _, s := range strings.Split(list, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad %s entry %q: %w", flagName, s, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }
 
 func selectScenarios(suite, name, spec string) ([]*scenario.Scenario, error) {

@@ -167,6 +167,21 @@ func ExecuteOnNetwork(p Params, cfg NetConfig, r *RNG) (NetResult, error) {
 	return core.ExecuteOnNetwork(p, cfg, r)
 }
 
+// NetArena carries reusable run state (event queue, network buffers,
+// receive flags) across network executions on one goroutine; pass it to
+// ExecuteOnNetworkReusing inside Monte-Carlo loops to keep large-n runs
+// free of per-run allocation churn.
+type NetArena = core.NetArena
+
+// NewNetArena returns an empty arena; buffers grow on first use.
+func NewNetArena() *NetArena { return core.NewNetArena() }
+
+// ExecuteOnNetworkReusing is ExecuteOnNetwork recycling arena's buffers.
+// Results are byte-identical to ExecuteOnNetwork.
+func ExecuteOnNetworkReusing(p Params, cfg NetConfig, r *RNG, arena *NetArena) (NetResult, error) {
+	return core.ExecuteOnNetworkArena(p, cfg, r, nil, arena)
+}
+
 // ---------------------------------------------------------------------------
 // Scenario engine: declarative time-varying fault campaigns
 
@@ -216,6 +231,19 @@ func RunScenario(s *Scenario, cfg ScenarioRunConfig, seed uint64) (ScenarioRepor
 // worker count.
 func SweepScenarios(scenarios []*Scenario, cfg ScenarioSweepConfig) (*ScenarioSweepResult, error) {
 	return scenario.Sweep(scenarios, cfg)
+}
+
+// ScenarioGridConfig parameterizes a (scenario × q × fanout) sweep grid.
+type ScenarioGridConfig = scenario.GridConfig
+
+// ScenarioGridResult aggregates a grid sweep, one cell per
+// (scenario, q, fanout); its CSV method emits the regression-tracking grid.
+type ScenarioGridResult = scenario.GridResult
+
+// SweepScenarioGrid replicates every scenario at every (q, fanout)
+// combination; deterministic for any worker count.
+func SweepScenarioGrid(scenarios []*Scenario, cfg ScenarioGridConfig) (*ScenarioGridResult, error) {
+	return scenario.SweepGrid(scenarios, cfg)
 }
 
 // Scenario action constructors, re-exported for campaign building.

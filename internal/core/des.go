@@ -69,6 +69,25 @@ func (nr *NetRun) Restartable(id int) bool { return nr.mask.Alive(id) }
 // it forwards it again (re-gossip). Crashed nodes cannot publish.
 func (nr *NetRun) Publish(id int) { nr.publish(id) }
 
+// NetArena holds the reusable per-run state of network executions: the
+// kernel (flat event queue), the network (up flags, pooled message slots),
+// and the per-member receive/target buffers. One arena serves many runs —
+// the scenario sweep workers recycle one arena each — which keeps repeated
+// large-n executions free of per-run slice churn, the same way
+// core.executor reuses its buffers for the non-DES path. An arena is
+// single-goroutine state; never share one across workers.
+type NetArena struct {
+	kernel   *sim.Kernel
+	net      *simnet.Network
+	received []bool
+	targets  []int
+}
+
+// NewNetArena returns an empty arena; buffers grow on first use.
+func NewNetArena() *NetArena {
+	return &NetArena{kernel: sim.New(), targets: make([]int, 0, 16)}
+}
+
 // ExecuteOnNetwork runs one execution of the general gossiping algorithm as
 // an event-driven protocol over a simulated network: each first receipt
 // triggers fanout selection and sends, each send incurs the network's
@@ -77,7 +96,7 @@ func (nr *NetRun) Publish(id int) { nr.publish(id) }
 // asserts this); with loss or partitions, the network becomes an additional
 // failure source beyond the paper's model.
 func ExecuteOnNetwork(p Params, netCfg simnet.Config, r *xrand.RNG) (NetResult, error) {
-	return ExecuteOnNetworkInjected(p, netCfg, r, nil)
+	return ExecuteOnNetworkArena(p, netCfg, r, nil, nil)
 }
 
 // ExecuteOnNetworkInjected is ExecuteOnNetwork with a fault-injection hook:
@@ -87,18 +106,45 @@ func ExecuteOnNetwork(p Params, netCfg simnet.Config, r *xrand.RNG) (NetResult, 
 // loss episodes, extra publishers) on the kernel. The run is a pure
 // function of (p, netCfg, r, inject), so scenarios replay deterministically.
 func ExecuteOnNetworkInjected(p Params, netCfg simnet.Config, r *xrand.RNG, inject func(*NetRun)) (NetResult, error) {
+	return ExecuteOnNetworkArena(p, netCfg, r, inject, nil)
+}
+
+// ExecuteOnNetworkArena is ExecuteOnNetworkInjected with caller-supplied
+// buffer reuse: arena (which may be nil for a throwaway one) carries the
+// kernel, network, and per-member buffers across runs. Results are
+// byte-identical whether an arena is fresh or recycled.
+func ExecuteOnNetworkArena(p Params, netCfg simnet.Config, r *xrand.RNG, inject func(*NetRun), arena *NetArena) (NetResult, error) {
 	if err := p.Validate(); err != nil {
 		return NetResult{}, err
 	}
-	kernel := sim.New()
+	if arena == nil {
+		arena = NewNetArena()
+	}
+	kernel := arena.kernel
+	kernel.Reset()
 	kernel.SetBudget(uint64(p.N) * 10000)
-	nw := simnet.New(kernel, p.N, r.Split(0xfeed), netCfg)
+	netRNG := r.Split(0xfeed)
+	if arena.net == nil {
+		arena.net = simnet.New(kernel, p.N, netRNG, netCfg)
+	} else {
+		arena.net.Reset(kernel, p.N, netRNG, netCfg)
+	}
+	nw := arena.net
 	mask := p.drawMask(r)
 	view := p.view()
 
 	res := NetResult{Result: Result{AliveCount: mask.AliveCount()}}
-	received := make([]bool, p.N)
-	targets := make([]int, 0, 16)
+	if cap(arena.received) >= p.N {
+		arena.received = arena.received[:p.N]
+		for i := range arena.received {
+			arena.received[i] = false
+		}
+	} else {
+		arena.received = make([]bool, p.N)
+	}
+	received := arena.received
+	targets := arena.targets
+	defer func() { arena.targets = targets }()
 
 	forward := func(self int) {
 		f := p.Fanout.Sample(r)
@@ -122,22 +168,23 @@ func ExecuteOnNetworkInjected(p Params, netCfg simnet.Config, r *xrand.RNG, inje
 		forward(id)
 	}
 
-	for i := 0; i < p.N; i++ {
-		id := i
-		if !mask.Alive(id) {
-			// Fail-stop: crashed members never process messages.
-			// (Crashing at the network layer also counts the
-			// paper's "wasted" sends as crash drops.)
-			nw.Crash(simnet.NodeID(id))
-			continue
+	// One shared handler for every member (index dispatch on msg.To)
+	// instead of n per-member closures; fail-stop members are crashed at
+	// the network layer, so the handler only ever sees alive-at-delivery
+	// members. (Crashing also counts the paper's "wasted" sends as crash
+	// drops.)
+	nw.RegisterAll(func(now sim.Time, msg simnet.Message) {
+		id := int(msg.To)
+		if received[id] {
+			res.Duplicates++
+			return
 		}
-		nw.Register(simnet.NodeID(id), func(now sim.Time, _ simnet.Message) {
-			if received[id] {
-				res.Duplicates++
-				return
-			}
-			receive(id, now)
-		})
+		receive(id, now)
+	})
+	for id := 0; id < p.N; id++ {
+		if !mask.Alive(id) {
+			nw.Crash(simnet.NodeID(id))
+		}
 	}
 
 	if inject != nil {

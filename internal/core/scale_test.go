@@ -1,0 +1,146 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"gossipkit/internal/dist"
+	"gossipkit/internal/simnet"
+	"gossipkit/internal/xrand"
+)
+
+// scaleN picks the group size for the scale tests: 10⁵ normally, 10⁴ under
+// -short so the suite stays snappy in CI's race runs.
+func scaleN(t *testing.T) int {
+	if testing.Short() {
+		return 10_000
+	}
+	return 100_000
+}
+
+// TestExecuteOnNetworkAtScale runs the DES executor at n=10⁵ (the paper
+// stops at 5000) and checks the arena path is deterministic: a recycled
+// arena reproduces a fresh run exactly.
+func TestExecuteOnNetworkAtScale(t *testing.T) {
+	n := scaleN(t)
+	p := Params{N: n, Fanout: dist.NewPoisson(6), AliveRatio: 0.9}
+	cfg := simnet.Config{Latency: simnet.UniformLatency{Lo: time.Millisecond, Hi: 10 * time.Millisecond}}
+
+	fresh, err := ExecuteOnNetwork(p, cfg, xrand.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Reliability < 0.99 {
+		t.Errorf("n=%d reliability %.4f, want near-total delivery at fanout 6", n, fresh.Reliability)
+	}
+	if fresh.Net.Sent < int64(n) {
+		t.Errorf("suspiciously few sends: %d", fresh.Net.Sent)
+	}
+
+	arena := NewNetArena()
+	// Dirty the arena with a different-shaped run first.
+	if _, err := ExecuteOnNetworkArena(Params{N: 500, Fanout: dist.NewFixed(3), AliveRatio: 1}, simnet.Config{}, xrand.New(5), nil, arena); err != nil {
+		t.Fatal(err)
+	}
+	reused, err := ExecuteOnNetworkArena(p, cfg, xrand.New(11), nil, arena)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh != reused {
+		t.Errorf("recycled arena diverged:\n fresh:  %+v\n reused: %+v", fresh, reused)
+	}
+}
+
+// TestExecuteOnNetworkSteadyStateAllocs is the end-to-end allocation guard:
+// with a warm arena, a whole n=10⁵ execution (≈ 6·10⁵ messages) must stay
+// within a small constant number of allocations — the per-message cost is
+// zero; what remains is per-run setup (failure mask, a few closures).
+func TestExecuteOnNetworkSteadyStateAllocs(t *testing.T) {
+	n := scaleN(t)
+	p := Params{N: n, Fanout: dist.NewPoisson(6), AliveRatio: 0.9}
+	cfg := simnet.Config{Latency: simnet.UniformLatency{Lo: time.Millisecond, Hi: 10 * time.Millisecond}}
+	arena := NewNetArena()
+	r := xrand.New(23)
+	run := func() {
+		if _, err := ExecuteOnNetworkArena(p, cfg, r, nil, arena); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // warm the arena (queue, slot pool, buffers grow once)
+	allocs := testing.AllocsPerRun(3, run)
+	// ~12 fixed allocations per run (mask, RNG split, interface boxes,
+	// closures); the bound just has to be vastly below one per message.
+	if allocs > 64 {
+		t.Errorf("n=%d execution makes %.0f allocations per run, want a per-run constant (<= 64)", n, allocs)
+	}
+}
+
+// TestTimingEquivalentAtScale exercises the paper's "the two failure cases
+// are treated the same" claim at n=10⁴, two decades past the n=100..1000
+// unit tests.
+func TestTimingEquivalentAtScale(t *testing.T) {
+	p := Params{N: 10_000, Fanout: dist.NewPoisson(5), AliveRatio: 0.85}
+	for seed := uint64(1); seed <= 3; seed++ {
+		same, err := TimingEquivalent(p, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !same {
+			t.Errorf("seed %d: BeforeReceive and AfterReceive spreads diverge at n=10⁴", seed)
+		}
+	}
+}
+
+// BenchmarkExecuteOnNetworkMillion is the n=10⁶ feasibility check, 200×
+// the paper's ceiling: ~5.4M messages through the flat queue in one
+// iteration. Kept out of the default test run (benchmarks only execute
+// under -bench) so the race-enabled CI test job stays fast.
+func BenchmarkExecuteOnNetworkMillion(b *testing.B) {
+	p := Params{N: 1_000_000, Fanout: dist.NewPoisson(5), AliveRatio: 0.9}
+	cfg := simnet.Config{Latency: simnet.UniformLatency{Lo: time.Millisecond, Hi: 10 * time.Millisecond}}
+	arena := NewNetArena()
+	r := xrand.New(1)
+	var sent int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := ExecuteOnNetworkArena(p, cfg, r, nil, arena)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Eq. 11 gives R ≈ 0.988 for Poisson(5) at q=0.9; just guard
+		// against a broken spread.
+		if res.Reliability < 0.95 {
+			b.Fatalf("reliability %.4f at n=10⁶", res.Reliability)
+		}
+		sent += res.Net.Sent
+	}
+	b.ReportMetric(float64(sent)/b.Elapsed().Seconds(), "msgs/sec")
+}
+
+// BenchmarkExecuteOnNetwork is the headline hot-path benchmark: one full
+// event-driven execution per iteration, with the arena recycled the way
+// sweep workers recycle it. The msgs/sec metric is the kernel's sustained
+// event throughput (each message is one typed event).
+func BenchmarkExecuteOnNetwork(b *testing.B) {
+	for _, n := range []int{1_000, 10_000, 100_000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			p := Params{N: n, Fanout: dist.NewPoisson(5), AliveRatio: 0.9}
+			cfg := simnet.Config{Latency: simnet.UniformLatency{Lo: time.Millisecond, Hi: 10 * time.Millisecond}}
+			arena := NewNetArena()
+			r := xrand.New(1)
+			var sent int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := ExecuteOnNetworkArena(p, cfg, r, nil, arena)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sent += res.Net.Sent
+			}
+			b.ReportMetric(float64(sent)/b.Elapsed().Seconds(), "msgs/sec")
+		})
+	}
+}

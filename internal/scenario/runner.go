@@ -91,13 +91,15 @@ type LatencySummary struct {
 // the outcome against the static-q model. The run is deterministic in
 // (cfg, s, seed).
 func Run(s *Scenario, cfg RunConfig, seed uint64) (RunReport, error) {
-	rep, _, err := runWithLatency(s, cfg, seed)
+	rep, _, err := runWithLatency(s, cfg, seed, nil)
 	return rep, err
 }
 
 // runWithLatency is Run plus the raw per-member delivery-latency
-// accumulator, which the sweep merges across replications.
-func runWithLatency(s *Scenario, cfg RunConfig, seed uint64) (RunReport, stats.Running, error) {
+// accumulator, which the sweep merges across replications, and an optional
+// run-state arena (the sweep workers recycle one arena each; results are
+// byte-identical with or without one).
+func runWithLatency(s *Scenario, cfg RunConfig, seed uint64, arena *core.NetArena) (RunReport, stats.Running, error) {
 	if err := s.Validate(); err != nil {
 		return RunReport{}, stats.Running{}, err
 	}
@@ -112,13 +114,10 @@ func runWithLatency(s *Scenario, cfg RunConfig, seed uint64) (RunReport, stats.R
 	}
 
 	var e *env
-	res, err := core.ExecuteOnNetworkInjected(p, cfg.netConfig(), root, func(run *core.NetRun) {
+	res, err := core.ExecuteOnNetworkArena(p, cfg.netConfig(), root, func(run *core.NetRun) {
 		e = &env{run: run, rng: actionRNG, n: p.N, source: p.Source}
-		for _, st := range s.Steps {
-			action := st.Action
-			run.Kernel.At(sim.Time(st.At), func() { action.apply(e) })
-		}
-	})
+		schedule(run, e, s.Steps)
+	}, arena)
 	if err != nil {
 		return RunReport{}, stats.Running{}, fmt.Errorf("scenario %q: %w", s.Name, err)
 	}
@@ -154,4 +153,40 @@ func runWithLatency(s *Scenario, cfg RunConfig, seed uint64) (RunReport, stats.R
 		rep.EffectivePrediction = pred.Reliability
 	}
 	return rep, res.DeliveryLatency, nil
+}
+
+// schedule installs the scenario's steps on the run's kernel. One-shot
+// steps fire once at their time; recurring steps (Every > 0) refire every
+// interval, so campaigns like "crash 1% every 10ms" no longer need
+// hand-unrolled timelines. A bounded recurrence (Until > 0) refires until
+// its window closes; an unbounded one refires only while the execution has
+// live work beyond the recurrences themselves, so it tracks the spread and
+// then lets the run drain.
+func schedule(run *core.NetRun, e *env, steps []Step) {
+	recurring := 0 // recurrence events currently pending on the kernel
+	for _, st := range steps {
+		if st.Every <= 0 {
+			action := st.Action
+			run.Kernel.At(sim.Time(st.At), func() { action.apply(e) })
+			continue
+		}
+		st := st
+		var fire func()
+		fire = func() {
+			recurring--
+			st.Action.apply(e)
+			next := run.Kernel.Now().Add(st.Every.Std())
+			if st.Until > 0 {
+				if next > sim.Time(st.Until) {
+					return // recurrence window closed
+				}
+			} else if run.Kernel.Pending() <= recurring {
+				return // only recurrences left; let the run drain
+			}
+			recurring++
+			run.Kernel.At(next, fire)
+		}
+		recurring++
+		run.Kernel.At(sim.Time(st.At), fire)
+	}
 }

@@ -176,10 +176,21 @@ func (a Action) Validate() error {
 	}
 }
 
-// Step is one timestamped action of a scenario.
+// Step is one timestamped action of a scenario, optionally recurring.
 type Step struct {
-	// At is the simulated time (from execution start) the action fires.
+	// At is the simulated time (from execution start) the action fires
+	// (first fires, when recurring).
 	At Duration `json:"at"`
+	// Every, when positive, refires the action at this interval after the
+	// first firing. An unbounded recurrence (Until zero) keeps firing
+	// while the execution has work pending beyond the recurrences
+	// themselves, then stops so the run can drain; traffic-generating
+	// ops (publish, regossip) sustain themselves and therefore require
+	// an Until bound.
+	Every Duration `json:"every,omitempty"`
+	// Until, when positive, bounds a recurrence: the action fires at
+	// At, At+Every, ... up to and including Until.
+	Until Duration `json:"until,omitempty"`
 	// Action is the operation to apply.
 	Action Action `json:"action"`
 }
@@ -206,6 +217,23 @@ func (s *Scenario) At(t time.Duration, a Action) *Scenario {
 	return s
 }
 
+// Every appends a recurring action: it first fires at interval and then
+// refires every interval while the execution still has other events
+// pending ("crash 1% every 10ms" for as long as the spread is in flight).
+func (s *Scenario) Every(interval time.Duration, a Action) *Scenario {
+	s.Steps = append(s.Steps, Step{At: Duration(interval), Every: Duration(interval), Action: a})
+	return s
+}
+
+// EveryUntil appends a bounded recurring action firing at start,
+// start+interval, ... up to and including until.
+func (s *Scenario) EveryUntil(start, interval, until time.Duration, a Action) *Scenario {
+	s.Steps = append(s.Steps, Step{
+		At: Duration(start), Every: Duration(interval), Until: Duration(until), Action: a,
+	})
+	return s
+}
+
 // Validate checks the scenario.
 func (s *Scenario) Validate() error {
 	if s.Name == "" {
@@ -214,6 +242,26 @@ func (s *Scenario) Validate() error {
 	for i, st := range s.Steps {
 		if st.At < 0 {
 			return fmt.Errorf("scenario %q: step %d at negative time %v", s.Name, i, st.At.Std())
+		}
+		if st.Every < 0 {
+			return fmt.Errorf("scenario %q: step %d negative interval %v", s.Name, i, st.Every.Std())
+		}
+		if st.Until < 0 {
+			return fmt.Errorf("scenario %q: step %d negative until %v", s.Name, i, st.Until.Std())
+		}
+		if st.Until > 0 && st.Every == 0 {
+			return fmt.Errorf("scenario %q: step %d has until without every", s.Name, i)
+		}
+		if st.Until > 0 && st.Until < st.At {
+			return fmt.Errorf("scenario %q: step %d until %v before at %v", s.Name, i, st.Until.Std(), st.At.Std())
+		}
+		// Publish and regossip generate fresh gossip traffic on every
+		// firing, so an unbounded recurrence of them would keep the
+		// execution alive forever (the drain check sees their own
+		// messages as pending work) until the event budget aborts the
+		// run. Require an explicit window.
+		if st.Every > 0 && st.Until == 0 && (st.Action.Op == OpPublish || st.Action.Op == OpRegossip) {
+			return fmt.Errorf("scenario %q: step %d: recurring %s is self-sustaining and needs an until bound", s.Name, i, st.Action.Op)
 		}
 		if err := st.Action.Validate(); err != nil {
 			return fmt.Errorf("scenario %q: step %d: %w", s.Name, i, err)

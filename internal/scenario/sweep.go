@@ -7,6 +7,7 @@ import (
 	"strings"
 	"sync"
 
+	"gossipkit/internal/core"
 	"gossipkit/internal/simnet"
 	"gossipkit/internal/stats"
 )
@@ -98,14 +99,8 @@ func Sweep(scenarios []*Scenario, cfg SweepConfig) (*SweepResult, error) {
 	if len(scenarios) == 0 {
 		return nil, fmt.Errorf("scenario: empty sweep")
 	}
-	// Reject state the workers would mutate concurrently: a shared view
-	// (churn unsubscribes into it) or a stateful loss model (Gilbert-
-	// Elliott advances its channel state on every Drop).
-	if cfg.Run.Params.View != nil {
-		return nil, fmt.Errorf("scenario: Sweep cannot share Params.View across workers; set RunConfig.PartialViewCopies so every run builds its own views")
-	}
-	if _, stateful := cfg.Run.Net.Loss.(*simnet.GilbertElliott); stateful {
-		return nil, fmt.Errorf("scenario: Sweep cannot share a stateful Gilbert-Elliott loss model across workers; install it per run with the burst-loss action")
+	if err := checkSweepShared(cfg.Run); err != nil {
+		return nil, err
 	}
 	if cfg.Seeds < 1 {
 		cfg.Seeds = 1
@@ -127,9 +122,13 @@ func Sweep(scenarios []*Scenario, cfg SweepConfig) (*SweepResult, error) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			// One run-state arena per worker: every run on this
+			// worker recycles the same kernel queue, network
+			// buffers, and receive flags.
+			arena := core.NewNetArena()
 			for cell := w; cell < cells; cell += workers {
 				si, ri := cell/cfg.Seeds, cell%cfg.Seeds
-				rep, lat, err := runWithLatency(scenarios[si], cfg.Run, cfg.cellSeed(si, ri))
+				rep, lat, err := runWithLatency(scenarios[si], cfg.Run, cfg.cellSeed(si, ri), arena)
 				reports[cell], lats[cell], errs[cell] = rep, lat, err
 			}
 		}(w)
@@ -149,33 +148,53 @@ func Sweep(scenarios []*Scenario, cfg SweepConfig) (*SweepResult, error) {
 		BaseSeed: cfg.BaseSeed,
 	}
 	for si, s := range scenarios {
-		var rel, srel, spread, msgs, up, eff stats.Running
-		var lat stats.Running
-		sum := Summary{Scenario: s.Name, Description: s.Description}
-		for ri := 0; ri < cfg.Seeds; ri++ {
-			rep := reports[si*cfg.Seeds+ri]
-			rel.Add(rep.Reliability)
-			srel.Add(rep.SurvivorReliability)
-			spread.Add(rep.SpreadMs)
-			msgs.Add(float64(rep.MessagesSent))
-			up.Add(float64(rep.UpAtEnd))
-			eff.Add(rep.EffectivePrediction)
-			lat.Merge(lats[si*cfg.Seeds+ri])
-			sum.StaticPrediction = rep.StaticPrediction
-		}
-		sum.Runs = rel.N()
-		sum.Reliability = moments(rel)
-		sum.SurvivorReliability = moments(srel)
-		sum.SpreadMs = moments(spread)
-		sum.MeanMessages = msgs.Mean()
-		sum.MeanUpAtEnd = up.Mean()
-		sum.Latency = LatencySummary{N: lat.N(), MeanMs: lat.Mean() * 1e3, MaxMs: lat.Max() * 1e3}
-		sum.EffectivePrediction = eff.Mean()
-		sum.StaticGap = rel.Mean() - sum.StaticPrediction
-		sum.EffectiveGap = srel.Mean() - sum.EffectivePrediction
-		out.Scenarios = append(out.Scenarios, sum)
+		lo := si * cfg.Seeds
+		out.Scenarios = append(out.Scenarios,
+			summarize(s, reports[lo:lo+cfg.Seeds], lats[lo:lo+cfg.Seeds]))
 	}
 	return out, nil
+}
+
+// summarize aggregates one scenario's seeded replications into a Summary.
+func summarize(s *Scenario, reports []RunReport, lats []stats.Running) Summary {
+	var rel, srel, spread, msgs, up, eff stats.Running
+	var lat stats.Running
+	sum := Summary{Scenario: s.Name, Description: s.Description}
+	for ri, rep := range reports {
+		rel.Add(rep.Reliability)
+		srel.Add(rep.SurvivorReliability)
+		spread.Add(rep.SpreadMs)
+		msgs.Add(float64(rep.MessagesSent))
+		up.Add(float64(rep.UpAtEnd))
+		eff.Add(rep.EffectivePrediction)
+		lat.Merge(lats[ri])
+		sum.StaticPrediction = rep.StaticPrediction
+	}
+	sum.Runs = rel.N()
+	sum.Reliability = moments(rel)
+	sum.SurvivorReliability = moments(srel)
+	sum.SpreadMs = moments(spread)
+	sum.MeanMessages = msgs.Mean()
+	sum.MeanUpAtEnd = up.Mean()
+	sum.Latency = LatencySummary{N: lat.N(), MeanMs: lat.Mean() * 1e3, MaxMs: lat.Max() * 1e3}
+	sum.EffectivePrediction = eff.Mean()
+	sum.StaticGap = rel.Mean() - sum.StaticPrediction
+	sum.EffectiveGap = srel.Mean() - sum.EffectivePrediction
+	return sum
+}
+
+// checkSweepShared rejects run-config state the sweep workers would mutate
+// concurrently: a shared membership view (churn unsubscribes into it) or a
+// stateful loss model (Gilbert-Elliott advances its channel state on every
+// Drop).
+func checkSweepShared(run RunConfig) error {
+	if run.Params.View != nil {
+		return fmt.Errorf("scenario: sweep cannot share Params.View across workers; set RunConfig.PartialViewCopies so every run builds its own views")
+	}
+	if _, stateful := run.Net.Loss.(*simnet.GilbertElliott); stateful {
+		return fmt.Errorf("scenario: sweep cannot share a stateful Gilbert-Elliott loss model across workers; install it per run with the burst-loss action")
+	}
+	return nil
 }
 
 // CSV renders the sweep as one row per scenario.

@@ -1,0 +1,278 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// ---------------------------------------------------------------------------
+// Reference kernel: the pre-flat-queue implementation — a container/heap of
+// *oldEvent closures with eager heap removal on cancel. The equivalence
+// test asserts the flat 4-ary value heap fires adversarial schedules in
+// exactly the order this kernel does.
+
+type oldEvent struct {
+	at    Time
+	seq   uint64
+	fn    func()
+	index int
+}
+
+type oldQueue []*oldEvent
+
+func (q oldQueue) Len() int { return len(q) }
+func (q oldQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q oldQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *oldQueue) Push(x any) {
+	e := x.(*oldEvent)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+func (q *oldQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+type oldKernel struct {
+	now   Time
+	queue oldQueue
+	seq   uint64
+}
+
+func (k *oldKernel) at(at Time, fn func()) *oldEvent {
+	k.seq++
+	e := &oldEvent{at: at, seq: k.seq, fn: fn}
+	heap.Push(&k.queue, e)
+	return e
+}
+
+func (k *oldKernel) cancel(e *oldEvent) bool {
+	if e == nil || e.index < 0 {
+		return false
+	}
+	heap.Remove(&k.queue, e.index)
+	e.index = -1
+	return true
+}
+
+func (k *oldKernel) run(horizon Time) {
+	for len(k.queue) > 0 && k.queue[0].at <= horizon {
+		e := heap.Pop(&k.queue).(*oldEvent)
+		e.index = -1
+		k.now = e.at
+		e.fn()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Driver abstraction so one adversarial script exercises both kernels.
+
+type driver interface {
+	schedule(at Time, fn func()) (cancel func() bool)
+	now() Time
+	run(horizon Time)
+}
+
+type newDriver struct{ k *Kernel }
+
+func (d newDriver) schedule(at Time, fn func()) func() bool {
+	e := d.k.At(at, fn)
+	return func() bool { return d.k.Cancel(e) }
+}
+func (d newDriver) now() Time        { return d.k.Now() }
+func (d newDriver) run(horizon Time) { _ = d.k.Run(horizon) }
+
+type oldDriver struct{ k *oldKernel }
+
+func (d oldDriver) schedule(at Time, fn func()) func() bool {
+	e := d.k.at(at, fn)
+	return func() bool { return d.k.cancel(e) }
+}
+func (d oldDriver) now() Time        { return d.k.now }
+func (d oldDriver) run(horizon Time) { d.k.run(horizon) }
+
+// adversarialTrace drives d through a schedule designed to stress exactly
+// what the flat queue changed: heavy same-timestamp collisions (FIFO tie
+// order), cancels of pending events interleaved with firing (including
+// cancels issued from inside running events), nested rescheduling, and a
+// horizon split mid-schedule. Every decision derives from a hash of the
+// event id, so both kernels see an identical script as long as their fire
+// orders agree — and the returned trace pins the order itself.
+func adversarialTrace(d driver) []string {
+	var trace []string
+	var cancels []func() bool
+	id := 0
+
+	hash := func(x int) uint64 {
+		h := uint64(x)*0x9e3779b97f4a7c15 + 0x85ebca6b
+		h ^= h >> 33
+		h *= 0xc2b2ae3d27d4eb4f
+		h ^= h >> 29
+		return h
+	}
+
+	var spawn func(depth int, at Time)
+	spawn = func(depth int, at Time) {
+		myID := id
+		id++
+		h := hash(myID)
+		cancel := d.schedule(at, func() {
+			trace = append(trace, fmt.Sprintf("fire:%d@%v", myID, d.now()))
+			if depth < 3 && h%3 == 0 {
+				// Two children at colliding timestamps.
+				delta := time.Duration(h>>8%3) * time.Millisecond
+				spawn(depth+1, d.now().Add(delta))
+				spawn(depth+1, d.now().Add(delta))
+			}
+			if h%5 == 0 && len(cancels) > 0 {
+				victim := int(h >> 16 % uint64(len(cancels)))
+				ok := cancels[victim]()
+				trace = append(trace, fmt.Sprintf("cancel:%d=%v", victim, ok))
+			}
+		})
+		cancels = append(cancels, cancel)
+	}
+
+	// Phase 1: 64 roots spread over just 8 distinct timestamps — every
+	// timestamp hosts a FIFO pile-up.
+	for i := 0; i < 64; i++ {
+		at := Time(time.Duration(hash(1000+i)%8) * time.Millisecond)
+		spawn(0, at)
+	}
+	// Cancel a deterministic third of them before anything fires.
+	for i := 0; i < len(cancels); i += 3 {
+		ok := cancels[i]()
+		trace = append(trace, fmt.Sprintf("precancel:%d=%v", i, ok))
+	}
+	// Phase 2: run to a horizon that bisects the pile, schedule a second
+	// wave (ties with survivors of the first), then drain.
+	d.run(Time(3 * time.Millisecond))
+	trace = append(trace, fmt.Sprintf("horizon@%v", d.now()))
+	for i := 0; i < 32; i++ {
+		at := d.now().Add(time.Duration(hash(2000+i)%8) * time.Millisecond)
+		spawn(0, at)
+	}
+	d.run(End)
+	// Canceling after the drain must be a uniform no-op.
+	for i := 0; i < len(cancels); i += 7 {
+		trace = append(trace, fmt.Sprintf("postcancel:%d=%v", i, cancels[i]()))
+	}
+	return trace
+}
+
+// TestFlatQueueMatchesReferenceHeap locks the flat 4-ary heap to the old
+// closure-heap kernel, event for event, on a cancel-heavy same-timestamp
+// schedule.
+func TestFlatQueueMatchesReferenceHeap(t *testing.T) {
+	got := adversarialTrace(newDriver{New()})
+	want := adversarialTrace(oldDriver{&oldKernel{}})
+	if len(got) != len(want) {
+		t.Fatalf("trace lengths differ: flat=%d reference=%d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("traces diverge at %d:\n  flat:      %s\n  reference: %s", i, got[i], want[i])
+		}
+	}
+	if len(got) < 150 {
+		t.Fatalf("schedule too tame: only %d trace entries", len(got))
+	}
+}
+
+// TestTypedAndClosureEventsShareFIFOOrder checks that typed (Schedule) and
+// closure (At) events interleave in strict scheduling order at equal
+// timestamps — one global seq counter spans both paths.
+func TestTypedAndClosureEventsShareFIFOOrder(t *testing.T) {
+	k := New()
+	var order []int
+	h := k.RegisterHandler(func(_ Time, node, _ int32) { order = append(order, int(node)) })
+	at := Time(time.Millisecond)
+	for i := 0; i < 20; i++ {
+		if i%2 == 0 {
+			k.Schedule(at, h, int32(i), 0)
+		} else {
+			i := i
+			k.At(at, func() { order = append(order, i) })
+		}
+	}
+	if err := k.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("typed/closure ties not FIFO: %v", order)
+		}
+	}
+}
+
+// TestKernelReset checks that a Reset kernel behaves like a fresh one and
+// invalidates pre-Reset handles.
+func TestKernelReset(t *testing.T) {
+	k := New()
+	h := k.RegisterHandler(func(_ Time, _, _ int32) {})
+	k.Schedule(Time(time.Millisecond), h, 0, 0)
+	stale := k.After(2*time.Millisecond, func() { t.Error("pre-Reset event fired") })
+	k.SetBudget(5)
+
+	k.Reset()
+	if k.Now() != 0 || k.Pending() != 0 || k.Fired() != 0 {
+		t.Fatalf("Reset left state: now=%v pending=%d fired=%d", k.Now(), k.Pending(), k.Fired())
+	}
+	if !stale.Canceled() {
+		t.Error("pre-Reset handle still pending")
+	}
+	if k.Cancel(stale) {
+		t.Error("pre-Reset handle canceled successfully")
+	}
+
+	var fired []int
+	h2 := k.RegisterHandler(func(_ Time, node, _ int32) { fired = append(fired, int(node)) })
+	k.Schedule(Time(time.Millisecond), h2, 1, 0)
+	k.After(2*time.Millisecond, func() { fired = append(fired, 2) })
+	if err := k.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 2 || fired[0] != 1 || fired[1] != 2 {
+		t.Fatalf("post-Reset run fired %v", fired)
+	}
+	if k.Now() != Time(2*time.Millisecond) {
+		t.Fatalf("post-Reset clock at %v", k.Now())
+	}
+}
+
+// TestScheduleZeroAlloc pins the typed hot path at zero heap allocations
+// per event in steady state (queue capacity warmed).
+func TestScheduleZeroAlloc(t *testing.T) {
+	k := New()
+	var count int
+	h := k.RegisterHandler(func(_ Time, _, _ int32) { count++ })
+	warm := func() {
+		base := k.Now()
+		for i := 0; i < 1024; i++ {
+			k.Schedule(base.Add(time.Duration(i%37)*time.Microsecond), h, int32(i), 0)
+		}
+		if err := k.RunAll(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	warm()
+	allocs := testing.AllocsPerRun(10, warm)
+	if allocs != 0 {
+		t.Fatalf("typed schedule+fire path allocates %.1f per 1024-event batch, want 0", allocs)
+	}
+}

@@ -1,0 +1,94 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+
+	"gossipkit/internal/sim"
+	"gossipkit/internal/xrand"
+)
+
+// TestSendDeliverZeroAlloc is the allocation regression guard on the
+// steady-state send→deliver path: once the event queue and payload-slot
+// pool are warm, pushing a message through latency + loss draws, the typed
+// kernel event, and handler dispatch must not touch the heap at all. This
+// is the property that makes n=10⁵..10⁶ executions GC-free.
+func TestSendDeliverZeroAlloc(t *testing.T) {
+	kernel := sim.New()
+	rng := xrand.New(7)
+	nw := New(kernel, 64, rng, Config{
+		Latency: UniformLatency{Lo: time.Millisecond, Hi: 5 * time.Millisecond},
+		Loss:    BernoulliLoss{P: 0.05},
+	})
+	delivered := 0
+	nw.RegisterAll(func(_ sim.Time, _ Message) { delivered++ })
+
+	batch := func() {
+		for i := 0; i < 512; i++ {
+			nw.Send(NodeID(i%64), NodeID((i*7+1)%64), nil)
+		}
+		if err := kernel.RunAll(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	batch() // warm the queue and slot pool
+	if allocs := testing.AllocsPerRun(20, batch); allocs != 0 {
+		t.Fatalf("steady-state send→deliver allocates %.1f per 512-message batch, want 0", allocs)
+	}
+	if delivered == 0 {
+		t.Fatal("nothing delivered")
+	}
+}
+
+// TestRegisterOverridesRegisterAll: a per-node Register after RegisterAll
+// must take effect for that node while the rest keep the shared handler.
+func TestRegisterOverridesRegisterAll(t *testing.T) {
+	kernel := sim.New()
+	nw := New(kernel, 4, xrand.New(1), Config{})
+	var shared, custom int
+	nw.RegisterAll(func(_ sim.Time, _ Message) { shared++ })
+	nw.Register(2, func(_ sim.Time, _ Message) { custom++ })
+	for to := NodeID(1); to < 4; to++ {
+		nw.Send(0, to, nil)
+	}
+	if err := kernel.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if custom != 1 || shared != 2 {
+		t.Errorf("custom handler fired %d times (want 1), shared %d (want 2)", custom, shared)
+	}
+}
+
+// TestNetworkReset checks that a Reset network is indistinguishable from a
+// fresh one: nodes back up, counters zeroed, partition and handlers
+// cleared, and pooled payload slots recycled without leaking payloads.
+func TestNetworkReset(t *testing.T) {
+	kernel := sim.New()
+	rng := xrand.New(7)
+	nw := New(kernel, 8, rng, Config{})
+	nw.RegisterAll(func(_ sim.Time, _ Message) {})
+	nw.Crash(3)
+	nw.SetPartition(SplitPartition(func(id NodeID) bool { return id < 4 }))
+	nw.Send(0, 1, "payload")
+	if err := kernel.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+
+	kernel.Reset()
+	nw.Reset(kernel, 8, rng, Config{})
+	if !nw.Up(3) {
+		t.Error("Reset left node 3 crashed")
+	}
+	if s := nw.Stats(); s != (Stats{}) {
+		t.Errorf("Reset left stats %+v", s)
+	}
+	// The old shared handler must be gone: deliveries now drop.
+	nw.Send(4, 1, nil) // would have been blocked by the stale partition
+	if err := kernel.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	s := nw.Stats()
+	if s.Sent != 1 || s.DroppedPart != 0 || s.DroppedCrash != 1 || s.Delivered != 0 {
+		t.Errorf("post-Reset delivery stats %+v", s)
+	}
+}

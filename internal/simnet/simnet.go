@@ -12,6 +12,7 @@ package simnet
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"gossipkit/internal/sim"
@@ -144,60 +145,126 @@ type Config struct {
 	Tracer Tracer
 }
 
+// inflight is the pooled payload slot of one message in transit. The
+// destination rides in the event record itself (its node word); the slot
+// holds the rest. Slots are recycled through a free list, so the
+// steady-state send→deliver path allocates nothing.
+type inflight struct {
+	from    NodeID
+	sentAt  sim.Time
+	payload any
+}
+
 // Network is a simulated message-passing network over n nodes.
 // It must be driven from the kernel's goroutine.
 type Network struct {
 	kernel    *sim.Kernel
 	rng       *xrand.RNG
+	n         int
 	latency   LatencyModel
 	loss      LossModel
-	handlers  []Handler
+	all       Handler   // shared handler for every node (RegisterAll)
+	handlers  []Handler // per-node handlers, allocated on first Register
 	up        []bool
 	partition func(a, b NodeID) bool
 	stats     Stats
 	tracer    Tracer
+
+	deliverID sim.HandlerID
+	inflight  []inflight
+	freeMsg   []int32
 }
 
 // New returns a network of n nodes driven by kernel, with randomness from
 // rng (latency jitter and loss draws).
 func New(kernel *sim.Kernel, n int, rng *xrand.RNG, cfg Config) *Network {
-	if n < 0 {
-		panic(fmt.Sprintf("simnet: negative node count %d", n))
+	if n < 0 || n > math.MaxInt32 {
+		panic(fmt.Sprintf("simnet: node count %d outside [0, 2³¹)", n))
 	}
 	if kernel == nil || rng == nil {
 		panic("simnet: nil kernel or rng")
 	}
-	nw := &Network{
-		kernel:   kernel,
-		rng:      rng,
-		latency:  cfg.Latency,
-		loss:     cfg.Loss,
-		handlers: make([]Handler, n),
-		up:       make([]bool, n),
-		tracer:   cfg.Tracer,
+	nw := &Network{}
+	nw.Reset(kernel, n, rng, cfg)
+	return nw
+}
+
+// Reset reinitializes the network in place for a fresh run: all nodes up,
+// counters zeroed, handlers and partition cleared, models taken from cfg.
+// Pooled buffers (up flags, payload slots) are retained when the node count
+// allows, so a run-scoped arena can recycle one network across many
+// executions. The kernel must be freshly created or Reset: the network
+// registers its delivery handler on it.
+func (nw *Network) Reset(kernel *sim.Kernel, n int, rng *xrand.RNG, cfg Config) {
+	if n < 0 || n > math.MaxInt32 {
+		panic(fmt.Sprintf("simnet: node count %d outside [0, 2³¹)", n))
 	}
+	if kernel == nil || rng == nil {
+		panic("simnet: nil kernel or rng")
+	}
+	nw.kernel = kernel
+	nw.rng = rng
+	nw.n = n
+	nw.latency = cfg.Latency
+	nw.loss = cfg.Loss
+	nw.all = nil
+	nw.handlers = nil
+	nw.partition = nil
+	nw.stats = Stats{}
+	nw.tracer = cfg.Tracer
 	if nw.latency == nil {
 		nw.latency = ConstantLatency{}
 	}
 	if nw.loss == nil {
 		nw.loss = NoLoss{}
 	}
+	if cap(nw.up) >= n {
+		nw.up = nw.up[:n]
+	} else {
+		nw.up = make([]bool, n)
+	}
 	for i := range nw.up {
 		nw.up[i] = true
 	}
-	return nw
+	for i := range nw.inflight {
+		nw.inflight[i] = inflight{}
+	}
+	nw.inflight = nw.inflight[:0]
+	nw.freeMsg = nw.freeMsg[:0]
+	nw.deliverID = kernel.RegisterHandler(nw.deliverEvent)
 }
 
 // N returns the number of nodes.
-func (nw *Network) N() int { return len(nw.handlers) }
+func (nw *Network) N() int { return nw.n }
 
 // Kernel returns the driving kernel.
 func (nw *Network) Kernel() *sim.Kernel { return nw.kernel }
 
-// Register installs the message handler for id, replacing any previous one.
+// Register installs the message handler for id, replacing any previous
+// one. After RegisterAll, registering a single node materializes the
+// per-node table (every other node keeps the shared handler) so the
+// override actually takes effect.
 func (nw *Network) Register(id NodeID, h Handler) {
 	nw.checkID(id)
+	if nw.handlers == nil {
+		nw.handlers = make([]Handler, nw.n)
+		if nw.all != nil {
+			for i := range nw.handlers {
+				nw.handlers[i] = nw.all
+			}
+			nw.all = nil
+		}
+	}
 	nw.handlers[id] = h
+}
+
+// RegisterAll installs one handler shared by every node (the delivered
+// Message's To field says which node received). It replaces any per-node
+// handlers and avoids materializing n per-node closures, which matters at
+// n=10⁵..10⁶.
+func (nw *Network) RegisterAll(h Handler) {
+	nw.all = h
+	nw.handlers = nil
 }
 
 // Send queues a message for delivery after the modeled latency. Messages
@@ -229,33 +296,53 @@ func (nw *Network) Send(from, to NodeID, payload any) {
 	if d < 0 {
 		d = 0
 	}
-	msg := Message{From: from, To: to, Payload: payload}
-	nw.kernel.After(d, func() { nw.deliver(msg, now) })
+	slot := nw.allocMsg(from, now, payload)
+	nw.kernel.ScheduleAfter(d, nw.deliverID, int32(to), slot)
 }
 
-func (nw *Network) deliver(msg Message, sentAt sim.Time) {
-	now := nw.kernel.Now()
-	if !nw.up[msg.To] {
+// allocMsg parks a message's payload in a pooled slot and returns its index.
+func (nw *Network) allocMsg(from NodeID, sentAt sim.Time, payload any) int32 {
+	if n := len(nw.freeMsg); n > 0 {
+		idx := nw.freeMsg[n-1]
+		nw.freeMsg = nw.freeMsg[:n-1]
+		nw.inflight[idx] = inflight{from: from, sentAt: sentAt, payload: payload}
+		return idx
+	}
+	nw.inflight = append(nw.inflight, inflight{from: from, sentAt: sentAt, payload: payload})
+	return int32(len(nw.inflight) - 1)
+}
+
+// deliverEvent is the typed kernel handler for message arrival: node is the
+// destination, payload the inflight slot index.
+func (nw *Network) deliverEvent(now sim.Time, node, slot int32) {
+	m := nw.inflight[slot]
+	nw.inflight[slot].payload = nil // release the payload reference
+	nw.freeMsg = append(nw.freeMsg, slot)
+	to := NodeID(node)
+	if !nw.up[to] {
 		nw.stats.DroppedCrash++
-		nw.trace(Event{Kind: EventDroppedCrash, From: msg.From, To: msg.To, At: now, SentAt: sentAt})
+		nw.trace(Event{Kind: EventDroppedCrash, From: m.from, To: to, At: now, SentAt: m.sentAt})
 		return
 	}
 	// A partition severs in-flight traffic too: a message crossing the
 	// boundary when the partition forms never arrives.
-	if nw.partition != nil && nw.partition(msg.From, msg.To) {
+	if nw.partition != nil && nw.partition(m.from, to) {
 		nw.stats.DroppedPart++
-		nw.trace(Event{Kind: EventDroppedPartition, From: msg.From, To: msg.To, At: now, SentAt: sentAt})
+		nw.trace(Event{Kind: EventDroppedPartition, From: m.from, To: to, At: now, SentAt: m.sentAt})
 		return
 	}
-	h := nw.handlers[msg.To]
+	h := nw.all
+	if h == nil && nw.handlers != nil {
+		h = nw.handlers[to]
+	}
 	if h == nil {
 		nw.stats.DroppedCrash++
-		nw.trace(Event{Kind: EventDroppedCrash, From: msg.From, To: msg.To, At: now, SentAt: sentAt})
+		nw.trace(Event{Kind: EventDroppedCrash, From: m.from, To: to, At: now, SentAt: m.sentAt})
 		return
 	}
 	nw.stats.Delivered++
-	nw.trace(Event{Kind: EventDelivered, From: msg.From, To: msg.To, At: now, SentAt: sentAt})
-	h(now, msg)
+	nw.trace(Event{Kind: EventDelivered, From: m.from, To: to, At: now, SentAt: m.sentAt})
+	h(now, Message{From: m.from, To: to, Payload: m.payload})
 }
 
 // Crash marks id as failed: in-flight messages to it will be dropped at
@@ -313,7 +400,7 @@ func SplitPartition(inLeft func(NodeID) bool) func(a, b NodeID) bool {
 func (nw *Network) Stats() Stats { return nw.stats }
 
 func (nw *Network) checkID(id NodeID) {
-	if id < 0 || int(id) >= len(nw.handlers) {
-		panic(fmt.Sprintf("simnet: node id %d out of range [0,%d)", id, len(nw.handlers)))
+	if id < 0 || int(id) >= nw.n {
+		panic(fmt.Sprintf("simnet: node id %d out of range [0,%d)", id, nw.n))
 	}
 }

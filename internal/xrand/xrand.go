@@ -166,8 +166,10 @@ func (r *RNG) Shuffle(n int, swap func(i, j int)) {
 // returns dst[:k]. If k >= n it returns all of [0, n) in random order.
 // dst must have capacity at least min(k, n); a nil dst allocates.
 //
-// For small k relative to n it uses Floyd's algorithm (O(k) expected with a
-// small map); otherwise it uses a partial Fisher–Yates over a scratch slice.
+// For small k relative to n it uses Floyd's algorithm (O(k) expected, with
+// duplicate detection over dst itself for gossip-sized k so the hot path
+// never allocates); otherwise it uses a partial Fisher–Yates over a scratch
+// slice.
 func (r *RNG) SampleInts(dst []int, n, k int) []int {
 	if n < 0 || k < 0 {
 		panic("xrand: SampleInts with negative n or k")
@@ -183,16 +185,32 @@ func (r *RNG) SampleInts(dst []int, n, k int) []int {
 		return dst
 	}
 	// Floyd's algorithm wins when the selection is sparse; the constant
-	// 4 keeps the map small and the hit rate low.
+	// 4 keeps the duplicate hit rate low. The duplicate check consumes no
+	// randomness, so the scan and map variants draw identical streams.
 	if k*4 <= n {
-		seen := make(map[int]struct{}, k)
-		for j := n - k; j < n; j++ {
-			t := r.Intn(j + 1)
-			if _, dup := seen[t]; dup {
-				t = j
+		if k <= 64 {
+			// Fanout-sized draws: O(k²) scan of the picks so far
+			// beats a map and stays allocation-free.
+			for j := n - k; j < n; j++ {
+				t := r.Intn(j + 1)
+				for _, v := range dst {
+					if v == t {
+						t = j
+						break
+					}
+				}
+				dst = append(dst, t)
 			}
-			seen[t] = struct{}{}
-			dst = append(dst, t)
+		} else {
+			seen := make(map[int]struct{}, k)
+			for j := n - k; j < n; j++ {
+				t := r.Intn(j + 1)
+				if _, dup := seen[t]; dup {
+					t = j
+				}
+				seen[t] = struct{}{}
+				dst = append(dst, t)
+			}
 		}
 		// Floyd yields a uniformly random k-subset but in biased order;
 		// shuffle so callers can rely on exchangeability of positions.
