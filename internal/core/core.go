@@ -1,20 +1,3 @@
-// Package core implements the paper's primary contribution: the general
-// gossiping algorithm (paper Fig. 1) with arbitrary fanout distributions,
-// its fault-tolerant execution semantics, Monte-Carlo estimators for the
-// reliability of gossiping R(q, P), the repeated-execution success protocol
-// S(q, P, t), and the analytic predictions (via internal/genfunc) the
-// simulations are validated against.
-//
-// The algorithm, verbatim from the paper:
-//
-//	Upon member i receiving the message m for the first time:
-//	  member i generates a random number f_i following distribution P
-//	  member i selects f_i nodes uniformly at random from its membership view
-//	  member i sends the message m to the selected f_i nodes
-//
-// Failed members follow the fail-stop model: they never forward, whether
-// they crashed before receiving or after receiving but before forwarding
-// (failure.Timing); the source never fails.
 package core
 
 import (
@@ -114,6 +97,16 @@ func (p Params) drawMask(r *xrand.RNG) *failure.Mask {
 		return failure.BernoulliMask(p.N, p.AliveRatio, p.Source, r)
 	}
 	return failure.ExactMask(p.N, p.AliveRatio, p.Source, r)
+}
+
+// drawMaskInto redraws a pooled mask in place, consuming the same random
+// stream as drawMask so pooled and fresh runs are byte-identical.
+func (p Params) drawMaskInto(m *failure.Mask, r *xrand.RNG) {
+	if p.MaskKind == Bernoulli {
+		m.FillBernoulli(p.N, p.AliveRatio, p.Source, r)
+		return
+	}
+	m.FillExact(p.N, p.AliveRatio, p.Source, r)
 }
 
 // Result reports the outcome of one execution of the gossiping algorithm.

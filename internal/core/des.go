@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"gossipkit/internal/bitset"
 	"gossipkit/internal/failure"
 	"gossipkit/internal/membership"
 	"gossipkit/internal/sim"
@@ -50,12 +51,12 @@ type NetRun struct {
 	// mutates it when it is a *membership.PartialViews.
 	View     membership.View
 	mask     *failure.Mask
-	received []bool
+	received *bitset.Bits
 	publish  func(id int)
 }
 
 // HasReceived reports whether id has received the multicast so far.
-func (nr *NetRun) HasReceived(id int) bool { return nr.received[id] }
+func (nr *NetRun) HasReceived(id int) bool { return nr.received.Get(id) }
 
 // Restartable reports whether id may be restarted: only members that were
 // alive under the execution's initial failure mask have a registered
@@ -70,22 +71,25 @@ func (nr *NetRun) Restartable(id int) bool { return nr.mask.Alive(id) }
 func (nr *NetRun) Publish(id int) { nr.publish(id) }
 
 // NetArena holds the reusable per-run state of network executions: the
-// kernel (flat event queue), the network (up flags, pooled message slots),
-// and the per-member receive/target buffers. One arena serves many runs —
-// the scenario sweep workers recycle one arena each — which keeps repeated
-// large-n executions free of per-run slice churn, the same way
-// core.executor reuses its buffers for the non-DES path. An arena is
-// single-goroutine state; never share one across workers.
+// kernel (event queue, calendar buckets), the network (packed up flags,
+// pooled message slots), the failure mask (packed alive flags plus its
+// sampling scratch), and the per-member receive bitset and target buffer.
+// One arena serves many runs — the scenario sweep workers recycle one arena
+// each — and after the first run at a given shape an execution performs
+// zero O(n)-sized allocations: every piece of run state is redrawn in
+// place. An arena is single-goroutine state; never share one across
+// workers.
 type NetArena struct {
 	kernel   *sim.Kernel
 	net      *simnet.Network
-	received []bool
+	mask     *failure.Mask
+	received bitset.Bits
 	targets  []int
 }
 
 // NewNetArena returns an empty arena; buffers grow on first use.
 func NewNetArena() *NetArena {
-	return &NetArena{kernel: sim.New(), targets: make([]int, 0, 16)}
+	return &NetArena{kernel: sim.New(), mask: &failure.Mask{}, targets: make([]int, 0, 16)}
 }
 
 // ExecuteOnNetwork runs one execution of the general gossiping algorithm as
@@ -130,19 +134,13 @@ func ExecuteOnNetworkArena(p Params, netCfg simnet.Config, r *xrand.RNG, inject 
 		arena.net.Reset(kernel, p.N, netRNG, netCfg)
 	}
 	nw := arena.net
-	mask := p.drawMask(r)
+	mask := arena.mask
+	p.drawMaskInto(mask, r)
 	view := p.view()
 
 	res := NetResult{Result: Result{AliveCount: mask.AliveCount()}}
-	if cap(arena.received) >= p.N {
-		arena.received = arena.received[:p.N]
-		for i := range arena.received {
-			arena.received[i] = false
-		}
-	} else {
-		arena.received = make([]bool, p.N)
-	}
-	received := arena.received
+	arena.received.Reset(p.N)
+	received := &arena.received
 	targets := arena.targets
 	defer func() { arena.targets = targets }()
 
@@ -159,7 +157,7 @@ func ExecuteOnNetworkArena(p Params, netCfg simnet.Config, r *xrand.RNG, inject 
 	}
 
 	receive := func(id int, now sim.Time) {
-		received[id] = true
+		received.Set(id)
 		res.Delivered++
 		res.DeliveryLatency.Add(now.Seconds())
 		if d := now.Duration(); d > res.SpreadTime {
@@ -175,7 +173,7 @@ func ExecuteOnNetworkArena(p Params, netCfg simnet.Config, r *xrand.RNG, inject 
 	// drops.)
 	nw.RegisterAll(func(now sim.Time, msg simnet.Message) {
 		id := int(msg.To)
-		if received[id] {
+		if received.Get(id) {
 			res.Duplicates++
 			return
 		}
@@ -198,7 +196,7 @@ func ExecuteOnNetworkArena(p Params, netCfg simnet.Config, r *xrand.RNG, inject 
 				if id < 0 || id >= p.N || !nw.Up(simnet.NodeID(id)) || !mask.Alive(id) {
 					return
 				}
-				if received[id] {
+				if received.Get(id) {
 					forward(id) // re-gossip
 					return
 				}
@@ -209,8 +207,8 @@ func ExecuteOnNetworkArena(p Params, netCfg simnet.Config, r *xrand.RNG, inject 
 
 	// The source initiates at t=0 (unless an injection hook already
 	// published from it directly).
-	if !received[p.Source] {
-		received[p.Source] = true
+	if !received.Get(p.Source) {
+		received.Set(p.Source)
 		res.Delivered++
 		forward(p.Source)
 	}
@@ -223,7 +221,7 @@ func ExecuteOnNetworkArena(p Params, netCfg simnet.Config, r *xrand.RNG, inject 
 	for id := 0; id < p.N; id++ {
 		if nw.Up(simnet.NodeID(id)) {
 			res.UpAtEnd++
-			if received[id] {
+			if received.Get(id) {
 				res.DeliveredUp++
 			}
 		}

@@ -1,0 +1,31 @@
+// Package core implements the paper's primary contribution: the general
+// gossiping algorithm (paper Fig. 1) with arbitrary fanout distributions,
+// its fault-tolerant execution semantics, Monte-Carlo estimators for the
+// reliability of gossiping R(q, P), the repeated-execution success protocol
+// S(q, P, t), and the analytic predictions (via internal/genfunc) the
+// simulations are validated against.
+//
+// The algorithm, verbatim from the paper:
+//
+//	Upon member i receiving the message m for the first time:
+//	  member i generates a random number f_i following distribution P
+//	  member i selects f_i nodes uniformly at random from its membership view
+//	  member i sends the message m to the selected f_i nodes
+//
+// Failed members follow the fail-stop model: they never forward, whether
+// they crashed before receiving or after receiving but before forwarding
+// (failure.Timing); the source never fails.
+//
+// Two executors are provided. ExecuteOnce runs the spread as an untimed BFS
+// (the paper's own setting); ExecuteOnNetwork runs it as a discrete-event
+// protocol over internal/simnet, where latency, loss, partitions, and
+// mid-run fault injection apply. Every execution is a pure function of its
+// Params, seed, and injection hook — results are byte-identical across
+// machines, worker counts, and arena reuse.
+//
+// Allocation guarantee: with a recycled NetArena (one per sweep worker),
+// a network execution performs zero O(n)-sized heap allocations — the
+// receive bitset, failure mask, kernel queue, and network state are all
+// redrawn in place — which is what makes n=10⁶..10⁷ runs routine
+// (scale_test.go enforces this with allocation- and byte-count guards).
+package core

@@ -21,6 +21,7 @@ package failure
 import (
 	"fmt"
 
+	"gossipkit/internal/bitset"
 	"gossipkit/internal/xrand"
 )
 
@@ -48,10 +49,19 @@ func (t Timing) String() string {
 	}
 }
 
-// Mask records which members are alive during one execution.
+// Mask records which members are alive during one execution. The alive
+// flags are stored as a packed bitset (n/8 bytes, not n), and a Mask can be
+// redrawn in place with FillExact/FillBernoulli: it retains its bit storage
+// and sampling scratch across redraws, so a pooled mask (core.NetArena
+// keeps one per arena) costs zero allocations per run after warm-up.
 type Mask struct {
-	alive []bool
+	alive bitset.Bits
 	count int
+
+	// scratch pools the sampler's working storage across Fill* redraws;
+	// sampled alive ids stream straight into the bitset, so the mask
+	// holds no per-member pick list.
+	scratch xrand.Scratch
 }
 
 // NewMask returns a mask with all n members alive.
@@ -59,10 +69,9 @@ func NewMask(n int) *Mask {
 	if n < 0 {
 		panic(fmt.Sprintf("failure: negative group size %d", n))
 	}
-	m := &Mask{alive: make([]bool, n), count: n}
-	for i := range m.alive {
-		m.alive[i] = true
-	}
+	m := &Mask{count: n}
+	m.alive.Reset(n)
+	m.alive.SetAll()
 	return m
 }
 
@@ -70,6 +79,15 @@ func NewMask(n int) *Mask {
 // uniformly at random, always including protect (the source). q must be in
 // [0, 1]; even q=0 keeps the protected source alive, matching the paper.
 func ExactMask(n int, q float64, protect int, r *xrand.RNG) *Mask {
+	m := &Mask{}
+	m.FillExact(n, q, protect, r)
+	return m
+}
+
+// FillExact redraws m in place as ExactMask would, reusing m's bit storage
+// and sampling scratch. The random stream consumed is identical to
+// ExactMask, so pooled and fresh masks yield byte-identical executions.
+func (m *Mask) FillExact(n int, q float64, protect int, r *xrand.RNG) {
 	checkArgs(n, q, protect)
 	target := int(float64(n) * q)
 	if target < 1 {
@@ -78,32 +96,36 @@ func ExactMask(n int, q float64, protect int, r *xrand.RNG) *Mask {
 	if target > n {
 		target = n
 	}
-	m := &Mask{alive: make([]bool, n)}
-	m.alive[protect] = true
+	m.alive.Reset(n)
+	m.alive.Set(protect)
 	m.count = 1
 	if target > 1 {
 		// Choose target-1 of the other n-1 members.
-		extra := r.SampleExcluding(nil, n, target-1, protect)
-		for _, id := range extra {
-			m.alive[id] = true
-		}
+		r.SampleExcludingVisit(&m.scratch, n, target-1, protect, m.alive.Set)
 		m.count = target
 	}
-	return m
 }
 
 // BernoulliMask returns a mask where every member other than protect is
 // alive independently with probability q; protect is always alive.
 func BernoulliMask(n int, q float64, protect int, r *xrand.RNG) *Mask {
+	m := &Mask{}
+	m.FillBernoulli(n, q, protect, r)
+	return m
+}
+
+// FillBernoulli redraws m in place as BernoulliMask would, reusing m's bit
+// storage; the random stream is identical to BernoulliMask.
+func (m *Mask) FillBernoulli(n int, q float64, protect int, r *xrand.RNG) {
 	checkArgs(n, q, protect)
-	m := &Mask{alive: make([]bool, n)}
-	for i := range m.alive {
+	m.alive.Reset(n)
+	m.count = 0
+	for i := 0; i < n; i++ {
 		if i == protect || r.Bool(q) {
-			m.alive[i] = true
+			m.alive.Set(i)
 			m.count++
 		}
 	}
-	return m
 }
 
 func checkArgs(n int, q float64, protect int) {
@@ -119,31 +141,31 @@ func checkArgs(n int, q float64, protect int) {
 }
 
 // Alive reports whether member i survives this execution.
-func (m *Mask) Alive(i int) bool { return m.alive[i] }
+func (m *Mask) Alive(i int) bool { return m.alive.Get(i) }
 
 // N returns the group size.
-func (m *Mask) N() int { return len(m.alive) }
+func (m *Mask) N() int { return m.alive.Len() }
 
 // AliveCount returns the number of alive members.
 func (m *Mask) AliveCount() int { return m.count }
 
 // AliveRatio returns the fraction of alive members.
 func (m *Mask) AliveRatio() float64 {
-	if len(m.alive) == 0 {
+	if m.alive.Len() == 0 {
 		return 0
 	}
-	return float64(m.count) / float64(len(m.alive))
+	return float64(m.count) / float64(m.alive.Len())
 }
 
 // Kill marks member i failed (no-op if already failed).
 func (m *Mask) Kill(i int) {
-	if m.alive[i] {
-		m.alive[i] = false
+	if m.alive.Get(i) {
+		m.alive.Unset(i)
 		m.count--
 	}
 }
 
-// Slice returns the underlying alive slice; callers must treat it as
-// read-only. It exists so hot loops and graph routines can avoid an
-// indirect call per member.
-func (m *Mask) Slice() []bool { return m.alive }
+// Bits returns the underlying packed alive bitset; callers must treat it
+// as read-only. It exists so hot loops, graph routines, and memory
+// accounting can reach the words without an indirect call per member.
+func (m *Mask) Bits() *bitset.Bits { return &m.alive }

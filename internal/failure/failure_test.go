@@ -120,12 +120,53 @@ func TestExactMaskQZeroKeepsSource(t *testing.T) {
 	}
 }
 
-func TestSliceIsView(t *testing.T) {
+func TestBitsIsView(t *testing.T) {
 	m := NewMask(4)
 	m.Kill(1)
-	s := m.Slice()
-	if len(s) != 4 || s[1] || !s[0] {
-		t.Errorf("slice = %v", s)
+	b := m.Bits()
+	if b.Len() != 4 || b.Get(1) || !b.Get(0) {
+		t.Errorf("bits: len=%d alive={%v,%v,...}", b.Len(), b.Get(0), b.Get(1))
+	}
+}
+
+// TestFillMatchesFreshMask pins the pooling contract: a mask redrawn in
+// place through Fill* consumes the same random stream and lands on the same
+// alive set as a freshly allocated mask, and a warm redraw allocates
+// nothing — the mask is the last O(n) per-run allocation the DES arena had.
+func TestFillMatchesFreshMask(t *testing.T) {
+	pooled := &Mask{}
+	for _, tc := range []struct {
+		q    float64
+		kind string
+	}{{0.9, "exact"}, {0.3, "exact"}, {0.9, "bernoulli"}} {
+		const n, seed = 5000, 77
+		fresh := func(r *xrand.RNG) *Mask {
+			if tc.kind == "exact" {
+				return ExactMask(n, tc.q, 0, r)
+			}
+			return BernoulliMask(n, tc.q, 0, r)
+		}
+		want := fresh(xrand.New(seed))
+		r := xrand.New(seed)
+		if tc.kind == "exact" {
+			pooled.FillExact(n, tc.q, 0, r)
+		} else {
+			pooled.FillBernoulli(n, tc.q, 0, r)
+		}
+		if pooled.AliveCount() != want.AliveCount() {
+			t.Fatalf("%s q=%g: pooled count %d != fresh %d", tc.kind, tc.q, pooled.AliveCount(), want.AliveCount())
+		}
+		for i := 0; i < n; i++ {
+			if pooled.Alive(i) != want.Alive(i) {
+				t.Fatalf("%s q=%g: member %d pooled=%v fresh=%v", tc.kind, tc.q, i, pooled.Alive(i), want.Alive(i))
+			}
+		}
+	}
+	r := xrand.New(99)
+	pooled.FillExact(5000, 0.9, 0, r) // warm at final shape
+	allocs := testing.AllocsPerRun(10, func() { pooled.FillExact(5000, 0.9, 0, r) })
+	if allocs != 0 {
+		t.Errorf("warm FillExact allocates %.1f per redraw, want 0", allocs)
 	}
 }
 

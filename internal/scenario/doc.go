@@ -1,0 +1,26 @@
+// Package scenario is a declarative fault-injection engine for the gossip
+// simulator: a Scenario scripts a time-varying fault campaign — crash
+// waves, correlated zone failures, partitions that heal, churn bursts,
+// bursty loss episodes, flash-crowd multi-publish — as timestamped Actions
+// applied to a running discrete-event execution (core.ExecuteOnNetworkInjected).
+//
+// The paper models fault tolerance with a single static nonfailed ratio q
+// per execution; scenarios stress-test that model with richer fault
+// processes and quantify where the static-q prediction (Eq. 11) breaks.
+// Scenarios are expressible both through the Go builder API
+//
+//	s := scenario.New("crash-wave", "three 10% crash waves").
+//		At(5*time.Millisecond, scenario.CrashFraction(0.1)).
+//		At(10*time.Millisecond, scenario.CrashFraction(0.1))
+//
+// and as a JSON spec (see Scenario's JSON encoding), so campaigns can be
+// versioned and shared without recompiling. A run is a pure function of
+// (params, scenario, seed): repeated runs with the same seed are
+// byte-identical.
+//
+// The sweep runners (Sweep, SweepScenarioGrid) replicate scenarios × seeds
+// on a worker pool; cells are data-independent and reduced in grid order,
+// so output is byte-identical for any worker count. Each worker recycles
+// one core.NetArena, so after its first run a worker executes campaigns
+// with zero O(n)-sized allocations per run.
+package scenario

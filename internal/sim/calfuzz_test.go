@@ -1,0 +1,107 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"gossipkit/internal/xrand"
+)
+
+// differential fuzz: closure events + cancels, heap vs calendar.
+func TestCalendarFuzzClosure(t *testing.T) {
+	for seed := uint64(1); seed <= 20; seed++ {
+		for _, hint := range []time.Duration{50 * time.Microsecond, time.Millisecond, 8 * time.Millisecond} {
+			runOne := func(k *Kernel) []string {
+				var tr []string
+				var cancels []*Event
+				r := xrand.New(seed)
+				for i := 0; i < 40; i++ {
+					i := i
+					at := Time(time.Duration(r.Intn(8)) * time.Millisecond)
+					cancels = append(cancels, k.At(at, func() {
+						tr = append(tr, fmt.Sprintf("%d@%v", i, k.Now()))
+					}))
+				}
+				for i := 0; i < 40; i += 3 {
+					ok := k.Cancel(cancels[i])
+					tr = append(tr, fmt.Sprintf("c%d=%v", i, ok))
+				}
+				_ = k.Run(Time(3 * time.Millisecond))
+				tr = append(tr, fmt.Sprintf("h@%v", k.Now()))
+				for i := 40; i < 60; i++ {
+					i := i
+					at := k.Now().Add(time.Duration(r.Intn(8_000_000)))
+					cancels = append(cancels, k.At(at, func() {
+						tr = append(tr, fmt.Sprintf("%d@%v", i, k.Now()))
+						if r.Bool(0.3) {
+							v := r.Intn(len(cancels))
+							tr = append(tr, fmt.Sprintf("c%d=%v", v, k.Cancel(cancels[v])))
+						}
+					}))
+				}
+				_ = k.RunAll()
+				return tr
+			}
+			want := runOne(New())
+			kc := New()
+			kc.SetBoundedDelayHint(hint, 0)
+			got := runOne(kc)
+			if len(got) != len(want) {
+				t.Fatalf("seed=%d hint=%v: len %d vs %d", seed, hint, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("seed=%d hint=%v diverge at %d: cal=%s heap=%s", seed, hint, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// differential fuzz: typed events, random times, heap vs calendar.
+func TestCalendarFuzzTyped(t *testing.T) {
+	for seed := uint64(1); seed <= 20; seed++ {
+		for _, hint := range []time.Duration{50 * time.Microsecond, time.Millisecond, 8 * time.Millisecond} {
+			runOne := func(k *Kernel) []string {
+				var tr []string
+				r := xrand.New(seed)
+				var h HandlerID
+				h = k.RegisterHandler(func(now Time, node, depth int32) {
+					tr = append(tr, fmt.Sprintf("%d@%v", node, now))
+					if depth < 2 && r.Bool(0.4) {
+						nkids := 1 + r.Intn(2)
+						for c := 0; c < nkids; c++ {
+							d := time.Duration(r.Intn(3_000_000)) * time.Nanosecond
+							k.Schedule(now.Add(d), h, node*10+int32(c), depth+1)
+						}
+					}
+				})
+				for i := 0; i < 40; i++ {
+					at := Time(time.Duration(r.Intn(8)) * time.Millisecond)
+					k.Schedule(at, h, int32(i), 0)
+				}
+				_ = k.Run(Time(3 * time.Millisecond))
+				tr = append(tr, fmt.Sprintf("h@%v", k.Now()))
+				for i := 0; i < 20; i++ {
+					at := k.Now().Add(time.Duration(r.Intn(8_000_000)))
+					k.Schedule(at, h, int32(1000+i), 0)
+				}
+				_ = k.RunAll()
+				return tr
+			}
+			want := runOne(New())
+			kc := New()
+			kc.SetBoundedDelayHint(hint, 0)
+			got := runOne(kc)
+			if len(got) != len(want) {
+				t.Fatalf("seed=%d hint=%v: len %d vs %d", seed, hint, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("seed=%d hint=%v diverge at %d: cal=%s heap=%s", seed, hint, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,30 @@
+// Package sim is a small deterministic discrete-event simulation kernel:
+// a virtual clock and a priority queue of timestamped events. It underpins
+// the simulated network substrate (internal/simnet), which the gossip
+// protocols run on when latency, loss, and timing matter.
+//
+// Determinism: events with equal timestamps fire in scheduling order
+// (FIFO via a monotonically increasing sequence number), so a run is a pure
+// function of its inputs and seeds regardless of map iteration or goroutine
+// scheduling — the kernel is single-goroutine by design.
+//
+// Two queue disciplines back the kernel, firing events in exactly the same
+// (at, seq) order:
+//
+//   - A flat, value-typed 4-ary min-heap of fixed-size records — the
+//     general-purpose default, O(log n) per operation.
+//   - A CalendarQueue — a bucket ring over simulated time with an overflow
+//     heap, amortized O(1) per operation when event delays stay within a
+//     bounded band. Callers that know their delay bound (simnet, whenever
+//     the latency model is bounded) select it with SetBoundedDelayHint;
+//     the heap remains the fallback and the equivalence oracle.
+//
+// Neither discipline allocates on the hot path: typed events scheduled
+// with Schedule and dispatched to a registered handler by index are plain
+// 32-byte records, which is what makes n=10⁶..10⁷-node network executions
+// feasible. The closure-based At/After/Cancel API remains as a thin
+// compatibility layer for low-rate callers (scenario hooks, examples); it
+// parks the closure in a generation-counted slot table and enqueues a
+// record pointing at the slot, so canceling is O(1) lazy invalidation
+// rather than a queue removal.
+package sim

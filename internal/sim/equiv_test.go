@@ -194,6 +194,150 @@ func TestFlatQueueMatchesReferenceHeap(t *testing.T) {
 	}
 }
 
+// TestCalendarQueueMatchesReferenceHeap runs the same adversarial
+// tie/cancel schedule against calendar-backed kernels across a spread of
+// delay hints — a hint much smaller than the schedule's reach (constant
+// window sliding and overflow migration), one around it, and one vastly
+// larger (everything collapses into few buckets) — and requires the exact
+// reference fire order every time.
+func TestCalendarQueueMatchesReferenceHeap(t *testing.T) {
+	want := adversarialTrace(oldDriver{&oldKernel{}})
+	for _, hint := range []time.Duration{
+		100 * time.Microsecond, 2 * time.Millisecond, time.Hour,
+	} {
+		k := New()
+		k.SetBoundedDelayHint(hint, 0)
+		if k.QueueKind() != "calendar" {
+			t.Fatalf("hint %v did not select the calendar queue", hint)
+		}
+		got := adversarialTrace(newDriver{k})
+		if len(got) != len(want) {
+			t.Fatalf("hint %v: trace lengths differ: calendar=%d reference=%d", hint, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("hint %v: traces diverge at %d:\n  calendar:  %s\n  reference: %s", hint, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestCalendarQueueResetRecyclesBuckets checks the arena cycle: Reset
+// reverts to the heap, a fresh hint reactivates the same calendar with its
+// warm buckets, and the replayed schedule still matches the reference.
+func TestCalendarQueueResetRecyclesBuckets(t *testing.T) {
+	want := adversarialTrace(oldDriver{&oldKernel{}})
+	k := New()
+	for round := 0; round < 3; round++ {
+		k.Reset()
+		if k.QueueKind() != "heap" {
+			t.Fatal("Reset did not revert to the heap")
+		}
+		k.SetBoundedDelayHint(time.Millisecond, 0)
+		got := adversarialTrace(newDriver{k})
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("round %d diverges at %d: %s != %s", round, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestCalendarOverflowMigration pins the overflow path directly: events
+// scheduled far beyond the bucket window (as scenario campaigns do) must
+// fire interleaved in exact time order with dense near-term traffic, and
+// re-anchoring across a long idle gap must not reorder anything.
+func TestCalendarOverflowMigration(t *testing.T) {
+	k := New()
+	k.SetBoundedDelayHint(time.Millisecond, 0) // window ≪ the schedule's reach
+	var order []int
+	h := k.RegisterHandler(func(_ Time, node, _ int32) { order = append(order, int(node)) })
+	// Far-future events first (straight into overflow), then a dense
+	// near-term burst, then mid-range events landing between the two.
+	k.Schedule(Time(5*time.Second), h, 103, 0)
+	k.Schedule(Time(1*time.Second), h, 101, 0)
+	k.Schedule(Time(3*time.Second), h, 102, 0)
+	for i := 0; i < 50; i++ {
+		k.Schedule(Time(time.Duration(i%7)*100*time.Microsecond), h, int32(i), 0)
+	}
+	k.Schedule(Time(1*time.Second+50*time.Microsecond), h, 104, 0) // ties into 101's bucket region
+	if err := k.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 54 {
+		t.Fatalf("fired %d events, want 54", len(order))
+	}
+	tail := order[50:]
+	for i, want := range []int{101, 104, 102, 103} {
+		if tail[i] != want {
+			t.Fatalf("overflow events fired as %v, want [101 104 102 103]", tail)
+		}
+	}
+}
+
+// TestCalendarGrowKeepsOrder floods a small window with far more records
+// than the initial ring (forcing several grow/rebucket cycles mid-schedule)
+// and checks the FIFO-within-timestamp guarantee survives every rebuild.
+func TestCalendarGrowKeepsOrder(t *testing.T) {
+	k := New()
+	k.SetBoundedDelayHint(10*time.Millisecond, 0)
+	const events = 3 * calendarGrowAt * calendarInitBuckets
+	fired := 0
+	prevAt, prevNode := Time(-1), int32(-1)
+	h := k.RegisterHandler(func(now Time, node, _ int32) {
+		if now < prevAt {
+			t.Fatalf("time went backwards: %v after %v", now, prevAt)
+		}
+		if now == prevAt && node <= prevNode {
+			t.Fatalf("FIFO broken at %v: node %d after %d", now, node, prevNode)
+		}
+		prevAt, prevNode = now, node
+		fired++
+	})
+	for i := 0; i < events; i++ {
+		// 8 distinct timestamps — massive ties — scheduled in node order.
+		k.Schedule(Time(time.Duration(i%8)*time.Millisecond), h, int32(i), 0)
+	}
+	if err := k.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if fired != events {
+		t.Fatalf("fired %d, want %d", fired, events)
+	}
+	if prevAt != Time(7*time.Millisecond) {
+		t.Fatalf("last event at %v", prevAt)
+	}
+}
+
+// TestCalendarScheduleZeroAlloc pins the calendar hot path at zero heap
+// allocations per event once buckets are warm — the property that lets the
+// bounded-latency band run n=10⁷ without GC pressure.
+func TestCalendarScheduleZeroAlloc(t *testing.T) {
+	k := New()
+	k.SetBoundedDelayHint(time.Millisecond, 0)
+	var count int
+	h := k.RegisterHandler(func(_ Time, _, _ int32) { count++ })
+	warm := func() {
+		base := k.Now()
+		for i := 0; i < 1024; i++ {
+			k.Schedule(base.Add(time.Duration(i%37)*time.Microsecond), h, int32(i), 0)
+		}
+		if err := k.RunAll(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Warm-up must carry the sliding window across the whole bucket ring
+	// once: a ring slot allocates its record storage the first time the
+	// window reaches it, and is allocation-free from then on.
+	for k.Now() < Time(10*time.Millisecond) {
+		warm()
+	}
+	allocs := testing.AllocsPerRun(10, warm)
+	if allocs != 0 {
+		t.Fatalf("calendar schedule+fire path allocates %.1f per 1024-event batch, want 0", allocs)
+	}
+}
+
 // TestTypedAndClosureEventsShareFIFOOrder checks that typed (Schedule) and
 // closure (At) events interleave in strict scheduling order at equal
 // timestamps — one global seq counter spans both paths.

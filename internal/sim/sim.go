@@ -1,22 +1,3 @@
-// Package sim is a small deterministic discrete-event simulation kernel:
-// a virtual clock and a priority queue of timestamped events. It underpins
-// the simulated network substrate (internal/simnet), which the gossip
-// protocols run on when latency, loss, and timing matter.
-//
-// Determinism: events with equal timestamps fire in scheduling order
-// (FIFO via a monotonically increasing sequence number), so a run is a pure
-// function of its inputs and seeds regardless of map iteration or goroutine
-// scheduling — the kernel is single-goroutine by design.
-//
-// The queue is a flat, value-typed 4-ary heap of fixed-size records, not a
-// heap of pointers-to-closures: the hot path (typed events scheduled with
-// Schedule and dispatched to a registered handler by index) performs zero
-// heap allocations per event, which is what makes n=10⁵..10⁶-node network
-// executions feasible. The closure-based At/After/Cancel API remains as a
-// thin compatibility layer for low-rate callers (scenario hooks, examples);
-// it parks the closure in a generation-counted slot table and enqueues a
-// record pointing at the slot, so canceling is O(1) lazy invalidation
-// rather than a heap removal.
 package sim
 
 import (
@@ -108,6 +89,12 @@ type Kernel struct {
 	budget uint64 // 0 = unlimited
 	live   int    // queued records that have not been canceled
 
+	// cal, when useCal is set, replaces the heap as the event queue (see
+	// SetBoundedDelayHint). The object is retained across Reset so its
+	// bucket capacity is recycled by run-scoped arenas.
+	cal    *CalendarQueue
+	useCal bool
+
 	handlers  []func(now Time, node, payload int32)
 	slots     []closureSlot
 	freeSlots []int32
@@ -124,6 +111,10 @@ func New() *Kernel { return &Kernel{} }
 func (k *Kernel) Reset() {
 	k.now = 0
 	k.queue = k.queue[:0]
+	k.useCal = false // revert to the heap until the next delay hint
+	if k.cal != nil {
+		k.cal.clear()
+	}
 	k.seq = 0
 	k.fired = 0
 	k.budget = 0
@@ -177,7 +168,7 @@ func (k *Kernel) Schedule(at Time, h HandlerID, node, payload int32) {
 		panic(fmt.Sprintf("sim: unregistered handler id %d", h))
 	}
 	k.seq++
-	k.push(record{at: at, seq: k.seq, h: h, node: node, payload: payload})
+	k.qpush(record{at: at, seq: k.seq, h: h, node: node, payload: payload})
 	k.live++
 }
 
@@ -202,7 +193,7 @@ func (k *Kernel) At(at Time, fn func()) *Event {
 	slot := k.allocSlot(fn)
 	gen := k.slots[slot].gen
 	k.seq++
-	k.push(record{at: at, seq: k.seq, h: closureHandler, node: slot, gen: gen})
+	k.qpush(record{at: at, seq: k.seq, h: closureHandler, node: slot, gen: gen})
 	k.live++
 	return &Event{k: k, slot: slot, gen: gen}
 }
@@ -234,8 +225,8 @@ func (k *Kernel) Pending() int { return k.live }
 // Step fires the earliest pending event and returns true, or returns false
 // if no live event is queued.
 func (k *Kernel) Step() bool {
-	for len(k.queue) > 0 {
-		rec := k.pop()
+	for k.qlen() > 0 {
+		rec := k.qpop()
 		if rec.h == closureHandler {
 			s := &k.slots[rec.node]
 			if s.gen != rec.gen {
@@ -265,7 +256,8 @@ func (k *Kernel) Step() bool {
 func (k *Kernel) Run(horizon Time) error {
 	for {
 		k.dropCanceled()
-		if len(k.queue) == 0 || k.queue[0].at > horizon {
+		head, ok := k.qpeek()
+		if !ok || head.at > horizon {
 			return nil
 		}
 		if k.budget > 0 && k.fired >= k.budget {
@@ -282,12 +274,12 @@ func (k *Kernel) RunAll() error { return k.Run(End) }
 // dropCanceled discards stale records at the top of the heap so the head,
 // if any, is a live event.
 func (k *Kernel) dropCanceled() {
-	for len(k.queue) > 0 {
-		rec := k.queue[0]
-		if rec.h != closureHandler || k.slots[rec.node].gen == rec.gen {
+	for {
+		rec, ok := k.qpeek()
+		if !ok || rec.h != closureHandler || k.slots[rec.node].gen == rec.gen {
 			return
 		}
-		k.pop()
+		k.qpop()
 	}
 }
 
@@ -314,33 +306,111 @@ func (k *Kernel) releaseSlot(idx int32) {
 }
 
 // ---------------------------------------------------------------------------
+// Queue selection
+//
+// The kernel owns two queue disciplines over the same record type: the flat
+// 4-ary heap below (general-purpose, O(log n)) and the CalendarQueue in
+// calendar.go (amortized O(1) when event delays sit in a bounded band).
+// Both fire records in exactly the same (at, seq) order — the equivalence
+// tests lock them to one another — so which one is active is invisible to
+// callers except in throughput.
+
+// SetBoundedDelayHint tells the kernel that scheduling delays are expected
+// to stay within max of the current time with around pending events queued
+// at once, switching the event queue to the calendar (bucket) discipline
+// sized for that band; max <= 0 reverts to the 4-ary heap. Both values are
+// performance advice, not a contract: events scheduled beyond the band
+// spill into the calendar's overflow heap and still fire in exact
+// (at, seq) order, and a low pending estimate merely raises bucket
+// occupancy (the ring also grows itself under load). The hint only takes
+// effect while the queue is empty (a non-empty queue leaves the discipline
+// unchanged), and Reset reverts to the heap — re-hint after each Reset, as
+// simnet's bounded latency models do automatically.
+func (k *Kernel) SetBoundedDelayHint(max time.Duration, pending int) {
+	if k.qlen() != 0 {
+		return
+	}
+	if max <= 0 {
+		k.useCal = false
+		return
+	}
+	if k.cal == nil {
+		k.cal = NewCalendarQueue(max, pending)
+	} else {
+		k.cal.reconfigure(max, pending)
+	}
+	k.useCal = true
+}
+
+// QueueKind reports which queue discipline is active: "calendar" or "heap".
+func (k *Kernel) QueueKind() string {
+	if k.useCal {
+		return "calendar"
+	}
+	return "heap"
+}
+
+func (k *Kernel) qpush(rec record) {
+	if k.useCal {
+		k.cal.push(rec)
+	} else {
+		heapPush(&k.queue, rec)
+	}
+}
+
+func (k *Kernel) qpop() record {
+	if k.useCal {
+		return k.cal.pop()
+	}
+	return heapPop(&k.queue)
+}
+
+func (k *Kernel) qpeek() (record, bool) {
+	if k.useCal {
+		return k.cal.peek()
+	}
+	if len(k.queue) == 0 {
+		return record{}, false
+	}
+	return k.queue[0], true
+}
+
+func (k *Kernel) qlen() int {
+	if k.useCal {
+		return k.cal.len()
+	}
+	return len(k.queue)
+}
+
+// ---------------------------------------------------------------------------
 // Flat 4-ary min-heap
 //
 // A 4-ary layout halves the tree depth of a binary heap: sift-down does
 // more comparisons per level but far fewer cache-missing swaps, which wins
-// on queues with 10⁵..10⁶ value-typed records.
+// on queues with 10⁵..10⁶ value-typed records. The functions operate on a
+// plain record slice so the CalendarQueue can reuse them for its overflow
+// heap.
 
 const heapArity = 4
 
-func (k *Kernel) push(rec record) {
-	k.queue = append(k.queue, rec)
-	k.siftUp(len(k.queue) - 1)
+func heapPush(qp *[]record, rec record) {
+	*qp = append(*qp, rec)
+	heapSiftUp(*qp, len(*qp)-1)
 }
 
-func (k *Kernel) pop() record {
-	q := k.queue
+func heapPop(qp *[]record) record {
+	q := *qp
 	top := q[0]
 	last := len(q) - 1
 	q[0] = q[last]
-	k.queue = q[:last]
+	*qp = q[:last]
 	if last > 0 {
-		k.siftDown(0)
+		heapSiftDown(q[:last], 0)
 	}
 	return top
 }
 
-func (k *Kernel) siftUp(i int) {
-	q := k.queue
+func heapSiftUp(q []record, i int) {
 	rec := q[i]
 	for i > 0 {
 		parent := (i - 1) / heapArity
@@ -353,8 +423,7 @@ func (k *Kernel) siftUp(i int) {
 	q[i] = rec
 }
 
-func (k *Kernel) siftDown(i int) {
-	q := k.queue
+func heapSiftDown(q []record, i int) {
 	n := len(q)
 	rec := q[i]
 	for {

@@ -1,0 +1,24 @@
+// Package simnet is the simulated network substrate the gossip protocols
+// run on when message timing matters. It models per-message latency,
+// probabilistic loss (including bursty Gilbert–Elliott loss), network
+// partitions, and node crashes, all on top of the deterministic
+// discrete-event kernel in internal/sim.
+//
+// The paper's MATLAB simulation abstracts the network away entirely (a
+// gossip "send" always arrives, instantly); simnet reproduces that setting
+// with the zero-value models (constant zero latency, no loss) and extends it
+// with the realism knobs used by the ablation experiments and the examples.
+//
+// Determinism: a Network is single-goroutine state driven by its kernel;
+// every latency and loss draw comes from the caller-supplied RNG, so a run
+// is a pure function of (config, seed). Latency models that implement
+// LatencyBounder switch the kernel to its calendar event queue — a pure
+// throughput lever that never changes delivery order or results.
+//
+// Allocation guarantee: the steady-state send→deliver path allocates
+// nothing. Node up/down flags are a packed bitset; payload-free messages
+// (the gossip hot path) ride entirely inside the kernel's 32-byte event
+// records, and payload-carrying messages park their payload in pooled
+// in-flight slots recycled through a free list (alloc_test.go enforces
+// this).
+package simnet

@@ -1,13 +1,3 @@
-// Package simnet is the simulated network substrate the gossip protocols
-// run on when message timing matters. It models per-message latency,
-// probabilistic loss (including bursty Gilbert–Elliott loss), network
-// partitions, and node crashes, all on top of the deterministic
-// discrete-event kernel in internal/sim.
-//
-// The paper's MATLAB simulation abstracts the network away entirely (a
-// gossip "send" always arrives, instantly); simnet reproduces that setting
-// with the zero-value models (constant zero latency, no loss) and extends it
-// with the realism knobs used by the ablation experiments and the examples.
 package simnet
 
 import (
@@ -15,6 +5,7 @@ import (
 	"math"
 	"time"
 
+	"gossipkit/internal/bitset"
 	"gossipkit/internal/sim"
 	"gossipkit/internal/xrand"
 )
@@ -37,6 +28,19 @@ type LatencyModel interface {
 	Latency(r *xrand.RNG, from, to NodeID) time.Duration
 }
 
+// LatencyBounder is optionally implemented by latency models whose draws
+// never exceed a known bound. A network whose model reports a positive
+// bound switches the kernel's event queue to the calendar discipline sized
+// for that band (sim.Kernel.SetBoundedDelayHint) — the scale lever that
+// makes n=10⁷ executions practical. The bound is a performance hint only:
+// exceeding it (e.g. after a mid-run SetLatency swap to a heavier model)
+// costs throughput, never correctness.
+type LatencyBounder interface {
+	// LatencyBound returns the maximum delay the model can draw, and
+	// whether such a bound exists.
+	LatencyBound() (time.Duration, bool)
+}
+
 // LossModel decides whether a message is dropped in transit.
 type LossModel interface {
 	Drop(r *xrand.RNG, from, to NodeID) bool
@@ -51,6 +55,9 @@ type ConstantLatency struct{ D time.Duration }
 // Latency implements LatencyModel.
 func (c ConstantLatency) Latency(*xrand.RNG, NodeID, NodeID) time.Duration { return c.D }
 
+// LatencyBound implements LatencyBounder.
+func (c ConstantLatency) LatencyBound() (time.Duration, bool) { return c.D, true }
+
 // UniformLatency draws delays uniformly from [Lo, Hi].
 type UniformLatency struct{ Lo, Hi time.Duration }
 
@@ -60,6 +67,14 @@ func (u UniformLatency) Latency(r *xrand.RNG, _, _ NodeID) time.Duration {
 		return u.Lo
 	}
 	return u.Lo + time.Duration(r.Uint64n(uint64(u.Hi-u.Lo)+1))
+}
+
+// LatencyBound implements LatencyBounder.
+func (u UniformLatency) LatencyBound() (time.Duration, bool) {
+	if u.Hi <= u.Lo {
+		return u.Lo, true
+	}
+	return u.Hi, true
 }
 
 // ExponentialLatency draws delays from Exp(mean) shifted by Floor, a common
@@ -165,7 +180,7 @@ type Network struct {
 	loss      LossModel
 	all       Handler   // shared handler for every node (RegisterAll)
 	handlers  []Handler // per-node handlers, allocated on first Register
-	up        []bool
+	up        bitset.Bits
 	partition func(a, b NodeID) bool
 	stats     Stats
 	tracer    Tracer
@@ -218,20 +233,23 @@ func (nw *Network) Reset(kernel *sim.Kernel, n int, rng *xrand.RNG, cfg Config) 
 	if nw.loss == nil {
 		nw.loss = NoLoss{}
 	}
-	if cap(nw.up) >= n {
-		nw.up = nw.up[:n]
-	} else {
-		nw.up = make([]bool, n)
-	}
-	for i := range nw.up {
-		nw.up[i] = true
-	}
+	nw.up.Reset(n)
+	nw.up.SetAll()
 	for i := range nw.inflight {
 		nw.inflight[i] = inflight{}
 	}
 	nw.inflight = nw.inflight[:0]
 	nw.freeMsg = nw.freeMsg[:0]
 	nw.deliverID = kernel.RegisterHandler(nw.deliverEvent)
+	// A bounded latency band selects the kernel's calendar queue; anything
+	// unbounded (or zero) keeps the heap. The pending estimate is n: peak
+	// in-flight messages track group size during an epidemic's final
+	// rounds (a few per node, and the ring self-grows past estimate).
+	if b, ok := nw.latency.(LatencyBounder); ok {
+		if d, ok := b.LatencyBound(); ok && d > 0 {
+			kernel.SetBoundedDelayHint(d, n)
+		}
+	}
 }
 
 // N returns the number of nodes.
@@ -275,7 +293,7 @@ func (nw *Network) Send(from, to NodeID, payload any) {
 	nw.checkID(from)
 	nw.checkID(to)
 	now := nw.kernel.Now()
-	if !nw.up[from] {
+	if !nw.up.Get(int(from)) {
 		nw.stats.DroppedCrash++
 		nw.trace(Event{Kind: EventDroppedCrash, From: from, To: to, At: now, SentAt: now})
 		return
@@ -296,6 +314,15 @@ func (nw *Network) Send(from, to NodeID, payload any) {
 	if d < 0 {
 		d = 0
 	}
+	// Payload-free messages with no tracer watching — the entire gossip
+	// hot path — need no in-flight slot: the sender id rides in the event
+	// record's payload word (encoded below zero), halving peak queue
+	// memory at n=10⁷. Everything else parks (from, sentAt, payload) in a
+	// pooled slot.
+	if payload == nil && nw.tracer == nil {
+		nw.kernel.ScheduleAfter(d, nw.deliverID, int32(to), -int32(from)-1)
+		return
+	}
 	slot := nw.allocMsg(from, now, payload)
 	nw.kernel.ScheduleAfter(d, nw.deliverID, int32(to), slot)
 }
@@ -313,13 +340,22 @@ func (nw *Network) allocMsg(from NodeID, sentAt sim.Time, payload any) int32 {
 }
 
 // deliverEvent is the typed kernel handler for message arrival: node is the
-// destination, payload the inflight slot index.
+// destination; payload is an inflight slot index when >= 0, or the encoded
+// sender of a slot-free payload-nil message when negative. A message sent
+// slot-free before a tracer was installed mid-flight reports SentAt equal
+// to its delivery time — the only observable difference between the two
+// encodings.
 func (nw *Network) deliverEvent(now sim.Time, node, slot int32) {
-	m := nw.inflight[slot]
-	nw.inflight[slot].payload = nil // release the payload reference
-	nw.freeMsg = append(nw.freeMsg, slot)
+	var m inflight
+	if slot < 0 {
+		m = inflight{from: NodeID(-slot - 1), sentAt: now}
+	} else {
+		m = nw.inflight[slot]
+		nw.inflight[slot].payload = nil // release the payload reference
+		nw.freeMsg = append(nw.freeMsg, slot)
+	}
 	to := NodeID(node)
-	if !nw.up[to] {
+	if !nw.up.Get(int(to)) {
 		nw.stats.DroppedCrash++
 		nw.trace(Event{Kind: EventDroppedCrash, From: m.from, To: to, At: now, SentAt: m.sentAt})
 		return
@@ -349,20 +385,20 @@ func (nw *Network) deliverEvent(now sim.Time, node, slot int32) {
 // delivery time and its sends are discarded (fail-stop crash).
 func (nw *Network) Crash(id NodeID) {
 	nw.checkID(id)
-	nw.up[id] = false
+	nw.up.Unset(int(id))
 }
 
 // Restart marks id as up again. (The paper's model is crash-stop; Restart
 // exists for the membership and failure-detector examples.)
 func (nw *Network) Restart(id NodeID) {
 	nw.checkID(id)
-	nw.up[id] = true
+	nw.up.Set(int(id))
 }
 
 // Up reports whether id is currently up.
 func (nw *Network) Up(id NodeID) bool {
 	nw.checkID(id)
-	return nw.up[id]
+	return nw.up.Get(int(id))
 }
 
 // SetPartition installs a predicate blocking communication from a to b when

@@ -1,8 +1,3 @@
-// Package stats provides the statistical machinery used to validate the
-// simulator against the analytic model: running moments, confidence
-// intervals, histograms, the Binomial law (paper Eq. 5), chi-square
-// goodness-of-fit with p-values, Kolmogorov–Smirnov distances, and series
-// comparison metrics (RMSE/MAE) used in EXPERIMENTS.md.
 package stats
 
 import (

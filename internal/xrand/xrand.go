@@ -1,18 +1,3 @@
-// Package xrand provides a small, fast, deterministic random number
-// generator with splittable streams, plus the sampling utilities the
-// simulator needs (uniform ints, floats, permutations, sampling without
-// replacement).
-//
-// The generator is PCG-XSL-RR 128/64 ("pcg64"), seeded through SplitMix64 so
-// that any 64-bit seed yields a well-mixed initial state. Streams derived
-// with Split are statistically independent for all practical purposes, which
-// lets Monte-Carlo replications run in parallel while keeping results
-// independent of goroutine scheduling: replication i always uses the stream
-// split for index i.
-//
-// xrand.RNG implements math/rand.Source and math/rand.Source64, so it can be
-// dropped into stdlib helpers when convenient, but the methods defined here
-// avoid the extra allocation and locking of math/rand.
 package xrand
 
 import "math/bits"
@@ -162,6 +147,39 @@ func (r *RNG) Shuffle(n int, swap func(i, j int)) {
 	}
 }
 
+// Scratch pools the working storage the sampling routines need beyond
+// their output slice: the dense path's n-sized permutation and the mid-k
+// path's duplicate bitset. One Scratch serves many draws (a pooled failure
+// mask owns one), making repeated mask redraws allocation-free after
+// warm-up, and it stores candidate values as int32 (group sizes are bounded
+// by 2³¹), halving the resident bytes per node against []int. The zero
+// value is ready to use. A Scratch carries no RNG state: draws with and
+// without one consume identical random streams.
+type Scratch struct {
+	vals []int32
+	seen []uint64
+}
+
+// buf32 returns an n-sized int32 slice from the pool, contents unspecified.
+func (s *Scratch) buf32(n int) []int32 {
+	if cap(s.vals) < n {
+		s.vals = make([]int32, n)
+	}
+	s.vals = s.vals[:n]
+	return s.vals
+}
+
+// bits returns an n-bit zeroed bitset from the pool.
+func (s *Scratch) bits(n int) []uint64 {
+	w := (n + 63) / 64
+	if cap(s.seen) < w {
+		s.seen = make([]uint64, w)
+	}
+	s.seen = s.seen[:w]
+	clear(s.seen)
+	return s.seen
+}
+
 // SampleInts writes k distinct uniform values from [0, n) into dst and
 // returns dst[:k]. If k >= n it returns all of [0, n) in random order.
 // dst must have capacity at least min(k, n); a nil dst allocates.
@@ -169,7 +187,8 @@ func (r *RNG) Shuffle(n int, swap func(i, j int)) {
 // For small k relative to n it uses Floyd's algorithm (O(k) expected, with
 // duplicate detection over dst itself for gossip-sized k so the hot path
 // never allocates); otherwise it uses a partial Fisher–Yates over a scratch
-// slice.
+// slice. The random stream is identical to SampleIntsVisit for every
+// (n, k) — duplicate detection draws no randomness.
 func (r *RNG) SampleInts(dst []int, n, k int) []int {
 	if n < 0 || k < 0 {
 		panic("xrand: SampleInts with negative n or k")
@@ -185,12 +204,11 @@ func (r *RNG) SampleInts(dst []int, n, k int) []int {
 		return dst
 	}
 	// Floyd's algorithm wins when the selection is sparse; the constant
-	// 4 keeps the duplicate hit rate low. The duplicate check consumes no
-	// randomness, so the scan and map variants draw identical streams.
+	// 4 keeps the duplicate hit rate low.
 	if k*4 <= n {
 		if k <= 64 {
 			// Fanout-sized draws: O(k²) scan of the picks so far
-			// beats a map and stays allocation-free.
+			// beats a set and stays allocation-free.
 			for j := n - k; j < n; j++ {
 				t := r.Intn(j + 1)
 				for _, v := range dst {
@@ -202,13 +220,13 @@ func (r *RNG) SampleInts(dst []int, n, k int) []int {
 				dst = append(dst, t)
 			}
 		} else {
-			seen := make(map[int]struct{}, k)
+			seen := make([]uint64, (n+63)/64)
 			for j := n - k; j < n; j++ {
 				t := r.Intn(j + 1)
-				if _, dup := seen[t]; dup {
+				if seen[uint(t)>>6]&(1<<(uint(t)&63)) != 0 {
 					t = j
 				}
-				seen[t] = struct{}{}
+				seen[uint(t)>>6] |= 1 << (uint(t) & 63)
 				dst = append(dst, t)
 			}
 		}
@@ -226,6 +244,74 @@ func (r *RNG) SampleInts(dst []int, n, k int) []int {
 		scratch[i], scratch[j] = scratch[j], scratch[i]
 	}
 	return append(dst, scratch[:k]...)
+}
+
+// SampleIntsVisit draws the same k-subset of [0, n) as SampleInts —
+// identical random stream — but streams the values to visit instead of
+// materializing an []int, with all working storage pooled (int32-sized) in
+// s. This is the paper-scale mask redraw primitive: at n=10⁶⁺ it avoids
+// holding an 8-bytes-per-member pick list alive in the arena.
+func (r *RNG) SampleIntsVisit(s *Scratch, n, k int, visit func(int)) {
+	if n < 0 || k < 0 {
+		panic("xrand: SampleInts with negative n or k")
+	}
+	if k > n {
+		k = n
+	}
+	if k == 0 {
+		return
+	}
+	if s == nil {
+		s = &Scratch{}
+	}
+	// Floyd's algorithm wins when the selection is sparse; the constant
+	// 4 keeps the duplicate hit rate low. The duplicate check consumes no
+	// randomness, so the scan and bitset variants draw identical streams.
+	if k*4 <= n {
+		picks := s.buf32(k)[:0]
+		if k <= 64 {
+			// Fanout-sized draws: O(k²) scan of the picks so far
+			// beats a set and stays allocation-free.
+			for j := n - k; j < n; j++ {
+				t := int32(r.Intn(j + 1))
+				for _, v := range picks {
+					if v == t {
+						t = int32(j)
+						break
+					}
+				}
+				picks = append(picks, t)
+			}
+		} else {
+			seen := s.bits(n)
+			for j := n - k; j < n; j++ {
+				t := r.Intn(j + 1)
+				if seen[uint(t)>>6]&(1<<(uint(t)&63)) != 0 {
+					t = j
+				}
+				seen[uint(t)>>6] |= 1 << (uint(t) & 63)
+				picks = append(picks, int32(t))
+			}
+		}
+		// Floyd yields a uniformly random k-subset but in biased order;
+		// shuffle so callers can rely on exchangeability of positions.
+		r.Shuffle(len(picks), func(i, j int) { picks[i], picks[j] = picks[j], picks[i] })
+		for _, v := range picks {
+			visit(int(v))
+		}
+		return
+	}
+	scratch := s.buf32(n)
+	for i := range scratch {
+		scratch[i] = int32(i)
+	}
+	for i := 0; i < k; i++ {
+		j := i + r.Intn(n-i)
+		scratch[i], scratch[j] = scratch[j], scratch[i]
+	}
+	for _, v := range scratch[:k] {
+		visit(int(v))
+	}
 }
 
 // SampleExcluding writes k distinct uniform values from [0, n) \ {excl}
@@ -255,6 +341,29 @@ func (r *RNG) SampleExcluding(dst []int, n, k, excl int) []int {
 		}
 	}
 	return dst
+}
+
+// SampleExcludingVisit draws the same k-subset of [0, n) \ {excl} as
+// SampleExcluding — identical random stream — streaming the values to
+// visit with pooled working storage; see SampleIntsVisit.
+func (r *RNG) SampleExcludingVisit(s *Scratch, n, k, excl int, visit func(int)) {
+	if excl < 0 || excl >= n {
+		panic("xrand: SampleExcluding exclusion out of range")
+	}
+	if k > n-1 {
+		k = n - 1
+	}
+	if k <= 0 {
+		return
+	}
+	// Sample from [0, n-1) and remap values >= excl up by one. This keeps
+	// the draw uniform over the n-1 admissible members.
+	r.SampleIntsVisit(s, n-1, k, func(v int) {
+		if v >= excl {
+			v++
+		}
+		visit(v)
+	})
 }
 
 // NormFloat64 returns a standard normal variate using the polar

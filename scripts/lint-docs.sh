@@ -1,0 +1,24 @@
+#!/bin/sh
+# lint-docs.sh — fail CI when an internal package has no package comment.
+#
+# Every internal/ package must carry a `// Package <name> ...` comment (by
+# convention in doc.go, but any non-test .go file counts) stating its role,
+# paper section if any, and determinism/alloc guarantees — see
+# ARCHITECTURE.md. This is a grep, not a linter dependency, so it runs
+# anywhere a POSIX shell does.
+set -eu
+cd "$(dirname "$0")/.."
+
+fail=0
+for dir in internal/*/; do
+    pkg=$(basename "$dir")
+    if ! grep -qs "^// Package $pkg " "$dir"*.go; then
+        echo "docs-lint: package $pkg lacks a package comment ('// Package $pkg ...' in $dir)" >&2
+        fail=1
+    fi
+done
+if [ "$fail" -ne 0 ]; then
+    echo "docs-lint: add the missing package comments (doc.go preferred)" >&2
+    exit 1
+fi
+echo "docs-lint: all internal packages documented"
