@@ -1,0 +1,110 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"gossipkit/internal/xrand"
+)
+
+// Differential stress: push enough pending events to force grow(), mix
+// far-future pushes (overflow), and interleave pops with below-window
+// pushes (rebase), comparing pop order against the plain heap.
+func TestReviewCalendarGrowRebase(t *testing.T) {
+	for seed := uint64(1); seed <= 10; seed++ {
+		r := xrand.New(seed)
+		cal := NewCalendarQueue(time.Millisecond, 0) // nb=256, grow at >2048
+		var hp []record
+		var seq uint64
+		push := func(at Time) {
+			seq++
+			rec := record{at: at, seq: seq}
+			cal.push(rec)
+			heapPush(&hp, rec)
+		}
+		pop := func() {
+			if len(hp) == 0 {
+				return
+			}
+			want := heapPop(&hp)
+			got := cal.pop()
+			if got != want {
+				t.Fatalf("seed=%d: pop got (at=%d seq=%d) want (at=%d seq=%d)", seed, got.at, got.seq, want.at, want.seq)
+			}
+		}
+		now := Time(0)
+		// Phase 1: flood 10k events within the band to force grow().
+		for i := 0; i < 10000; i++ {
+			push(now.Add(time.Duration(r.Intn(1_000_000))))
+		}
+		if cal.len() != len(hp) {
+			t.Fatalf("seed=%d: len %d vs %d", seed, cal.len(), len(hp))
+		}
+		// Phase 2: interleave pops with pushes, some far future (overflow),
+		// some right at/below the current min (rebase pressure).
+		for i := 0; i < 30000; i++ {
+			op := r.Intn(10)
+			var minAt Time
+			if len(hp) > 0 {
+				minAt = hp[0].at
+			}
+			switch {
+			case op < 6:
+				pop()
+			case op < 8:
+				push(minAt.Add(time.Duration(r.Intn(2_000_000))))
+			case op < 9:
+				// far beyond the band: overflow heap
+				push(minAt.Add(time.Duration(10_000_000 + r.Intn(50_000_000))))
+			default:
+				// at or just above the current min (can land below the
+				// calendar's slid window -> rebase)
+				push(minAt.Add(time.Duration(r.Intn(3))))
+			}
+		}
+		for len(hp) > 0 {
+			pop()
+		}
+		if cal.len() != 0 {
+			t.Fatalf("seed=%d: calendar not empty at end: %d", seed, cal.len())
+		}
+		_, ok := cal.peek()
+		if ok {
+			t.Fatalf("seed=%d: peek on empty returned ok", seed)
+		}
+	}
+}
+
+// Stress the overflow-only regime: everything lands beyond the window,
+// then drains through rebase-on-pop.
+func TestReviewCalendarOverflowOnly(t *testing.T) {
+	r := xrand.New(7)
+	cal := NewCalendarQueue(50*time.Microsecond, 0)
+	var hp []record
+	var seq uint64
+	for i := 0; i < 5000; i++ {
+		seq++
+		at := Time(time.Duration(1_000_000_000 + r.Intn(1_000_000_000)))
+		rec := record{at: at, seq: seq}
+		cal.push(rec)
+		heapPush(&hp, rec)
+	}
+	for len(hp) > 0 {
+		want := heapPop(&hp)
+		// interleave a below-window push occasionally
+		if want.seq%97 == 0 {
+			seq++
+			rec := record{at: want.at, seq: seq}
+			cal.push(rec)
+			heapPush(&hp, rec)
+			want = heapPop(&hp)
+		}
+		got := cal.pop()
+		if got != want {
+			t.Fatalf("pop got (at=%d seq=%d) want (at=%d seq=%d)", got.at, got.seq, want.at, want.seq)
+		}
+	}
+	if cal.len() != 0 {
+		t.Fatalf("calendar not empty: %d", cal.len())
+	}
+}
