@@ -10,9 +10,12 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"time"
 
@@ -38,7 +41,10 @@ func main() {
 		}
 		return
 	}
-	cfg := experiment.Config{Seed: *seed, Scale: *scale}
+	// Interrupt (Ctrl-C) cancels the sweep worker pools mid-figure.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	cfg := experiment.Config{Seed: *seed, Scale: *scale, Ctx: ctx}
 	var ids []string
 	switch {
 	case *runID != "":
@@ -64,6 +70,10 @@ func main() {
 		start := time.Now()
 		fig, err := e.Run(cfg)
 		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				fmt.Fprintln(os.Stderr, "experiments: interrupted")
+				os.Exit(130)
+			}
 			fmt.Fprintf(os.Stderr, "experiments: %s failed: %v\n", id, err)
 			os.Exit(1)
 		}

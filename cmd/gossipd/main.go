@@ -12,13 +12,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
 	"time"
 
-	"gossipkit/internal/dist"
+	"gossipkit"
 	"gossipkit/internal/gossipnode"
 	"gossipkit/internal/wire"
 )
@@ -36,7 +37,7 @@ func main() {
 
 	node, err := gossipnode.Start(gossipnode.Config{
 		ListenAddr: *listen,
-		Fanout:     dist.NewPoisson(*fanout),
+		Fanout:     gossipkit.Poisson(*fanout),
 		Seed:       *seed,
 		Deliver: func(g wire.Gossip) {
 			fmt.Printf("[%s] deliver msg %016x from %s (%d hops): %q\n",
@@ -49,6 +50,15 @@ func main() {
 	}
 	defer node.Close()
 	fmt.Printf("gossipd listening on %s (fanout Po(%.1f))\n", node.Addr(), *fanout)
+	// The analytic engine prices this fanout before any traffic flows:
+	// per-multicast delivery probability if up to 10% of peers are down.
+	if out, err := gossipkit.Run(context.Background(), gossipkit.Analytic{
+		Params: gossipkit.Params{N: 1000, Fanout: gossipkit.Poisson(*fanout), AliveRatio: 0.9},
+	}); err == nil {
+		pred := out.Aggregate.(gossipkit.Prediction)
+		fmt.Printf("model: delivery %.4f at q=0.9, collapse below q_c=%.2f (Eq. 10/11)\n",
+			pred.Reliability, pred.CriticalRatio)
+	}
 
 	if *join != "" {
 		if err := node.Join(*join); err != nil {

@@ -1,6 +1,7 @@
 // Command gossipmodel evaluates the paper's analytic fault-tolerance model
 // without any simulation: critical points (Eq. 10), reliability S(z, q)
-// (Eq. 11), design fanouts (Eq. 12), and required executions (Eq. 6).
+// (Eq. 11), design fanouts (Eq. 12), and required executions (Eq. 6) — all
+// through the Analytic engine of the unified gossipkit.Run API.
 //
 // Usage:
 //
@@ -11,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -18,9 +20,12 @@ import (
 	"strings"
 
 	"gossipkit"
-	"gossipkit/internal/genfunc"
-	"gossipkit/internal/stats"
 )
+
+// modelN is the nominal group size handed to the Analytic engine: the
+// generating-function model is size-free (Eq. 11 depends only on P and q),
+// so any valid n evaluates the same curve.
+const modelN = 1000
 
 func main() {
 	if len(os.Args) < 2 {
@@ -58,6 +63,18 @@ commands:
   executions   -fanout Z -q Q -success P  minimum executions t from Eq. 6`)
 }
 
+// predict evaluates Eq. 11 for Poisson mean fanout z at nonfailed ratio q
+// via the Analytic engine.
+func predict(z, q float64) (gossipkit.Prediction, error) {
+	out, err := gossipkit.Run(context.Background(), gossipkit.Analytic{
+		Params: gossipkit.Params{N: modelN, Fanout: gossipkit.Poisson(z), AliveRatio: q},
+	})
+	if err != nil {
+		return gossipkit.Prediction{}, err
+	}
+	return out.Aggregate.(gossipkit.Prediction), nil
+}
+
 func cmdReliability(args []string) error {
 	fs := flag.NewFlagSet("reliability", flag.ExitOnError)
 	fanout := fs.Float64("fanout", 4.0, "mean fanout z")
@@ -65,13 +82,12 @@ func cmdReliability(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	s, err := genfunc.PoissonReliability(*fanout, *q)
+	pred, err := predict(*fanout, *q)
 	if err != nil {
 		return err
 	}
-	qc := gossipkit.CriticalRatio(*fanout)
-	fmt.Printf("S(z=%.3f, q=%.3f) = %.6f    q_c = 1/z = %.4f\n", *fanout, *q, s, qc)
-	if s == 0 {
+	fmt.Printf("S(z=%.3f, q=%.3f) = %.6f    q_c = 1/z = %.4f\n", *fanout, *q, pred.Reliability, pred.CriticalRatio)
+	if pred.Reliability == 0 {
 		fmt.Println("subcritical: q <= 1/z, reliability collapses (Eq. 10)")
 	}
 	return nil
@@ -134,19 +150,20 @@ func cmdExecutions(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	s, err := genfunc.PoissonReliability(*fanout, *q)
+	pred, err := predict(*fanout, *q)
 	if err != nil {
 		return err
 	}
-	if s == 0 {
+	if pred.Reliability == 0 {
 		return fmt.Errorf("subcritical configuration (q <= 1/z): no number of executions suffices")
 	}
-	t, err := stats.MinTrials(*success, s)
+	p := gossipkit.Params{N: modelN, Fanout: gossipkit.Poisson(*fanout), AliveRatio: *q}
+	t, err := gossipkit.ExecutionsForSuccess(p, *success)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("per-execution reliability S = %.4f\n", s)
+	fmt.Printf("per-execution reliability S = %.4f\n", pred.Reliability)
 	fmt.Printf("minimum executions for p_s=%.4f: t = %d   (Eq. 6)\n", *success, t)
-	fmt.Printf("achieved: 1-(1-S)^t = %.6f\n", stats.AtLeastOne(s, t))
+	fmt.Printf("achieved: 1-(1-S)^t = %.6f\n", gossipkit.SuccessAfter(pred.Reliability, t))
 	return nil
 }

@@ -1,6 +1,8 @@
 // Command gossipscenario runs declarative fault-injection campaigns over
 // the gossip simulator and reports how delivery degrades against the
-// paper's static-q model (Eq. 11).
+// paper's static-q model (Eq. 11). It drives the scenario engine through
+// the unified gossipkit.Run API: sweeps are cancellable (Ctrl-C) and
+// stream per-cell progress with -progress.
 //
 // Usage:
 //
@@ -9,6 +11,7 @@
 //	gossipscenario run -scenario crash-wave -n 2000 -fanout 6 -format ascii
 //	gossipscenario run -spec campaign.json -format csv
 //	gossipscenario sweep -seeds 20 -workers 8 -format ascii
+//	gossipscenario grid -qs 0.6,0.8,1.0 -fanouts 3,5,8 -format csv
 //
 // Output on stdout is a pure function of the flags and seed (timing and
 // throughput diagnostics go to stderr), so reports can be diffed and
@@ -16,18 +19,19 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"strconv"
 	"strings"
 	"time"
 
-	"gossipkit/internal/core"
-	"gossipkit/internal/dist"
-	"gossipkit/internal/scenario"
+	"gossipkit"
 )
 
 func main() {
@@ -35,16 +39,18 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	var err error
 	switch os.Args[1] {
 	case "list":
 		err = list()
 	case "run":
-		err = run(os.Args[2:], false)
+		err = run(ctx, os.Args[2:], false)
 	case "sweep":
-		err = run(os.Args[2:], true)
+		err = run(ctx, os.Args[2:], true)
 	case "grid":
-		err = grid(os.Args[2:])
+		err = grid(ctx, os.Args[2:])
 	case "-h", "-help", "--help", "help":
 		usage()
 	default:
@@ -52,6 +58,10 @@ func main() {
 		os.Exit(2)
 	}
 	if err != nil {
+		if errors.Is(err, gossipkit.ErrCanceled) {
+			fmt.Fprintln(os.Stderr, "gossipscenario: interrupted")
+			os.Exit(130)
+		}
 		fmt.Fprintln(os.Stderr, "gossipscenario:", err)
 		os.Exit(1)
 	}
@@ -77,6 +87,7 @@ flags (run/sweep):
   -seeds INT            replications per scenario (default 1 for run, 10 for sweep)
   -workers INT          worker pool size; 0 = GOMAXPROCS (sweep/grid)
   -format FMT           json, csv, or ascii (default json; grid: csv or json)
+  -progress             stream per-cell progress to stderr
 
 flags (grid only):
   -qs LIST              comma-separated nonfailed ratios, e.g. 0.6,0.8,1.0
@@ -85,13 +96,26 @@ flags (grid only):
 }
 
 func list() error {
-	for _, s := range scenario.DefaultSuite() {
+	for _, s := range gossipkit.DefaultScenarioSuite() {
 		fmt.Printf("%-18s %2d steps  %s\n", s.Name, len(s.Steps), s.Description)
 	}
 	return nil
 }
 
-func run(args []string, sweep bool) error {
+// observer returns a per-cell progress Observer writing to stderr, or nil
+// when progress streaming is off; cells sizes the "i/total" prefix.
+func observer(enabled bool, cells int) gossipkit.Observer {
+	if !enabled {
+		return nil
+	}
+	return func(r gossipkit.Report) {
+		det := r.Detail.(gossipkit.ScenarioReport)
+		fmt.Fprintf(os.Stderr, "  cell %d/%d %-18s seed=%d reliability=%.4f spread=%.1fms\n",
+			r.Run+1, cells, det.Scenario, det.Seed, r.Reliability, r.SpreadMs)
+	}
+}
+
+func run(ctx context.Context, args []string, sweep bool) error {
 	fs := flag.NewFlagSet("gossipscenario", flag.ExitOnError)
 	var (
 		suite    = fs.String("suite", "", "run the bundled suite (\"default\")")
@@ -106,6 +130,7 @@ func run(args []string, sweep bool) error {
 		seeds    = fs.Int("seeds", 0, "replications per scenario")
 		workers  = fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 		format   = fs.String("format", "json", "output format: json, csv, ascii")
+		progress = fs.Bool("progress", false, "stream per-cell progress to stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -126,23 +151,24 @@ func run(args []string, sweep bool) error {
 	if err != nil {
 		return err
 	}
-	cfg := scenario.SweepConfig{
-		Run: scenario.RunConfig{
-			Params:            core.Params{N: *n, Fanout: d, AliveRatio: *q},
+	campaign := gossipkit.Campaign{
+		Scenarios: scenarios,
+		Config: gossipkit.ScenarioRunConfig{
+			Params:            gossipkit.Params{N: *n, Fanout: d, AliveRatio: *q},
 			PartialViewCopies: *views,
 		},
-		Seeds:    *seeds,
-		BaseSeed: *seed,
-		Workers:  *workers,
 	}
+	cells := len(scenarios) * *seeds
 
 	start := time.Now()
-	result, err := scenario.Sweep(scenarios, cfg)
+	out, err := gossipkit.RunMany(ctx, campaign, *seeds,
+		gossipkit.WithSeed(*seed), gossipkit.WithWorkers(*workers),
+		gossipkit.WithObserver(observer(*progress, cells)))
 	if err != nil {
 		return err
 	}
+	result := out.Aggregate.(*gossipkit.ScenarioSweepResult)
 	elapsed := time.Since(start)
-	cells := len(scenarios) * *seeds
 	w := *workers
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
@@ -153,11 +179,11 @@ func run(args []string, sweep bool) error {
 
 	switch *format {
 	case "json":
-		out, err := json.MarshalIndent(result, "", "  ")
+		enc, err := json.MarshalIndent(result, "", "  ")
 		if err != nil {
 			return err
 		}
-		fmt.Println(string(out))
+		fmt.Println(string(enc))
 	case "csv":
 		fmt.Print(result.CSV())
 	case "ascii":
@@ -169,7 +195,7 @@ func run(args []string, sweep bool) error {
 }
 
 // grid sweeps the (scenario × q × fanout) plane and emits the full grid.
-func grid(args []string) error {
+func grid(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("gossipscenario grid", flag.ExitOnError)
 	var (
 		suite    = fs.String("suite", "", "run the bundled suite (\"default\")")
@@ -184,6 +210,7 @@ func grid(args []string) error {
 		seeds    = fs.Int("seeds", 5, "replications per grid cell")
 		workers  = fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 		format   = fs.String("format", "csv", "output format: csv or json")
+		progress = fs.Bool("progress", false, "stream per-cell progress to stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -200,7 +227,7 @@ func grid(args []string) error {
 	if err != nil {
 		return err
 	}
-	var fanouts []dist.Distribution
+	var fanouts []gossipkit.Distribution
 	for _, f := range fans {
 		d, err := makeDist(*distKind, f)
 		if err != nil {
@@ -212,25 +239,26 @@ func grid(args []string) error {
 	if err != nil {
 		return err
 	}
-	cfg := scenario.GridConfig{
-		Run: scenario.RunConfig{
-			Params:            core.Params{N: *n, Fanout: d0, AliveRatio: 1},
+	campaign := gossipkit.Campaign{
+		Scenarios: scenarios,
+		Config: gossipkit.ScenarioRunConfig{
+			Params:            gossipkit.Params{N: *n, Fanout: d0, AliveRatio: 1},
 			PartialViewCopies: *views,
 		},
-		Qs:       qs,
-		Fanouts:  fanouts,
-		Seeds:    *seeds,
-		BaseSeed: *seed,
-		Workers:  *workers,
+		Qs:      qs,
+		Fanouts: fanouts,
 	}
+	cells := len(scenarios) * len(qs) * len(fanouts) * *seeds
 
 	start := time.Now()
-	result, err := scenario.SweepGrid(scenarios, cfg)
+	out, err := gossipkit.RunMany(ctx, campaign, *seeds,
+		gossipkit.WithSeed(*seed), gossipkit.WithWorkers(*workers),
+		gossipkit.WithObserver(observer(*progress, cells)))
 	if err != nil {
 		return err
 	}
+	result := out.Aggregate.(*gossipkit.ScenarioGridResult)
 	elapsed := time.Since(start)
-	cells := len(scenarios) * len(qs) * len(fanouts) * *seeds
 	fmt.Fprintf(os.Stderr, "ran %d scenarios x %d qs x %d fanouts x %d seeds = %d executions in %v (%.1f runs/sec)\n",
 		len(scenarios), len(qs), len(fanouts), *seeds, cells,
 		elapsed.Round(time.Millisecond), float64(cells)/elapsed.Seconds())
@@ -239,11 +267,11 @@ func grid(args []string) error {
 	case "csv":
 		fmt.Print(result.CSV())
 	case "json":
-		out, err := json.MarshalIndent(result, "", "  ")
+		enc, err := json.MarshalIndent(result, "", "  ")
 		if err != nil {
 			return err
 		}
-		fmt.Println(string(out))
+		fmt.Println(string(enc))
 	default:
 		return fmt.Errorf("unknown format %q (want csv or json)", *format)
 	}
@@ -264,7 +292,7 @@ func parseFloats(flagName, list string) ([]float64, error) {
 	return out, nil
 }
 
-func selectScenarios(suite, name, spec string) ([]*scenario.Scenario, error) {
+func selectScenarios(suite, name, spec string) ([]*gossipkit.Scenario, error) {
 	selected := 0
 	for _, s := range []string{suite, name, spec} {
 		if s != "" {
@@ -276,43 +304,43 @@ func selectScenarios(suite, name, spec string) ([]*scenario.Scenario, error) {
 	}
 	switch {
 	case name != "":
-		s, ok := scenario.ByName(name)
+		s, ok := gossipkit.ScenarioByName(name)
 		if !ok {
 			var names []string
-			for _, b := range scenario.DefaultSuite() {
+			for _, b := range gossipkit.DefaultScenarioSuite() {
 				names = append(names, b.Name)
 			}
 			return nil, fmt.Errorf("unknown scenario %q (bundled: %s)", name, strings.Join(names, ", "))
 		}
-		return []*scenario.Scenario{s}, nil
+		return []*gossipkit.Scenario{s}, nil
 	case spec != "":
 		data, err := os.ReadFile(spec)
 		if err != nil {
 			return nil, err
 		}
-		s, err := scenario.Parse(data)
+		s, err := gossipkit.ParseScenario(data)
 		if err != nil {
 			return nil, err
 		}
-		return []*scenario.Scenario{s}, nil
+		return []*gossipkit.Scenario{s}, nil
 	case suite == "" || suite == "default":
-		return scenario.DefaultSuite(), nil
+		return gossipkit.DefaultScenarioSuite(), nil
 	default:
 		return nil, fmt.Errorf("unknown suite %q (only \"default\" is bundled)", suite)
 	}
 }
 
-func makeDist(kind string, fanout float64) (dist.Distribution, error) {
+func makeDist(kind string, fanout float64) (gossipkit.Distribution, error) {
 	switch kind {
 	case "poisson":
-		return dist.NewPoisson(fanout), nil
+		return gossipkit.Poisson(fanout), nil
 	case "fixed":
-		return dist.NewFixed(int(fanout)), nil
+		return gossipkit.FixedFanout(int(fanout)), nil
 	case "geometric":
 		// Mean (1-p)/p = fanout → p = 1/(1+fanout).
-		return dist.NewGeometric(1 / (1 + fanout)), nil
+		return gossipkit.GeometricFanout(1 / (1 + fanout)), nil
 	case "uniform":
-		return dist.NewUniformRange(1, int(fanout)), nil
+		return gossipkit.UniformFanout(1, int(fanout)), nil
 	default:
 		return nil, fmt.Errorf("unknown distribution %q", kind)
 	}

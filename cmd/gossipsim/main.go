@@ -1,17 +1,24 @@
 // Command gossipsim runs the paper's general gossiping algorithm for one
-// parameter set and reports measured vs predicted reliability.
+// parameter set and reports measured vs predicted reliability, entirely on
+// the unified gossipkit.Run engine API.
 //
 // Usage:
 //
 //	gossipsim -n 1000 -fanout 4.0 -q 0.9 -runs 20 -seed 42
 //	gossipsim -n 2000 -dist fixed -fanout 4 -q 0.8
 //	gossipsim -n 1000 -fanout 4.0 -q 0.9 -latency 5ms -loss 0.05
+//	gossipsim -n 5000 -runs 200 -progress    # per-run progress on stderr
+//
+// Interrupt (Ctrl-C) cancels in-flight sweeps cleanly via context.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	"gossipkit"
@@ -19,23 +26,30 @@ import (
 
 func main() {
 	var (
-		n       = flag.Int("n", 1000, "group size")
-		distKin = flag.String("dist", "poisson", "fanout distribution: poisson, fixed, geometric, uniform")
-		fanout  = flag.Float64("fanout", 4.0, "mean fanout (poisson/geometric) or exact fanout (fixed) or hi bound (uniform, lo=1)")
-		q       = flag.Float64("q", 0.9, "nonfailed member ratio")
-		runs    = flag.Int("runs", 20, "Monte-Carlo executions")
-		seed    = flag.Uint64("seed", 42, "random seed")
-		latency = flag.Duration("latency", 0, "run one execution on the simulated network with this constant latency")
-		loss    = flag.Float64("loss", 0, "message loss probability for the network execution")
+		n        = flag.Int("n", 1000, "group size")
+		distKin  = flag.String("dist", "poisson", "fanout distribution: poisson, fixed, geometric, uniform")
+		fanout   = flag.Float64("fanout", 4.0, "mean fanout (poisson/geometric) or exact fanout (fixed) or hi bound (uniform, lo=1)")
+		q        = flag.Float64("q", 0.9, "nonfailed member ratio")
+		runs     = flag.Int("runs", 20, "Monte-Carlo executions")
+		seed     = flag.Uint64("seed", 42, "random seed")
+		latency  = flag.Duration("latency", 0, "run one execution on the simulated network with this constant latency")
+		loss     = flag.Float64("loss", 0, "message loss probability for the network execution")
+		progress = flag.Bool("progress", false, "stream per-run progress to stderr")
 	)
 	flag.Parse()
-	if err := run(*n, *distKin, *fanout, *q, *runs, *seed, *latency, *loss); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, *n, *distKin, *fanout, *q, *runs, *seed, *latency, *loss, *progress); err != nil {
+		if errors.Is(err, gossipkit.ErrCanceled) {
+			fmt.Fprintln(os.Stderr, "gossipsim: interrupted")
+			os.Exit(130)
+		}
 		fmt.Fprintln(os.Stderr, "gossipsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(n int, distKind string, fanout, q float64, runs int, seed uint64, latency time.Duration, loss float64) error {
+func run(ctx context.Context, n int, distKind string, fanout, q float64, runs int, seed uint64, latency time.Duration, loss float64, progress bool) error {
 	var d gossipkit.Distribution
 	switch distKind {
 	case "poisson":
@@ -51,26 +65,38 @@ func run(n int, distKind string, fanout, q float64, runs int, seed uint64, laten
 		return fmt.Errorf("unknown distribution %q", distKind)
 	}
 	p := gossipkit.Params{N: n, Fanout: d, AliveRatio: q}
+	var observe gossipkit.Observer
+	if progress {
+		observe = func(r gossipkit.Report) {
+			fmt.Fprintf(os.Stderr, "  [%s] run %d/%d reliability %.4f\n", r.Engine, r.Run+1, runs, r.Reliability)
+		}
+	}
 
-	pred, err := gossipkit.Predict(p)
+	an, err := gossipkit.Run(ctx, gossipkit.Analytic{Params: p})
 	if err != nil {
 		return err
 	}
+	pred := an.Aggregate.(gossipkit.Prediction)
 	fmt.Printf("Gossip(n=%d, P=%s, q=%.3f)\n", n, d.Name(), q)
 	fmt.Printf("  critical ratio q_c        : %.4f (q %s q_c)\n",
 		pred.CriticalRatio, map[bool]string{true: ">", false: "<="}[pred.Supercritical])
 	fmt.Printf("  model reliability R(q,P)  : %.4f\n", pred.Reliability)
 
-	giant, err := gossipkit.MeasureGiantComponent(p, runs, seed)
+	giantOut, err := gossipkit.RunMany(ctx, gossipkit.MonteCarlo{Params: p, Metric: gossipkit.GiantComponent},
+		runs, gossipkit.WithSeed(seed), gossipkit.WithObserver(observe))
 	if err != nil {
 		return err
 	}
+	giant := giantOut.Aggregate.(gossipkit.ComponentEstimate)
 	fmt.Printf("  giant component (sim)     : %.4f ± %.4f  [%d runs, paper's metric]\n",
 		giant.Mean, giant.CI95, giant.Runs)
-	est, err := gossipkit.MeasureReliability(p, runs, seed+1)
+
+	reachOut, err := gossipkit.RunMany(ctx, gossipkit.MonteCarlo{Params: p, Metric: gossipkit.SourceReach},
+		runs, gossipkit.WithSeed(seed+1), gossipkit.WithObserver(observe))
 	if err != nil {
 		return err
 	}
+	est := reachOut.Aggregate.(gossipkit.Estimate)
 	fmt.Printf("  directed reach (sim)      : %.4f ± %.4f  [one multicast's delivery]\n", est.Mean, est.CI95)
 	fmt.Printf("  messages/run              : %.0f   rounds/run: %.1f\n", est.MeanMessages, est.MeanRounds)
 
@@ -86,10 +112,15 @@ func run(n int, distKind string, fanout, q float64, runs int, seed uint64, laten
 		if loss > 0 {
 			cfg.Loss = gossipkit.BernoulliLoss(loss)
 		}
-		nres, err := gossipkit.ExecuteOnNetwork(p, cfg, gossipkit.NewRNG(seed+2))
+		// WithRNG keeps this on the exact stream the pre-engine CLI used
+		// (xrand.New(seed+2) consumed directly), so output stays diffable
+		// across releases.
+		out, err := gossipkit.Run(ctx, gossipkit.Network{Params: p, Net: cfg},
+			gossipkit.WithRNG(gossipkit.NewRNG(seed+2)))
 		if err != nil {
 			return err
 		}
+		nres := out.Reports[0].Detail.(gossipkit.NetResult)
 		fmt.Printf("  network execution         : reliability %.4f, spread time %v, sent %d, lost %d\n",
 			nres.Reliability, nres.SpreadTime, nres.Net.Sent, nres.Net.DroppedLoss)
 	}

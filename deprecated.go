@@ -1,0 +1,201 @@
+package gossipkit
+
+import (
+	"context"
+
+	"gossipkit/internal/core"
+)
+
+// This file holds the pre-Engine entry points, kept as thin shims over
+// Run/RunMany so existing callers keep working with identical results
+// (sweep JSON stays byte-identical). New code should use the unified
+// engine API; see the migration table in README.md. cmd/ and examples/
+// are gated off these by scripts/lint-api.sh.
+
+// Execute runs one execution of the general gossiping algorithm.
+//
+// Deprecated: use Run with a MonteCarlo spec on the same RNG stream:
+//
+//	out, err := gossipkit.Run(ctx,
+//		gossipkit.MonteCarlo{Params: p, Metric: gossipkit.SourceReach},
+//		gossipkit.WithRNG(r))
+//	res := out.Reports[0].Detail.(gossipkit.Result)
+func Execute(p Params, r *RNG) (Result, error) {
+	out, err := execute(context.Background(),
+		MonteCarlo{Params: p, Metric: SourceReach}, &runOptions{runs: 1, rng: r})
+	if err != nil {
+		return Result{}, err
+	}
+	return out.Reports[0].Detail.(Result), nil
+}
+
+// MeasureReliability runs `runs` seeded executions in parallel and returns
+// aggregate statistics of the directed source reach.
+//
+// Deprecated: use RunMany with a MonteCarlo spec:
+//
+//	out, err := gossipkit.RunMany(ctx,
+//		gossipkit.MonteCarlo{Params: p, Metric: gossipkit.SourceReach},
+//		runs, gossipkit.WithSeed(seed))
+//	est := out.Aggregate.(gossipkit.Estimate)
+func MeasureReliability(p Params, runs int, seed uint64) (Estimate, error) {
+	out, err := RunMany(context.Background(),
+		MonteCarlo{Params: p, Metric: SourceReach}, runs, WithSeed(seed))
+	if err != nil {
+		return Estimate{}, err
+	}
+	return out.Aggregate.(Estimate), nil
+}
+
+// MeasureGiantComponent runs `runs` seeded executions and returns the giant
+// out-component statistics — the paper's simulated reliability metric.
+//
+// Deprecated: use RunMany with a MonteCarlo spec (GiantComponent is the
+// default metric):
+//
+//	out, err := gossipkit.RunMany(ctx, gossipkit.MonteCarlo{Params: p},
+//		runs, gossipkit.WithSeed(seed))
+//	est := out.Aggregate.(gossipkit.ComponentEstimate)
+func MeasureGiantComponent(p Params, runs int, seed uint64) (ComponentEstimate, error) {
+	out, err := RunMany(context.Background(),
+		MonteCarlo{Params: p, Metric: GiantComponent}, runs, WithSeed(seed))
+	if err != nil {
+		return ComponentEstimate{}, err
+	}
+	return out.Aggregate.(ComponentEstimate), nil
+}
+
+// RunSuccess runs the repeated-execution success protocol (paper §5.2).
+//
+// Deprecated: use Run with a Success spec:
+//
+//	out, err := gossipkit.Run(ctx, gossipkit.Success{Params: p},
+//		gossipkit.WithSeed(seed))
+//	outcome := out.Aggregate.(gossipkit.SuccessOutcome)
+func RunSuccess(p SuccessParams, seed uint64) (SuccessOutcome, error) {
+	out, err := Run(context.Background(), Success{Params: p}, WithSeed(seed))
+	if err != nil {
+		return SuccessOutcome{}, err
+	}
+	return out.Aggregate.(SuccessOutcome), nil
+}
+
+// ExecuteOnNetwork runs one execution as an event-driven protocol over the
+// simulated network (latency, loss, partitions).
+//
+// Deprecated: use Run with a Network spec on the same RNG stream:
+//
+//	out, err := gossipkit.Run(ctx, gossipkit.Network{Params: p, Net: cfg},
+//		gossipkit.WithRNG(r))
+//	res := out.Reports[0].Detail.(gossipkit.NetResult)
+func ExecuteOnNetwork(p Params, cfg NetConfig, r *RNG) (NetResult, error) {
+	out, err := execute(context.Background(),
+		Network{Params: p, Net: cfg}, &runOptions{runs: 1, rng: r})
+	if err != nil {
+		return NetResult{}, err
+	}
+	return out.Reports[0].Detail.(NetResult), nil
+}
+
+// NetArena carries reusable run state across network executions on one
+// goroutine.
+//
+// Deprecated: the Network engine recycles one arena per worker internally;
+// RunMany needs no caller-managed arenas.
+type NetArena = core.NetArena
+
+// NewNetArena returns an empty arena; buffers grow on first use.
+//
+// Deprecated: see NetArena.
+func NewNetArena() *NetArena { return core.NewNetArena() }
+
+// ExecuteOnNetworkReusing is ExecuteOnNetwork recycling arena's buffers.
+// Results are byte-identical to ExecuteOnNetwork.
+//
+// Deprecated: use RunMany with a Network spec — replications recycle
+// arenas per worker automatically:
+//
+//	out, err := gossipkit.RunMany(ctx, gossipkit.Network{Params: p, Net: cfg},
+//		runs, gossipkit.WithSeed(seed))
+func ExecuteOnNetworkReusing(p Params, cfg NetConfig, r *RNG, arena *NetArena) (NetResult, error) {
+	out, err := execute(context.Background(),
+		Network{Params: p, Net: cfg}, &runOptions{runs: 1, rng: r, arena: arena})
+	if err != nil {
+		return NetResult{}, err
+	}
+	return out.Reports[0].Detail.(NetResult), nil
+}
+
+// RunScenario executes one campaign over one gossip execution;
+// deterministic in (cfg, s, seed).
+//
+// Deprecated: use Run with a Campaign spec:
+//
+//	out, err := gossipkit.Run(ctx, gossipkit.Campaign{
+//		Scenarios: []*gossipkit.Scenario{s}, Config: cfg,
+//	}, gossipkit.WithSeed(seed))
+//	rep := out.Reports[0].Detail.(gossipkit.ScenarioReport)
+func RunScenario(s *Scenario, cfg ScenarioRunConfig, seed uint64) (ScenarioReport, error) {
+	out, err := Run(context.Background(),
+		Campaign{Scenarios: []*Scenario{s}, Config: cfg}, WithSeed(seed))
+	if err != nil {
+		return ScenarioReport{}, err
+	}
+	return out.Reports[0].Detail.(ScenarioReport), nil
+}
+
+// SweepScenarios replicates scenarios × seeds on a worker pool and
+// aggregates per-scenario summaries; the result is identical for any
+// worker count.
+//
+// Deprecated: use RunMany with a Campaign spec:
+//
+//	out, err := gossipkit.RunMany(ctx, gossipkit.Campaign{
+//		Scenarios: scenarios, Config: cfg.Run,
+//	}, cfg.Seeds, gossipkit.WithSeed(cfg.BaseSeed), gossipkit.WithWorkers(cfg.Workers))
+//	res := out.Aggregate.(*gossipkit.ScenarioSweepResult)
+func SweepScenarios(scenarios []*Scenario, cfg ScenarioSweepConfig) (*ScenarioSweepResult, error) {
+	seeds := cfg.Seeds
+	if seeds < 1 {
+		seeds = 1
+	}
+	out, err := RunMany(context.Background(),
+		Campaign{Scenarios: scenarios, Config: cfg.Run},
+		seeds, WithSeed(cfg.BaseSeed), WithWorkers(cfg.Workers))
+	if err != nil {
+		return nil, err
+	}
+	return out.Aggregate.(*ScenarioSweepResult), nil
+}
+
+// SweepScenarioGrid replicates every scenario at every (q, fanout)
+// combination; deterministic for any worker count.
+//
+// Deprecated: use RunMany with a Campaign spec carrying the grid axes:
+//
+//	out, err := gossipkit.RunMany(ctx, gossipkit.Campaign{
+//		Scenarios: scenarios, Config: cfg.Run, Qs: cfg.Qs, Fanouts: cfg.Fanouts,
+//	}, cfg.Seeds, gossipkit.WithSeed(cfg.BaseSeed), gossipkit.WithWorkers(cfg.Workers))
+//	res := out.Aggregate.(*gossipkit.ScenarioGridResult)
+func SweepScenarioGrid(scenarios []*Scenario, cfg ScenarioGridConfig) (*ScenarioGridResult, error) {
+	seeds := cfg.Seeds
+	if seeds < 1 {
+		seeds = 1
+	}
+	spec := Campaign{Scenarios: scenarios, Config: cfg.Run, Qs: cfg.Qs, Fanouts: cfg.Fanouts}
+	// The grid engine needs at least one axis to stay in grid mode; an
+	// empty axis means "just the base config's value", exactly as
+	// SweepGrid defaulted it.
+	if len(spec.Qs) == 0 {
+		spec.Qs = []float64{cfg.Run.Params.AliveRatio}
+	}
+	if len(spec.Fanouts) == 0 {
+		spec.Fanouts = []Distribution{cfg.Run.Params.Fanout}
+	}
+	out, err := RunMany(context.Background(), spec,
+		seeds, WithSeed(cfg.BaseSeed), WithWorkers(cfg.Workers))
+	if err != nil {
+		return nil, err
+	}
+	return out.Aggregate.(*ScenarioGridResult), nil
+}

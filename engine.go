@@ -1,0 +1,269 @@
+package gossipkit
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"gossipkit/internal/stats"
+)
+
+// Sentinel errors every engine wraps, so callers dispatch with errors.Is
+// instead of string-matching the internal "core:"/"scenario:" prefixes.
+var (
+	// ErrInvalidParams wraps every parameter-validation failure. The
+	// wrapped chain keeps the precise internal message
+	// ("core: group size 1 too small", ...).
+	ErrInvalidParams = errors.New("gossipkit: invalid parameters")
+	// ErrCanceled wraps context cancellation: a mid-sweep ctx cancel makes
+	// Run/RunMany return promptly with an error matching both ErrCanceled
+	// and the context's own error (context.Canceled / DeadlineExceeded).
+	ErrCanceled = errors.New("gossipkit: run canceled")
+)
+
+// invalid wraps a validation error so errors.Is(err, ErrInvalidParams)
+// holds while the internal message stays in the chain.
+func invalid(err error) error {
+	return fmt.Errorf("%w: %w", ErrInvalidParams, err)
+}
+
+// Engine is one execution backend of the toolkit behind the unified
+// Run/RunMany entry points: the analytic model (Analytic), the Monte-Carlo
+// graph estimator (MonteCarlo), the discrete-event network executor
+// (Network), the fault-injection scenario runner (Campaign), the
+// repeated-execution success protocol (Success), and the related-work
+// protocol baselines (Pbcast, Lpbcast, AntiEntropy, RDG, LRG, Flooding).
+//
+// Every engine is context-aware (cancellation aborts promptly with
+// ErrCanceled), observable (WithObserver streams per-run Reports in
+// deterministic run order for any worker count), and seed-deterministic
+// (the same spec, seed, and run count reproduce the same Outcome bit for
+// bit, regardless of WithWorkers).
+//
+// The interface is sealed: implementations live in this package. Specs are
+// plain value types, so they can be built, copied, and compared freely.
+type Engine interface {
+	// Name identifies the backend in Reports and Outcomes.
+	Name() string
+	// run executes the spec. It must emit one Report per completed
+	// replication, in deterministic order, and may return an
+	// engine-specific aggregate (sealed to this package).
+	run(ctx context.Context, o *runOptions, emit func(Report)) (aggregate any, err error)
+}
+
+// Report is the unified per-replication outcome streamed to observers and
+// collected in Outcome.Reports. Engines fill the fields they measure and
+// leave the rest zero; Detail carries the engine's native result
+// (Result, ComponentResult, NetResult, ScenarioReport, SuccessSim,
+// Prediction, or a protocol result type).
+type Report struct {
+	// Engine is the backend that produced the report.
+	Engine string
+	// Run is the replication index (sweep-cell index for grids), assigned
+	// in emission order: observers always see Run 0, 1, 2, ...
+	Run int
+	// Reliability is the engine's headline delivery ratio for this run.
+	Reliability float64
+	// Delivered is the number of members that received the multicast.
+	Delivered int
+	// AliveCount is the number of nonfailed members.
+	AliveCount int
+	// MessagesSent counts protocol messages.
+	MessagesSent int
+	// Rounds is the forwarding depth or round count, where the engine
+	// has one.
+	Rounds int
+	// SpreadMs is the simulated time of the last first-receipt in
+	// milliseconds (discrete-event engines only).
+	SpreadMs float64
+	// Detail is the engine's native result for this run.
+	Detail any
+}
+
+// Observer streams per-run Reports as a Run/RunMany progresses. Callbacks
+// arrive in deterministic run order (Report.Run = 0, 1, 2, ...) for any
+// worker count, from whichever worker completed the ordered prefix; an
+// observer must therefore be safe to call from worker goroutines, but
+// never concurrently with itself.
+type Observer func(Report)
+
+// Moments are order-statistics of one Report field across the completed
+// replications of an Outcome.
+type Moments struct {
+	// N is the number of observations.
+	N int
+	// Mean, StdDev, Min and Max summarize the sample.
+	Mean, StdDev, Min, Max float64
+	// CI95 is the half-width of the 95% confidence interval on Mean.
+	CI95 float64
+}
+
+func momentsOf(r stats.Running) Moments {
+	if r.N() == 0 {
+		return Moments{}
+	}
+	return Moments{N: r.N(), Mean: r.Mean(), StdDev: r.StdDev(), Min: r.Min(), Max: r.Max(), CI95: r.CI95()}
+}
+
+// Outcome is the aggregated result of Run or RunMany.
+type Outcome struct {
+	// Engine is the backend that ran.
+	Engine string
+	// Runs is the number of completed replications.
+	Runs int
+	// Seed is the base seed the replications derived from (WithSeed).
+	Seed uint64
+	// Reliability, Messages and SpreadMs aggregate the corresponding
+	// Report fields across replications, reduced in run order.
+	Reliability Moments
+	Messages    Moments
+	SpreadMs    Moments
+	// Reports are the per-replication reports, in run order. Nil when the
+	// run used WithoutReports.
+	Reports []Report
+	// Aggregate is the engine's native aggregate, when it has one:
+	// Prediction (Analytic), Estimate or ComponentEstimate (MonteCarlo),
+	// SuccessOutcome (Success), *ScenarioSweepResult or
+	// *ScenarioGridResult (Campaign under RunMany). Nil otherwise.
+	Aggregate any
+}
+
+// runOptions carries the resolved Run/RunMany options.
+type runOptions struct {
+	seed      uint64
+	runs      int
+	many      bool // replication-sweep semantics (RunMany / WithRuns)
+	workers   int
+	observer  Observer
+	noReports bool
+	rng       *RNG      // single-run override: execute on this RNG stream
+	arena     *NetArena // deprecated-shim arena pass-through (Network only)
+}
+
+// Option configures Run and RunMany.
+type Option func(*runOptions)
+
+// WithSeed sets the base seed replications derive their independent RNG
+// streams from. The default is 0; the same seed reproduces the same
+// Outcome bit for bit.
+func WithSeed(seed uint64) Option { return func(o *runOptions) { o.seed = seed } }
+
+// WithRuns sets the replication count, switching Run to replication-sweep
+// semantics (equivalent to calling RunMany with n).
+func WithRuns(n int) Option {
+	return func(o *runOptions) { o.runs, o.many = n, true }
+}
+
+// WithWorkers bounds the worker pool replications run on; <= 0 (the
+// default) means GOMAXPROCS. Results and observer order are identical for
+// any worker count.
+func WithWorkers(n int) Option { return func(o *runOptions) { o.workers = n } }
+
+// WithObserver streams per-run Reports as the execution progresses; see
+// Observer for the delivery-order guarantee.
+func WithObserver(fn Observer) Option { return func(o *runOptions) { o.observer = fn } }
+
+// WithoutReports drops per-run Reports from the Outcome (Outcome.Reports
+// stays nil); aggregates, moments, and observer streaming are unaffected.
+// Use it on very large sweeps consumed through Aggregate or an observer
+// only, where retaining every boxed Report would dominate memory.
+func WithoutReports() Option { return func(o *runOptions) { o.noReports = true } }
+
+// WithRNG makes a single Run execute on the caller's RNG stream instead of
+// deriving one from WithSeed, consuming randomness exactly where the
+// stream stands — the contract the deprecated Execute/ExecuteOnNetwork
+// shims rely on. Only valid for single executions (not RunMany/WithRuns),
+// and only on engines that consume an RNG directly (MonteCarlo, Network,
+// and the protocol baselines).
+func WithRNG(r *RNG) Option { return func(o *runOptions) { o.rng = r } }
+
+// Run executes spec once and returns its Outcome: one entry point across
+// every backend. Replications, cancellation, and observation are all
+// options:
+//
+//	out, err := gossipkit.Run(ctx, gossipkit.Network{Params: p}, gossipkit.WithSeed(42))
+//	out, err := gossipkit.Run(ctx, gossipkit.MonteCarlo{Params: p},
+//		gossipkit.WithRuns(1000), gossipkit.WithObserver(progress))
+//
+// A single Run uses the seed exactly as given (so it reproduces the
+// corresponding deprecated single-shot function); WithRuns(n) switches to
+// RunMany's replication-sweep semantics. Engines that declare their own
+// replication structure (Success via SuccessParams.Simulations, Campaign
+// under RunMany) emit one Report per inner replication.
+func Run(ctx context.Context, spec Engine, opts ...Option) (*Outcome, error) {
+	o := &runOptions{runs: 1}
+	for _, opt := range opts {
+		opt(o)
+	}
+	return execute(ctx, spec, o)
+}
+
+// RunMany executes `runs` seeded replications of spec on a worker pool and
+// aggregates them: per-run RNG streams derive from WithSeed, results
+// reduce in run order, and the Outcome is identical for any WithWorkers
+// count. Cancel ctx to stop a sweep mid-flight (ErrCanceled).
+func RunMany(ctx context.Context, spec Engine, runs int, opts ...Option) (*Outcome, error) {
+	o := &runOptions{runs: runs, many: true}
+	for _, opt := range opts {
+		opt(o)
+	}
+	return execute(ctx, spec, o)
+}
+
+// execute is the shared driver: it validates options, streams Reports to
+// the observer, reduces the generic moments in run order, and maps
+// cancellation onto ErrCanceled.
+func execute(ctx context.Context, spec Engine, o *runOptions) (*Outcome, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if spec == nil {
+		return nil, fmt.Errorf("%w: nil engine spec", ErrInvalidParams)
+	}
+	if o.runs < 1 {
+		return nil, fmt.Errorf("%w: run count %d < 1", ErrInvalidParams, o.runs)
+	}
+	if o.rng != nil && o.many {
+		return nil, fmt.Errorf("%w: WithRNG applies to single Run executions only", ErrInvalidParams)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, canceled(err, 0)
+	}
+
+	out := &Outcome{Engine: spec.Name(), Seed: o.seed}
+	emitted := 0
+	var rel, msgs, spread stats.Running
+	emit := func(r Report) {
+		r.Engine = out.Engine
+		r.Run = emitted
+		emitted++
+		if !o.noReports {
+			out.Reports = append(out.Reports, r)
+		}
+		rel.Add(r.Reliability)
+		msgs.Add(float64(r.MessagesSent))
+		spread.Add(r.SpreadMs)
+		if o.observer != nil {
+			o.observer(r)
+		}
+	}
+	agg, err := spec.run(ctx, o, emit)
+	if err != nil {
+		if ctx.Err() != nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return nil, canceled(err, emitted)
+		}
+		return nil, err
+	}
+	out.Runs = emitted
+	out.Reliability = momentsOf(rel)
+	out.Messages = momentsOf(msgs)
+	out.SpreadMs = momentsOf(spread)
+	out.Aggregate = agg
+	return out, nil
+}
+
+// canceled wraps a context error so it matches both ErrCanceled and the
+// original context error.
+func canceled(err error, completed int) error {
+	return fmt.Errorf("%w after %d completed runs: %w", ErrCanceled, completed, err)
+}

@@ -1,0 +1,78 @@
+package gossipkit
+
+import (
+	"context"
+	"time"
+
+	"gossipkit/internal/core"
+	"gossipkit/internal/runpool"
+	"gossipkit/internal/xrand"
+)
+
+// Network is the engine for event-driven executions over the simulated
+// network: each replication runs the gossiping algorithm with per-message
+// latency, loss, and partitions, reporting timing alongside delivery.
+//
+// Replications recycle one run-state arena per worker internally (kernel
+// queue, network buffers, receive flags), so large-n sweeps make zero
+// O(n)-sized allocations after warm-up — arena management is no longer the
+// caller's job. Report.Detail is the per-run NetResult.
+type Network struct {
+	// Params is the gossip model Gossip(n, P, q) under execution.
+	Params Params
+	// Net configures the simulated network substrate (latency model, loss
+	// model); the zero value is an ideal network.
+	Net NetConfig
+}
+
+// Name implements Engine.
+func (Network) Name() string { return "network" }
+
+func (s Network) run(ctx context.Context, o *runOptions, emit func(Report)) (any, error) {
+	if err := s.Params.Validate(); err != nil {
+		return nil, invalid(err)
+	}
+
+	if o.rng != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		res, err := core.ExecuteOnNetworkArena(s.Params, s.Net, o.rng, nil, o.arena)
+		if err != nil {
+			return nil, err
+		}
+		emit(netReport(res))
+		return nil, nil
+	}
+
+	root := xrand.New(o.seed)
+	workers := runpool.Count(o.workers, o.runs)
+	results := make([]core.NetResult, o.runs)
+	arenas := make([]*core.NetArena, workers)
+	err := runpool.Run(ctx, o.runs, workers, func(w, run int) error {
+		if arenas[w] == nil {
+			arenas[w] = core.NewNetArena()
+		}
+		res, err := core.ExecuteOnNetworkArena(s.Params, s.Net, root.Split(uint64(run)), nil, arenas[w])
+		if err != nil {
+			return err
+		}
+		results[run] = res
+		return nil
+	}, func(i int) { emit(netReport(results[i])) })
+	if err != nil {
+		return nil, err
+	}
+	return nil, nil
+}
+
+func netReport(res NetResult) Report {
+	return Report{
+		Reliability:  res.Reliability,
+		Delivered:    res.Delivered,
+		AliveCount:   res.AliveCount,
+		MessagesSent: res.MessagesSent,
+		SpreadMs:     float64(res.SpreadTime) / float64(time.Millisecond),
+		Detail:       res,
+	}
+}

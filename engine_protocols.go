@@ -1,0 +1,221 @@
+package gossipkit
+
+import (
+	"context"
+
+	"gossipkit/internal/protocols"
+	"gossipkit/internal/runpool"
+	"gossipkit/internal/xrand"
+)
+
+// The protocol-comparison layer, newly exported: the baseline dissemination
+// protocols the paper positions itself against (§2 Related Work), each as
+// an Engine so they compose with Run/RunMany, cancellation, and observers
+// exactly like the paper's own algorithm.
+
+// PbcastParams configures the Pbcast round-based baseline (Bimodal
+// Multicast, Birman et al.).
+type PbcastParams = protocols.PbcastParams
+
+// LpbcastParams configures the lpbcast bounded-buffer baseline (Eugster et
+// al.).
+type LpbcastParams = protocols.LpbcastParams
+
+// AntiEntropyParams configures the classic anti-entropy epidemic (Demers
+// et al.).
+type AntiEntropyParams = protocols.AntiEntropyParams
+
+// AntiEntropyMode selects the anti-entropy exchange direction.
+type AntiEntropyMode = protocols.Mode
+
+// Anti-entropy exchange directions.
+const (
+	Push     = protocols.Push
+	Pull     = protocols.Pull
+	PushPull = protocols.PushPull
+)
+
+// RDGParams configures the Route-Driven-Gossip baseline (Luo, Eugster &
+// Hubaux).
+type RDGParams = protocols.RDGParams
+
+// LRGParams configures the local-retransmission gossip baseline (Jia et
+// al.).
+type LRGParams = protocols.LRGParams
+
+// FloodingParams configures the best-effort flooding baseline.
+type FloodingParams = protocols.FloodingParams
+
+// ProtocolResult is the common outcome report of the protocol baselines.
+type ProtocolResult = protocols.Result
+
+// LpbcastResult reports lpbcast's per-event delivery.
+type LpbcastResult = protocols.LpbcastResult
+
+// AntiEntropyResult extends ProtocolResult with the per-round infection
+// curve.
+type AntiEntropyResult = protocols.AntiEntropyResult
+
+// RDGResult extends ProtocolResult with recovery accounting.
+type RDGResult = protocols.RDGResult
+
+// Pbcast is the engine for the round-based anti-entropy baseline: every
+// member holding the message gossips every round, removing the single-shot
+// die-out failure mode at the cost of more messages. Report.Detail is the
+// per-run ProtocolResult.
+type Pbcast struct{ Params PbcastParams }
+
+// Name implements Engine.
+func (Pbcast) Name() string { return "pbcast" }
+
+func (s Pbcast) run(ctx context.Context, o *runOptions, emit func(Report)) (any, error) {
+	if err := s.Params.Validate(); err != nil {
+		return nil, invalid(err)
+	}
+	return protocolSweep(ctx, o, emit, func(r *RNG) (Report, error) {
+		res, err := protocols.RunPbcast(s.Params, r)
+		return protocolReport(res), err
+	})
+}
+
+// Lpbcast is the engine for the bounded-buffer lpbcast baseline: gossip
+// over SCAMP partial views with event buffers that age out under load.
+// Report.Reliability is the mean per-event delivery; Report.Detail is the
+// per-run LpbcastResult (whose MinReliability shows buffer pressure
+// first).
+type Lpbcast struct{ Params LpbcastParams }
+
+// Name implements Engine.
+func (Lpbcast) Name() string { return "lpbcast" }
+
+func (s Lpbcast) run(ctx context.Context, o *runOptions, emit func(Report)) (any, error) {
+	if err := s.Params.Validate(); err != nil {
+		return nil, invalid(err)
+	}
+	return protocolSweep(ctx, o, emit, func(r *RNG) (Report, error) {
+		res, err := protocols.RunLpbcast(s.Params, r)
+		return Report{
+			Reliability:  res.MeanReliability,
+			AliveCount:   res.AliveCount,
+			MessagesSent: res.MessagesSent,
+			Detail:       res,
+		}, err
+	})
+}
+
+// AntiEntropy is the engine for the classic push/pull anti-entropy
+// epidemic: each round every alive member contacts one random peer and
+// exchanges state per Mode. Report.Detail is the per-run
+// AntiEntropyResult, including the infection curve.
+type AntiEntropy struct{ Params AntiEntropyParams }
+
+// Name implements Engine.
+func (AntiEntropy) Name() string { return "anti-entropy" }
+
+func (s AntiEntropy) run(ctx context.Context, o *runOptions, emit func(Report)) (any, error) {
+	if err := s.Params.Validate(); err != nil {
+		return nil, invalid(err)
+	}
+	return protocolSweep(ctx, o, emit, func(r *RNG) (Report, error) {
+		res, err := protocols.RunAntiEntropy(s.Params, r)
+		rep := protocolReport(res.Result)
+		rep.Detail = res
+		return rep, err
+	})
+}
+
+// RDG is the engine for the Route-Driven-Gossip baseline: push gossip of
+// payloads and packet-id digests over partial views, then NACK-driven pull
+// recovery. Report.Detail is the per-run RDGResult.
+type RDG struct{ Params RDGParams }
+
+// Name implements Engine.
+func (RDG) Name() string { return "rdg" }
+
+func (s RDG) run(ctx context.Context, o *runOptions, emit func(Report)) (any, error) {
+	if err := s.Params.Validate(); err != nil {
+		return nil, invalid(err)
+	}
+	return protocolSweep(ctx, o, emit, func(r *RNG) (Report, error) {
+		res, err := protocols.RunRDG(s.Params, r)
+		rep := protocolReport(res.Result)
+		rep.Detail = res
+		return rep, err
+	})
+}
+
+// LRG is the engine for local-retransmission gossip: probabilistic
+// flooding over a bounded-degree overlay plus NACK-style local repair
+// rounds. Report.Detail is the per-run ProtocolResult.
+type LRG struct{ Params LRGParams }
+
+// Name implements Engine.
+func (LRG) Name() string { return "lrg" }
+
+func (s LRG) run(ctx context.Context, o *runOptions, emit func(Report)) (any, error) {
+	if err := s.Params.Validate(); err != nil {
+		return nil, invalid(err)
+	}
+	return protocolSweep(ctx, o, emit, func(r *RNG) (Report, error) {
+		res, err := protocols.RunLRG(s.Params, r)
+		return protocolReport(res), err
+	})
+}
+
+// Flooding is the engine for the best-effort flooding baseline: forward to
+// everyone on first receipt — maximal reliability at Θ(n²) message cost,
+// the upper envelope the gossip protocols trade against. Report.Detail is
+// the per-run ProtocolResult.
+type Flooding struct{ Params FloodingParams }
+
+// Name implements Engine.
+func (Flooding) Name() string { return "flooding" }
+
+func (s Flooding) run(ctx context.Context, o *runOptions, emit func(Report)) (any, error) {
+	if err := s.Params.Validate(); err != nil {
+		return nil, invalid(err)
+	}
+	return protocolSweep(ctx, o, emit, func(r *RNG) (Report, error) {
+		res, err := protocols.RunFlooding(s.Params, r)
+		return protocolReport(res), err
+	})
+}
+
+func protocolReport(res ProtocolResult) Report {
+	return Report{
+		Reliability:  res.Reliability,
+		Delivered:    res.Delivered,
+		AliveCount:   res.AliveCount,
+		MessagesSent: res.MessagesSent,
+		Rounds:       res.Rounds,
+		Detail:       res,
+	}
+}
+
+// protocolSweep is the shared replication driver of the protocol engines:
+// per-run RNG streams split from the base seed, worker pool, ordered
+// emission; a WithRNG single run consumes the caller's stream directly.
+func protocolSweep(ctx context.Context, o *runOptions, emit func(Report), one func(r *RNG) (Report, error)) (any, error) {
+	if o.rng != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		rep, err := one(o.rng)
+		if err != nil {
+			return nil, err
+		}
+		emit(rep)
+		return nil, nil
+	}
+	root := xrand.New(o.seed)
+	reports := make([]Report, o.runs)
+	err := runpool.Run(ctx, o.runs, runpool.Count(o.workers, o.runs), func(w, run int) error {
+		rep, err := one(root.Split(uint64(run)))
+		if err != nil {
+			return err
+		}
+		reports[run] = rep
+		return nil
+	}, func(i int) { emit(reports[i]) })
+	return nil, err
+}

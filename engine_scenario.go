@@ -1,0 +1,113 @@
+package gossipkit
+
+import (
+	"context"
+	"fmt"
+
+	"gossipkit/internal/scenario"
+)
+
+// Campaign is the engine for declarative fault-injection campaigns over
+// the discrete-event network: crash waves, zone failures, healing
+// partitions, churn bursts, loss episodes, flash crowds (see NewScenario
+// and DefaultScenarioSuite).
+//
+// A single Run executes one campaign (exactly one scenario, no grid axes)
+// with the seed used exactly as given. RunMany replicates every scenario
+// for `runs` derived seeds each — and, when Qs or Fanouts are set, across
+// the whole (scenario × q × fanout) grid — on a worker pool with one
+// run-state arena per worker. Outcome.Aggregate is then the
+// *ScenarioSweepResult (no axes) or *ScenarioGridResult (with axes);
+// Report.Detail is the per-run ScenarioReport, streamed in deterministic
+// cell order.
+type Campaign struct {
+	// Scenarios are the campaigns to run.
+	Scenarios []*Scenario
+	// Config parameterizes each execution (model params, network
+	// substrate, partial-view construction).
+	Config ScenarioRunConfig
+	// Qs, when set, sweeps the nonfailed ratio across these values
+	// (grid mode).
+	Qs []float64
+	// Fanouts, when set, sweeps the fanout distribution across these
+	// (grid mode).
+	Fanouts []Distribution
+}
+
+// Name implements Engine.
+func (Campaign) Name() string { return "scenario" }
+
+func (s Campaign) run(ctx context.Context, o *runOptions, emit func(Report)) (any, error) {
+	if len(s.Scenarios) == 0 {
+		return nil, fmt.Errorf("%w: campaign has no scenarios", ErrInvalidParams)
+	}
+	for _, sc := range s.Scenarios {
+		if err := sc.Validate(); err != nil {
+			return nil, invalid(err)
+		}
+	}
+	if err := s.Config.Params.Validate(); err != nil {
+		return nil, invalid(err)
+	}
+	if o.rng != nil {
+		return nil, fmt.Errorf("%w: the scenario engine derives RNG streams from seeds; use WithSeed", ErrInvalidParams)
+	}
+	for _, q := range s.Qs {
+		if q < 0 || q > 1 || q != q {
+			return nil, fmt.Errorf("%w: grid alive ratio %g outside [0,1]", ErrInvalidParams, q)
+		}
+	}
+	for i, f := range s.Fanouts {
+		if f == nil {
+			return nil, fmt.Errorf("%w: grid fanout %d is nil", ErrInvalidParams, i)
+		}
+	}
+	grid := len(s.Qs) > 0 || len(s.Fanouts) > 0
+
+	if !o.many {
+		if len(s.Scenarios) != 1 || grid {
+			return nil, fmt.Errorf("%w: Run executes one campaign; use RunMany (or WithRuns) for scenario sweeps and grids", ErrInvalidParams)
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		rep, err := scenario.Run(s.Scenarios[0], s.Config, o.seed)
+		if err != nil {
+			return nil, err
+		}
+		emit(scenarioReport(rep))
+		return nil, nil
+	}
+
+	if err := scenario.CheckShared(s.Config); err != nil {
+		return nil, invalid(err)
+	}
+	observe := func(cell int, rep scenario.RunReport) { emit(scenarioReport(rep)) }
+	if grid {
+		cfg := ScenarioGridConfig{
+			Run: s.Config, Qs: s.Qs, Fanouts: s.Fanouts,
+			Seeds: o.runs, BaseSeed: o.seed, Workers: o.workers,
+		}
+		res, err := scenario.SweepGridCtx(ctx, s.Scenarios, cfg, observe)
+		if err != nil {
+			return nil, err
+		}
+		return res, nil
+	}
+	cfg := ScenarioSweepConfig{Run: s.Config, Seeds: o.runs, BaseSeed: o.seed, Workers: o.workers}
+	res, err := scenario.SweepCtx(ctx, s.Scenarios, cfg, observe)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func scenarioReport(rep ScenarioReport) Report {
+	return Report{
+		Reliability:  rep.Reliability,
+		Delivered:    rep.Delivered,
+		MessagesSent: rep.MessagesSent,
+		SpreadMs:     rep.SpreadMs,
+		Detail:       rep,
+	}
+}

@@ -1,0 +1,49 @@
+package gossipkit
+
+import (
+	"context"
+	"fmt"
+
+	"gossipkit/internal/core"
+)
+
+// SuccessSim summarizes one simulation of the success protocol.
+type SuccessSim = core.SuccessSim
+
+// Success is the engine for the repeated-execution success protocol
+// S(q, P, t) (paper §5.2): the source gossips the same message t times and
+// the protocol succeeds when every nonfailed member received it at least
+// once.
+//
+// A single Run executes Params.Simulations independent simulations as the
+// spec declares; RunMany(n) overrides the simulation count with n. Either
+// way one Report is emitted per simulation (Detail: SuccessSim) and
+// Outcome.Aggregate is the SuccessOutcome.
+type Success struct {
+	// Params configures the protocol (model params, Executions t,
+	// Simulations).
+	Params SuccessParams
+}
+
+// Name implements Engine.
+func (Success) Name() string { return "success" }
+
+func (s Success) run(ctx context.Context, o *runOptions, emit func(Report)) (any, error) {
+	p := s.Params
+	if o.many {
+		p.Simulations = o.runs
+	}
+	if err := p.Validate(); err != nil {
+		return nil, invalid(err)
+	}
+	if o.rng != nil {
+		return nil, fmt.Errorf("%w: the success engine derives RNG streams from seeds; use WithSeed", ErrInvalidParams)
+	}
+	out, err := core.RunSuccessCtx(ctx, p, o.seed, o.workers, func(sim int, ss SuccessSim) {
+		emit(Report{Reliability: ss.MeanReliability, Detail: ss})
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,397 @@
+package gossipkit
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func allEngineSpecs() []Engine {
+	p := Params{N: 300, Fanout: Poisson(5), AliveRatio: 0.9}
+	return []Engine{
+		Analytic{Params: p},
+		MonteCarlo{Params: p, Metric: GiantComponent},
+		MonteCarlo{Params: p, Metric: SourceReach},
+		Network{Params: p, Net: NetConfig{Latency: UniformLatency(time.Millisecond, 5*time.Millisecond)}},
+		Campaign{Scenarios: DefaultScenarioSuite()[:2],
+			Config: ScenarioRunConfig{Params: Params{N: 300, Fanout: Poisson(5), AliveRatio: 1}}},
+		Success{Params: SuccessParams{Params: p, Executions: 3, Simulations: 2}},
+		Pbcast{Params: PbcastParams{N: 300, Fanout: 3, Rounds: 8, AliveRatio: 0.9}},
+		Lpbcast{Params: LpbcastParams{N: 300, Fanout: 3, Rounds: 8, BufferSize: 4, Events: 2, AliveRatio: 0.9, ViewCopies: 2}},
+		AntiEntropy{Params: AntiEntropyParams{N: 300, Rounds: 10, Mode: PushPull, AliveRatio: 0.9}},
+		RDG{Params: RDGParams{N: 300, Fanout: 3, PushRounds: 6, RecoveryRounds: 3, AliveRatio: 0.9, ViewCopies: 2, PayloadProb: 0.9}},
+		LRG{Params: LRGParams{N: 300, Degree: 6, GossipProb: 0.8, RepairRounds: 3, AliveRatio: 0.9}},
+		Flooding{Params: FloodingParams{N: 300, AliveRatio: 0.9}},
+	}
+}
+
+// TestRunDrivesEveryEngine: the single entry point produces a sane Outcome
+// from every backend.
+func TestRunDrivesEveryEngine(t *testing.T) {
+	for _, spec := range allEngineSpecs() {
+		t.Run(spec.Name(), func(t *testing.T) {
+			out, err := RunMany(context.Background(), spec, 3, WithSeed(42))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out.Engine != spec.Name() {
+				t.Errorf("outcome engine %q", out.Engine)
+			}
+			if out.Runs < 1 || len(out.Reports) != out.Runs {
+				t.Fatalf("runs %d, reports %d", out.Runs, len(out.Reports))
+			}
+			if out.Reliability.Mean <= 0 || out.Reliability.Mean > 1.0001 {
+				t.Errorf("reliability mean %.4f out of range", out.Reliability.Mean)
+			}
+			for i, r := range out.Reports {
+				if r.Run != i {
+					t.Errorf("report %d has run index %d", i, r.Run)
+				}
+				if r.Detail == nil {
+					t.Errorf("report %d has no detail", i)
+				}
+			}
+		})
+	}
+}
+
+// TestRunManyDeterministicAcrossWorkers: the Outcome and the observer
+// sequence are identical for any worker count, on every engine.
+func TestRunManyDeterministicAcrossWorkers(t *testing.T) {
+	type seen struct {
+		run  int
+		rel  float64
+		msgs int
+	}
+	for _, spec := range allEngineSpecs() {
+		t.Run(spec.Name(), func(t *testing.T) {
+			var base []seen
+			var baseOut *Outcome
+			for _, workers := range []int{1, 7} {
+				var got []seen
+				out, err := RunMany(context.Background(), spec, 6,
+					WithSeed(99), WithWorkers(workers),
+					WithObserver(func(r Report) {
+						got = append(got, seen{r.Run, r.Reliability, r.MessagesSent})
+					}))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(got) != out.Runs {
+					t.Fatalf("workers=%d: %d observations for %d runs", workers, len(got), out.Runs)
+				}
+				for i, s := range got {
+					if s.run != i {
+						t.Fatalf("workers=%d: observation %d carried run %d; order must be deterministic", workers, i, s.run)
+					}
+				}
+				if base == nil {
+					base, baseOut = got, out
+					continue
+				}
+				if !reflect.DeepEqual(got, base) {
+					t.Errorf("workers=%d: observer stream diverged from workers=1", workers)
+				}
+				if baseOut.Reliability != out.Reliability || baseOut.Messages != out.Messages {
+					t.Errorf("workers=%d: aggregate moments diverged from workers=1", workers)
+				}
+			}
+		})
+	}
+}
+
+// TestCancellationReturnsErrCanceled: a mid-sweep cancel aborts every
+// engine promptly with ErrCanceled (matching context.Canceled too), and
+// observers have seen only a clean prefix of runs.
+func TestCancellationReturnsErrCanceled(t *testing.T) {
+	for _, spec := range allEngineSpecs() {
+		t.Run(spec.Name(), func(t *testing.T) {
+			ctx, cancel := context.WithCancel(context.Background())
+			var last int = -1
+			start := time.Now()
+			out, err := RunMany(ctx, spec, 10_000,
+				WithSeed(7), WithWorkers(4),
+				WithObserver(func(r Report) {
+					if r.Run != last+1 {
+						t.Errorf("observer jumped from run %d to %d", last, r.Run)
+					}
+					last = r.Run
+					if r.Run == 2 {
+						cancel()
+					}
+				}))
+			if err == nil {
+				t.Fatalf("10k-run sweep completed despite cancellation (outcome runs: %d)", out.Runs)
+			}
+			if !errors.Is(err, ErrCanceled) {
+				t.Fatalf("err %v does not match ErrCanceled", err)
+			}
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("err %v does not match context.Canceled", err)
+			}
+			if out != nil {
+				t.Error("canceled run returned a non-nil outcome")
+			}
+			if elapsed := time.Since(start); elapsed > 30*time.Second {
+				t.Errorf("cancellation took %v, want prompt return", elapsed)
+			}
+		})
+	}
+}
+
+// TestPreCanceledContext: every engine refuses to start under a canceled
+// context.
+func TestPreCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, spec := range allEngineSpecs() {
+		observed := 0
+		_, err := RunMany(ctx, spec, 5, WithObserver(func(Report) { observed++ }))
+		if !errors.Is(err, ErrCanceled) {
+			t.Errorf("%s: err %v", spec.Name(), err)
+		}
+		if observed != 0 {
+			t.Errorf("%s: %d runs observed under a pre-canceled context", spec.Name(), observed)
+		}
+	}
+}
+
+// TestInvalidParamsSentinel: every engine wraps validation failures so
+// errors.Is(err, ErrInvalidParams) holds, with the internal message kept.
+func TestInvalidParamsSentinel(t *testing.T) {
+	bad := []Engine{
+		Analytic{Params: Params{N: 1, Fanout: Poisson(4), AliveRatio: 0.9}},
+		MonteCarlo{Params: Params{N: 100, Fanout: nil, AliveRatio: 0.9}},
+		Network{Params: Params{N: 100, Fanout: Poisson(4), AliveRatio: 1.5}},
+		Campaign{Scenarios: nil, Config: ScenarioRunConfig{Params: Params{N: 100, Fanout: Poisson(4), AliveRatio: 1}}},
+		Campaign{Scenarios: DefaultScenarioSuite()[:1],
+			Config: ScenarioRunConfig{Params: Params{N: 1, Fanout: Poisson(4), AliveRatio: 1}}},
+		Success{Params: SuccessParams{Params: Params{N: 100, Fanout: Poisson(4), AliveRatio: 0.9}, Executions: 0, Simulations: 1}},
+		Pbcast{Params: PbcastParams{N: 100, Fanout: -1, Rounds: 3, AliveRatio: 0.9}},
+		Lpbcast{Params: LpbcastParams{N: 100, Fanout: 3, Rounds: 3, BufferSize: 0, Events: 1, AliveRatio: 0.9}},
+		AntiEntropy{Params: AntiEntropyParams{N: 100, Rounds: -1, Mode: Push, AliveRatio: 0.9}},
+		RDG{Params: RDGParams{N: 100, Fanout: 0, PushRounds: 3, AliveRatio: 0.9}},
+		LRG{Params: LRGParams{N: 100, Degree: 0, GossipProb: 0.5, AliveRatio: 0.9}},
+		Flooding{Params: FloodingParams{N: 1, AliveRatio: 0.9}},
+	}
+	for _, spec := range bad {
+		_, err := Run(context.Background(), spec)
+		if err == nil {
+			t.Errorf("%s: invalid spec ran", spec.Name())
+			continue
+		}
+		if !errors.Is(err, ErrInvalidParams) {
+			t.Errorf("%s: err %v does not match ErrInvalidParams", spec.Name(), err)
+		}
+	}
+	// Grid axes and RNG misuse validate with the same sentinel.
+	okCfg := ScenarioRunConfig{Params: Params{N: 100, Fanout: Poisson(4), AliveRatio: 1}}
+	if _, err := RunMany(context.Background(), Campaign{Scenarios: DefaultScenarioSuite()[:1],
+		Config: okCfg, Qs: []float64{1.5}}, 2); !errors.Is(err, ErrInvalidParams) {
+		t.Errorf("bad grid q: %v", err)
+	}
+	if _, err := RunMany(context.Background(), Campaign{Scenarios: DefaultScenarioSuite()[:1],
+		Config: okCfg, Fanouts: []Distribution{nil}}, 2); !errors.Is(err, ErrInvalidParams) {
+		t.Errorf("nil grid fanout: %v", err)
+	}
+	if _, err := Run(context.Background(), Analytic{Params: Params{N: 100, Fanout: Poisson(4)}},
+		WithRNG(NewRNG(1))); !errors.Is(err, ErrInvalidParams) {
+		t.Errorf("WithRNG on Analytic: %v", err)
+	}
+	// Driver-level validation uses the same sentinel.
+	if _, err := RunMany(context.Background(), Analytic{Params: Params{N: 100, Fanout: Poisson(4)}}, 0); !errors.Is(err, ErrInvalidParams) {
+		t.Errorf("zero runs: %v", err)
+	}
+	if _, err := Run(context.Background(), nil); !errors.Is(err, ErrInvalidParams) {
+		t.Errorf("nil spec: %v", err)
+	}
+	if _, err := RunMany(context.Background(), Analytic{Params: Params{N: 100, Fanout: Poisson(4)}}, 3, WithRNG(NewRNG(1))); !errors.Is(err, ErrInvalidParams) {
+		t.Errorf("WithRNG on RunMany: %v", err)
+	}
+}
+
+// TestShimEquivalence: the deprecated shims reproduce the direct internal
+// results exactly — Execute/ExecuteOnNetwork consume the caller's RNG
+// stream in place, RunScenario uses the seed verbatim.
+func TestShimEquivalence(t *testing.T) {
+	p := Params{N: 400, Fanout: Poisson(5), AliveRatio: 0.9}
+
+	direct, err := Run(context.Background(), MonteCarlo{Params: p, Metric: SourceReach}, WithRNG(NewRNG(11)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaShim, err := Execute(p, NewRNG(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct.Reports[0].Detail.(Result) != viaShim {
+		t.Error("Execute shim diverged from engine run")
+	}
+
+	cfg := NetConfig{Latency: UniformLatency(time.Millisecond, 10*time.Millisecond)}
+	a, err := ExecuteOnNetwork(p, cfg, NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(context.Background(), Network{Params: p, Net: cfg}, WithRNG(NewRNG(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b.Reports[0].Detail.(NetResult) {
+		t.Error("ExecuteOnNetwork shim diverged from engine run")
+	}
+
+	s := DefaultScenarioSuite()[1]
+	scfg := ScenarioRunConfig{Params: Params{N: 300, Fanout: Poisson(5), AliveRatio: 1}}
+	r1, err := RunScenario(s, scfg, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Run(context.Background(), Campaign{Scenarios: []*Scenario{s}, Config: scfg}, WithSeed(77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != out.Reports[0].Detail.(ScenarioReport) {
+		t.Error("RunScenario shim diverged from engine run")
+	}
+	if r1.Seed != 77 {
+		t.Errorf("single scenario run used seed %d, want the seed verbatim", r1.Seed)
+	}
+}
+
+// TestNetworkEngineMatchesSingleRuns: RunMany's internally pooled arenas
+// must reproduce what fresh per-run executions produce (arena reuse is
+// result-neutral), with run i on the RNG stream split at i.
+func TestNetworkEngineMatchesSingleRuns(t *testing.T) {
+	p := Params{N: 500, Fanout: Poisson(5), AliveRatio: 0.9}
+	cfg := NetConfig{Latency: UniformLatency(time.Millisecond, 8*time.Millisecond)}
+	const runs = 5
+	out, err := RunMany(context.Background(), Network{Params: p, Net: cfg}, runs,
+		WithSeed(123), WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := NewRNG(123)
+	for i := 0; i < runs; i++ {
+		want, err := ExecuteOnNetwork(p, cfg, root.Split(uint64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := out.Reports[i].Detail.(NetResult); got != want {
+			t.Errorf("run %d: pooled-arena result diverged from fresh run", i)
+		}
+	}
+}
+
+// TestCampaignGridAggregate: grid axes produce a ScenarioGridResult whose
+// cells match the deprecated grid sweep byte for byte.
+func TestCampaignGridAggregate(t *testing.T) {
+	scenarios := DefaultScenarioSuite()[:2]
+	cfg := ScenarioRunConfig{Params: Params{N: 200, Fanout: Poisson(5), AliveRatio: 1}}
+	qs := []float64{0.8, 1}
+	fans := []Distribution{Poisson(4), Poisson(6)}
+	out, err := RunMany(context.Background(),
+		Campaign{Scenarios: scenarios, Config: cfg, Qs: qs, Fanouts: fans},
+		2, WithSeed(5), WithWorkers(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid, ok := out.Aggregate.(*ScenarioGridResult)
+	if !ok {
+		t.Fatalf("aggregate is %T, want *ScenarioGridResult", out.Aggregate)
+	}
+	if len(grid.Cells) != 2*2*2 {
+		t.Fatalf("grid has %d cells", len(grid.Cells))
+	}
+	if out.Runs != 2*2*2*2 {
+		t.Fatalf("outcome saw %d runs, want one per grid execution", out.Runs)
+	}
+	old, err := SweepScenarioGrid(scenarios, ScenarioGridConfig{
+		Run: cfg, Qs: qs, Fanouts: fans, Seeds: 2, BaseSeed: 5, Workers: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(grid, old) {
+		t.Error("engine grid diverged from deprecated SweepScenarioGrid")
+	}
+}
+
+// TestSuccessEngineSemantics: Run executes the spec's Simulations count;
+// RunMany overrides it; the aggregate matches the deprecated RunSuccess.
+func TestSuccessEngineSemantics(t *testing.T) {
+	p := SuccessParams{
+		Params:      Params{N: 300, Fanout: Poisson(5), AliveRatio: 0.9},
+		Executions:  4,
+		Simulations: 5,
+	}
+	out, err := Run(context.Background(), Success{Params: p}, WithSeed(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Runs != 5 {
+		t.Errorf("Run emitted %d simulations, want the spec's 5", out.Runs)
+	}
+	agg := out.Aggregate.(SuccessOutcome)
+	old, err := RunSuccess(p, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.SuccessRate != old.SuccessRate ||
+		agg.MeanExecutionReliability != old.MeanExecutionReliability ||
+		agg.ReceiptHistogram.Total() != old.ReceiptHistogram.Total() {
+		t.Error("Success engine aggregate diverged from RunSuccess")
+	}
+	many, err := RunMany(context.Background(), Success{Params: p}, 3, WithSeed(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if many.Runs != 3 {
+		t.Errorf("RunMany(3) emitted %d simulations", many.Runs)
+	}
+}
+
+// TestWithoutReports: aggregate-only sweeps skip Report retention while
+// moments, aggregates, and observers stay intact.
+func TestWithoutReports(t *testing.T) {
+	p := Params{N: 300, Fanout: Poisson(5), AliveRatio: 0.9}
+	observed := 0
+	lean, err := RunMany(context.Background(), MonteCarlo{Params: p}, 8,
+		WithSeed(4), WithoutReports(), WithObserver(func(r Report) { observed++ }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lean.Reports != nil {
+		t.Errorf("WithoutReports retained %d reports", len(lean.Reports))
+	}
+	if lean.Runs != 8 || observed != 8 {
+		t.Errorf("runs %d, observed %d", lean.Runs, observed)
+	}
+	full, err := RunMany(context.Background(), MonteCarlo{Params: p}, 8, WithSeed(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lean.Reliability != full.Reliability || !reflect.DeepEqual(lean.Aggregate, full.Aggregate) {
+		t.Error("WithoutReports changed the aggregate")
+	}
+}
+
+// TestAnalyticAgainstMonteCarlo ties the two cheapest engines together
+// through the unified API, the way the README quick start does.
+func TestAnalyticAgainstMonteCarlo(t *testing.T) {
+	p := Params{N: 2000, Fanout: Poisson(4), AliveRatio: 0.9}
+	an, err := Run(context.Background(), Analytic{Params: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := an.Aggregate.(Prediction)
+	mc, err := RunMany(context.Background(), MonteCarlo{Params: p}, 20, WithSeed(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := mc.Reliability.Mean - pred.Reliability; diff > 0.03 || diff < -0.03 {
+		t.Errorf("Monte-Carlo %.4f vs analytic %.4f", mc.Reliability.Mean, pred.Reliability)
+	}
+}

@@ -1,6 +1,7 @@
 package gossipkit_test
 
 import (
+	"context"
 	"fmt"
 
 	"gossipkit"
@@ -25,6 +26,57 @@ func Example() {
 	// executions for 99.9% success: 2
 }
 
+// ExampleRun drives one execution of the general gossiping algorithm
+// through the unified engine API.
+func ExampleRun() {
+	p := gossipkit.Params{
+		N:          1000,
+		Fanout:     gossipkit.FixedFanout(8),
+		AliveRatio: 1,
+	}
+	out, _ := gossipkit.Run(context.Background(),
+		gossipkit.MonteCarlo{Params: p, Metric: gossipkit.SourceReach},
+		gossipkit.WithRNG(gossipkit.NewRNG(42)))
+	res := out.Reports[0].Detail.(gossipkit.Result)
+	fmt.Printf("reached over 99%%: %v\n", res.Reliability > 0.99)
+	// Output:
+	// reached over 99%: true
+}
+
+// ExampleRunMany estimates the paper's simulated reliability metric with
+// 20 seeded replications on a worker pool — deterministic regardless of
+// parallelism.
+func ExampleRunMany() {
+	p := gossipkit.Params{
+		N:          1000,
+		Fanout:     gossipkit.Poisson(4),
+		AliveRatio: 0.9,
+	}
+	out, _ := gossipkit.RunMany(context.Background(),
+		gossipkit.MonteCarlo{Params: p}, 20, gossipkit.WithSeed(42))
+	pred, _ := gossipkit.Predict(p)
+	est := out.Aggregate.(gossipkit.ComponentEstimate)
+	fmt.Printf("within 2%% of model: %v\n",
+		est.Mean > pred.Reliability-0.02 && est.Mean < pred.Reliability+0.02)
+	// Output:
+	// within 2% of model: true
+}
+
+// ExampleWithObserver streams per-run progress in deterministic run order,
+// whatever the worker count.
+func ExampleWithObserver() {
+	p := gossipkit.Params{N: 500, Fanout: gossipkit.Poisson(5), AliveRatio: 0.9}
+	gossipkit.RunMany(context.Background(), gossipkit.MonteCarlo{Params: p}, 3,
+		gossipkit.WithSeed(7), gossipkit.WithWorkers(8),
+		gossipkit.WithObserver(func(r gossipkit.Report) {
+			fmt.Printf("run %d done\n", r.Run)
+		}))
+	// Output:
+	// run 0 done
+	// run 1 done
+	// run 2 done
+}
+
 // ExampleFanoutForReliability shows the paper's design equation (Eq. 12):
 // the mean fanout needed for a reliability target under failures.
 func ExampleFanoutForReliability() {
@@ -43,30 +95,13 @@ func ExampleCriticalRatio() {
 	// q_c = 0.20
 }
 
-// ExampleExecute runs one multicast and reports its delivery.
-func ExampleExecute() {
-	p := gossipkit.Params{
-		N:          1000,
-		Fanout:     gossipkit.FixedFanout(8),
-		AliveRatio: 1,
-	}
-	res, _ := gossipkit.Execute(p, gossipkit.NewRNG(42))
-	fmt.Printf("reached over 99%%: %v\n", res.Reliability > 0.99)
+// ExamplePbcast compares the paper's single-shot gossip with the
+// round-based Pbcast baseline through the same entry point.
+func ExamplePbcast() {
+	out, _ := gossipkit.RunMany(context.Background(), gossipkit.Pbcast{
+		Params: gossipkit.PbcastParams{N: 1000, Fanout: 3, Rounds: 12, AliveRatio: 0.9},
+	}, 10, gossipkit.WithSeed(1))
+	fmt.Printf("pbcast delivers everyone: %v\n", out.Reliability.Mean > 0.999)
 	// Output:
-	// reached over 99%: true
-}
-
-// ExampleMeasureGiantComponent estimates the paper's simulated reliability
-// metric with a fixed seed (deterministic regardless of parallelism).
-func ExampleMeasureGiantComponent() {
-	p := gossipkit.Params{
-		N:          1000,
-		Fanout:     gossipkit.Poisson(4),
-		AliveRatio: 0.9,
-	}
-	est, _ := gossipkit.MeasureGiantComponent(p, 20, 42)
-	pred, _ := gossipkit.Predict(p)
-	fmt.Printf("within 2%% of model: %v\n", est.Mean > pred.Reliability-0.02 && est.Mean < pred.Reliability+0.02)
-	// Output:
-	// within 2% of model: true
+	// pbcast delivers everyone: true
 }

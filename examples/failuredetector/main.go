@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -147,11 +148,12 @@ func main() {
 	if truePos == len(crashes) && falsePos == 0 {
 		fmt.Println("perfect detection: every crash suspected, no live member defamed")
 	}
-	pred, err := gossipkit.Predict(gossipkit.Params{
-		N: groupSize, Fanout: gossipkit.FixedFanout(gossipFanout), AliveRatio: 1,
+	out, err := gossipkit.Run(context.Background(), gossipkit.Analytic{
+		Params: gossipkit.Params{N: groupSize, Fanout: gossipkit.FixedFanout(gossipFanout), AliveRatio: 1},
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	pred := out.Aggregate.(gossipkit.Prediction)
 	fmt.Printf("(per-round dissemination reliability from the model: %.4f)\n", pred.Reliability)
 }

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sync"
@@ -147,12 +148,13 @@ func main() {
 	net.Close()
 	wg.Wait()
 
-	pred, err := gossipkit.Predict(gossipkit.Params{
-		N: groupSize, Fanout: gossipkit.Poisson(meanFanout), AliveRatio: q,
+	out, err := gossipkit.Run(context.Background(), gossipkit.Analytic{
+		Params: gossipkit.Params{N: groupSize, Fanout: gossipkit.Poisson(meanFanout), AliveRatio: q},
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	pred := out.Aggregate.(gossipkit.Prediction)
 	fmt.Printf("group=%d crashed=%d (q=%.2f), fanout Po(%.1f)\n", groupSize, crashed, q, meanFanout)
 	fmt.Printf("model per-member delivery probability: %.4f\n\n", pred.Reliability)
 	for ti, t := range topics {

@@ -1,9 +1,11 @@
 // Quickstart: multicast one message in a 1000-member group where 10% of
 // the members have crashed, and compare the measured reliability with the
-// paper's analytic prediction (Eq. 11).
+// paper's analytic prediction (Eq. 11) — both through the unified
+// gossipkit.Run engine API.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -11,35 +13,41 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	p := gossipkit.Params{
 		N:          1000,                 // group size
 		Fanout:     gossipkit.Poisson(4), // each member forwards to Po(4) targets
 		AliveRatio: 0.9,                  // 90% of members are nonfailed
 	}
 
-	// Analytic side: the generalized-random-graph model.
-	pred, err := gossipkit.Predict(p)
+	// Analytic engine: the generalized-random-graph model.
+	an, err := gossipkit.Run(ctx, gossipkit.Analytic{Params: p})
 	if err != nil {
 		log.Fatal(err)
 	}
+	pred := an.Aggregate.(gossipkit.Prediction)
 	fmt.Printf("model: R(q=%.1f, Po(4)) = %.4f, critical ratio q_c = %.2f\n",
 		p.AliveRatio, pred.Reliability, pred.CriticalRatio)
 
-	// Simulation side: 20 independent executions, like the paper.
-	giant, err := gossipkit.MeasureGiantComponent(p, 20, 42)
+	// Monte-Carlo engine: 20 independent executions, like the paper.
+	giant, err := gossipkit.RunMany(ctx, gossipkit.MonteCarlo{Params: p}, 20,
+		gossipkit.WithSeed(42))
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("simulation: giant component = %.4f ± %.4f (paper's metric)\n",
-		giant.Mean, giant.CI95)
+		giant.Reliability.Mean, giant.Reliability.CI95)
 
 	// What one actual multicast delivers (includes the chance the spread
 	// dies right at the source).
-	reach, err := gossipkit.MeasureReliability(p, 200, 43)
+	reach, err := gossipkit.RunMany(ctx,
+		gossipkit.MonteCarlo{Params: p, Metric: gossipkit.SourceReach}, 200,
+		gossipkit.WithSeed(43))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("simulation: one-shot delivery = %.4f (≈ S² due to die-out)\n", reach.Mean)
+	fmt.Printf("simulation: one-shot delivery = %.4f (≈ S² due to die-out)\n",
+		reach.Reliability.Mean)
 
 	// Fix the die-out with repeated executions (Eq. 6).
 	t, err := gossipkit.ExecutionsForSuccess(p, 0.999)

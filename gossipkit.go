@@ -12,14 +12,25 @@
 //
 // # Quick start
 //
+// Every backend — the analytic model, the Monte-Carlo estimator, the
+// discrete-event network, the fault-injection scenario runner, and the
+// related-work protocol baselines — runs behind one context-aware entry
+// point:
+//
 //	p := gossipkit.Params{
 //		N:          1000,
 //		Fanout:     gossipkit.Poisson(4.0), // fanout distribution P
 //		AliveRatio: 0.9,                    // nonfailed member ratio q
 //	}
-//	pred, _ := gossipkit.Predict(p)              // analytic R(q, P), Eq. 11
-//	est, _ := gossipkit.MeasureReliability(p, 20, 42) // 20 seeded runs
-//	fmt.Printf("model %.3f, measured %.3f\n", pred.Reliability, est.Mean)
+//	pred, _ := gossipkit.Predict(p) // analytic R(q, P), Eq. 11
+//	out, _ := gossipkit.RunMany(ctx, gossipkit.MonteCarlo{Params: p}, 20,
+//		gossipkit.WithSeed(42)) // 20 seeded replications on a worker pool
+//	fmt.Printf("model %.3f, measured %.3f\n", pred.Reliability, out.Reliability.Mean)
+//
+// Cancel the context to stop a sweep mid-flight (errors.Is(err,
+// gossipkit.ErrCanceled)); stream per-run progress with
+// gossipkit.WithObserver, whose callbacks arrive in deterministic run
+// order for any worker count. See Engine for the full backend list.
 //
 // # Choosing parameters
 //
@@ -42,6 +53,7 @@ import (
 	"gossipkit/internal/membership"
 	"gossipkit/internal/scenario"
 	"gossipkit/internal/simnet"
+	"gossipkit/internal/stats"
 	"gossipkit/internal/xrand"
 )
 
@@ -98,30 +110,9 @@ func NegBinomialFanout(r int, p float64) Distribution { return dist.NewNegBinomi
 // target, so no member ever stays silent.
 func AtLeastOnce(d Distribution) Distribution { return dist.NewZeroTruncated(d) }
 
-// Execute runs one execution of the general gossiping algorithm.
-func Execute(p Params, r *RNG) (Result, error) { return core.ExecuteOnce(p, r) }
-
-// MeasureReliability runs `runs` seeded executions in parallel and returns
-// aggregate statistics of the directed source reach (what one multicast
-// actually delivers).
-func MeasureReliability(p Params, runs int, seed uint64) (Estimate, error) {
-	return core.EstimateReliability(p, runs, seed)
-}
-
-// MeasureGiantComponent runs `runs` seeded executions and returns the giant
-// out-component statistics — the paper's simulated reliability metric,
-// which Eq. 11 predicts.
-func MeasureGiantComponent(p Params, runs int, seed uint64) (ComponentEstimate, error) {
-	return core.EstimateComponentReliability(p, runs, seed)
-}
-
-// Predict evaluates the analytic fault-tolerance model for p.
+// Predict evaluates the analytic fault-tolerance model for p. It is the
+// function form of the Analytic engine.
 func Predict(p Params) (Prediction, error) { return core.Predict(p) }
-
-// RunSuccess runs the repeated-execution success protocol (paper §5.2).
-func RunSuccess(p SuccessParams, seed uint64) (SuccessOutcome, error) {
-	return core.RunSuccess(p, seed)
-}
 
 // ExecutionsForSuccess returns the minimum number of executions t needed to
 // reach the success probability target (paper Eq. 6), using the model's
@@ -129,6 +120,11 @@ func RunSuccess(p SuccessParams, seed uint64) (SuccessOutcome, error) {
 func ExecutionsForSuccess(p Params, target float64) (int, error) {
 	return core.RequiredExecutions(p, target)
 }
+
+// SuccessAfter returns 1 − (1 − r)^t: the probability that t repeated
+// executions with per-execution reliability r satisfy every member (paper
+// Eq. 5), computed stably for tiny r.
+func SuccessAfter(r float64, t int) float64 { return stats.AtLeastOne(r, t) }
 
 // FanoutForReliability returns the Poisson mean fanout z needed for
 // reliability s at nonfailed ratio q (paper Eq. 12).
@@ -160,27 +156,6 @@ type NetConfig = simnet.Config
 
 // NetResult is a network-backed execution outcome.
 type NetResult = core.NetResult
-
-// ExecuteOnNetwork runs one execution as an event-driven protocol over the
-// simulated network (latency, loss, partitions).
-func ExecuteOnNetwork(p Params, cfg NetConfig, r *RNG) (NetResult, error) {
-	return core.ExecuteOnNetwork(p, cfg, r)
-}
-
-// NetArena carries reusable run state (event queue, network buffers,
-// receive flags) across network executions on one goroutine; pass it to
-// ExecuteOnNetworkReusing inside Monte-Carlo loops to keep large-n runs
-// free of per-run allocation churn.
-type NetArena = core.NetArena
-
-// NewNetArena returns an empty arena; buffers grow on first use.
-func NewNetArena() *NetArena { return core.NewNetArena() }
-
-// ExecuteOnNetworkReusing is ExecuteOnNetwork recycling arena's buffers.
-// Results are byte-identical to ExecuteOnNetwork.
-func ExecuteOnNetworkReusing(p Params, cfg NetConfig, r *RNG, arena *NetArena) (NetResult, error) {
-	return core.ExecuteOnNetworkArena(p, cfg, r, nil, arena)
-}
 
 // ---------------------------------------------------------------------------
 // Scenario engine: declarative time-varying fault campaigns
@@ -220,18 +195,8 @@ func ParseScenario(data []byte) (*Scenario, error) { return scenario.Parse(data)
 // DefaultScenarioSuite returns the bundled fault campaigns.
 func DefaultScenarioSuite() []*Scenario { return scenario.DefaultSuite() }
 
-// RunScenario executes one campaign over one gossip execution;
-// deterministic in (cfg, s, seed).
-func RunScenario(s *Scenario, cfg ScenarioRunConfig, seed uint64) (ScenarioReport, error) {
-	return scenario.Run(s, cfg, seed)
-}
-
-// SweepScenarios replicates scenarios × seeds on a worker pool and
-// aggregates per-scenario summaries; the result is identical for any
-// worker count.
-func SweepScenarios(scenarios []*Scenario, cfg ScenarioSweepConfig) (*ScenarioSweepResult, error) {
-	return scenario.Sweep(scenarios, cfg)
-}
+// ScenarioByName returns the bundled scenario with the given name.
+func ScenarioByName(name string) (*Scenario, bool) { return scenario.ByName(name) }
 
 // ScenarioGridConfig parameterizes a (scenario × q × fanout) sweep grid.
 type ScenarioGridConfig = scenario.GridConfig
@@ -239,12 +204,6 @@ type ScenarioGridConfig = scenario.GridConfig
 // ScenarioGridResult aggregates a grid sweep, one cell per
 // (scenario, q, fanout); its CSV method emits the regression-tracking grid.
 type ScenarioGridResult = scenario.GridResult
-
-// SweepScenarioGrid replicates every scenario at every (q, fanout)
-// combination; deterministic for any worker count.
-func SweepScenarioGrid(scenarios []*Scenario, cfg ScenarioGridConfig) (*ScenarioGridResult, error) {
-	return scenario.SweepGrid(scenarios, cfg)
-}
 
 // Scenario action constructors, re-exported for campaign building.
 var (

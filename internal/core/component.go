@@ -1,11 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
-	"runtime"
-	"sync"
 
 	"gossipkit/internal/graph"
+	"gossipkit/internal/runpool"
 	"gossipkit/internal/stats"
 	"gossipkit/internal/xrand"
 )
@@ -110,9 +110,24 @@ type ComponentEstimate struct {
 	MeanSourceReach float64
 }
 
+// ComponentObserver streams completed giant-component executions in run
+// order, regardless of worker count.
+type ComponentObserver func(run int, res ComponentResult)
+
 // EstimateComponentReliability runs `runs` independent giant-component
-// executions in parallel (deterministic for a given seed).
+// executions in parallel (deterministic for a given seed); see
+// EstimateComponentReliabilityCtx.
 func EstimateComponentReliability(p Params, runs int, seed uint64) (ComponentEstimate, error) {
+	return EstimateComponentReliabilityCtx(context.Background(), p, runs, seed, 0, nil)
+}
+
+// EstimateComponentReliabilityCtx runs `runs` independent giant-component
+// executions on a worker pool. Run i consumes the RNG stream split at
+// index i and results are reduced in run order, so the estimate is
+// identical for any worker count (workers <= 0 means GOMAXPROCS). Context
+// cancellation aborts promptly with ctx.Err(); observe, when non-nil,
+// streams per-run results in deterministic run order.
+func EstimateComponentReliabilityCtx(ctx context.Context, p Params, runs int, seed uint64, workers int, observe ComponentObserver) (ComponentEstimate, error) {
 	if err := p.Validate(); err != nil {
 		return ComponentEstimate{}, err
 	}
@@ -120,52 +135,33 @@ func EstimateComponentReliability(p Params, runs int, seed uint64) (ComponentEst
 		return ComponentEstimate{}, fmt.Errorf("core: run count %d < 1", runs)
 	}
 	root := xrand.New(seed)
-	workers := runtime.GOMAXPROCS(0)
-	if workers > runs {
-		workers = runs
+	results := make([]ComponentResult, runs)
+	var obs func(i int)
+	if observe != nil {
+		obs = func(i int) { observe(i, results[i]) }
 	}
-	type acc struct {
-		rel   stats.Running
-		reach stats.Running
-		inG   int
-	}
-	accs := make([]acc, workers)
-	var wg sync.WaitGroup
-	errs := make([]error, workers)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			a := &accs[w]
-			for run := w; run < runs; run += workers {
-				r := root.Split(uint64(run))
-				res, err := ComponentReliability(p, r)
-				if err != nil {
-					errs[w] = err
-					return
-				}
-				a.rel.Add(res.Reliability)
-				if res.AliveCount > 0 {
-					a.reach.Add(float64(res.SourceReach) / float64(res.AliveCount))
-				}
-				if res.SourceInGiant {
-					a.inG++
-				}
-			}
-		}(w)
-	}
-	wg.Wait()
-	for _, err := range errs {
+	err := runpool.Run(ctx, runs, runpool.Count(workers, runs), func(w, run int) error {
+		res, err := ComponentReliability(p, root.Split(uint64(run)))
 		if err != nil {
-			return ComponentEstimate{}, err
+			return err
 		}
+		results[run] = res
+		return nil
+	}, obs)
+	if err != nil {
+		return ComponentEstimate{}, err
 	}
+
 	var rel, reach stats.Running
 	inG := 0
-	for i := range accs {
-		rel.Merge(accs[i].rel)
-		reach.Merge(accs[i].reach)
-		inG += accs[i].inG
+	for _, res := range results {
+		rel.Add(res.Reliability)
+		if res.AliveCount > 0 {
+			reach.Add(float64(res.SourceReach) / float64(res.AliveCount))
+		}
+		if res.SourceInGiant {
+			inG++
+		}
 	}
 	return ComponentEstimate{
 		Runs:              rel.N(),

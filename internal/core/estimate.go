@@ -1,10 +1,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
-	"runtime"
-	"sync"
 
+	"gossipkit/internal/runpool"
 	"gossipkit/internal/stats"
 	"gossipkit/internal/xrand"
 )
@@ -29,12 +29,25 @@ type Estimate struct {
 	MeanRounds float64
 }
 
+// RunObserver streams completed executions: it is called once per run, in
+// run order (run 0, 1, 2, ...) regardless of worker count, from whichever
+// worker completed the ordered prefix.
+type RunObserver func(run int, res Result)
+
 // EstimateReliability runs `runs` independent executions of the algorithm
-// and returns aggregate statistics. Replications are distributed over
-// min(GOMAXPROCS, runs) workers; results are identical for a given seed
-// regardless of parallelism because each run uses the RNG stream split at
-// its own index.
+// and returns aggregate statistics; see EstimateReliabilityCtx.
 func EstimateReliability(p Params, runs int, seed uint64) (Estimate, error) {
+	return EstimateReliabilityCtx(context.Background(), p, runs, seed, 0, nil)
+}
+
+// EstimateReliabilityCtx runs `runs` independent executions of the
+// algorithm on a worker pool and returns aggregate statistics of the
+// directed source reach. Run i consumes the RNG stream split at index i
+// and results are reduced in run order, so the estimate is identical for
+// any worker count (workers <= 0 means GOMAXPROCS). A context cancellation
+// aborts the sweep promptly, returning ctx.Err(); observe, when non-nil,
+// streams per-run results in deterministic run order.
+func EstimateReliabilityCtx(ctx context.Context, p Params, runs int, seed uint64, workers int, observe RunObserver) (Estimate, error) {
 	if err := p.Validate(); err != nil {
 		return Estimate{}, err
 	}
@@ -42,40 +55,32 @@ func EstimateReliability(p Params, runs int, seed uint64) (Estimate, error) {
 		return Estimate{}, fmt.Errorf("core: run count %d < 1", runs)
 	}
 	root := xrand.New(seed)
-	workers := runtime.GOMAXPROCS(0)
-	if workers > runs {
-		workers = runs
+	workers = runpool.Count(workers, runs)
+	results := make([]Result, runs)
+	exs := make([]*executor, workers)
+	var obs func(i int)
+	if observe != nil {
+		obs = func(i int) { observe(i, results[i]) }
 	}
-
-	type acc struct {
-		rel  stats.Running
-		msgs stats.Running
-		rnds stats.Running
+	err := runpool.Run(ctx, runs, workers, func(w, run int) error {
+		ex := exs[w]
+		if ex == nil {
+			ex = newExecutor(p)
+			exs[w] = ex
+		}
+		r := root.Split(uint64(run))
+		results[run] = ex.run(p.drawMask(r), r)
+		return nil
+	}, obs)
+	if err != nil {
+		return Estimate{}, err
 	}
-	accs := make([]acc, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			a := &accs[w]
-			ex := newExecutor(p)
-			for run := w; run < runs; run += workers {
-				r := root.Split(uint64(run))
-				res := ex.run(p.drawMask(r), r)
-				a.rel.Add(res.Reliability)
-				a.msgs.Add(float64(res.MessagesSent))
-				a.rnds.Add(float64(res.Rounds))
-			}
-		}(w)
-	}
-	wg.Wait()
 
 	var rel, msgs, rnds stats.Running
-	for i := range accs {
-		rel.Merge(accs[i].rel)
-		msgs.Merge(accs[i].msgs)
-		rnds.Merge(accs[i].rnds)
+	for _, res := range results {
+		rel.Add(res.Reliability)
+		msgs.Add(float64(res.MessagesSent))
+		rnds.Add(float64(res.Rounds))
 	}
 	return Estimate{
 		Runs:         rel.N(),

@@ -1,10 +1,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
-	"runtime"
-	"sync"
 
+	"gossipkit/internal/runpool"
 	"gossipkit/internal/stats"
 	"gossipkit/internal/xrand"
 )
@@ -77,39 +77,72 @@ func (o SuccessOutcome) ChiSquareAgainst(p float64) (float64, int, float64, erro
 	return stats.ChiSquare(obs, o.ReferenceBinomial(p), 5)
 }
 
+// SuccessSim summarizes one simulation of the success protocol: t
+// executions over one failure mask.
+type SuccessSim struct {
+	// Counts is the receipt histogram of this simulation: Counts[k]
+	// nonfailed members received m in exactly k of the t executions.
+	Counts []int64
+	// Success reports whether every nonfailed member received m at least
+	// once.
+	Success bool
+	// MeanReliability is the mean per-execution reliability observed in
+	// this simulation.
+	MeanReliability float64
+}
+
+// SuccessObserver streams completed simulations in simulation order,
+// regardless of worker count.
+type SuccessObserver func(sim int, s SuccessSim)
+
 // RunSuccess runs the success protocol and aggregates the receipt-count
-// distribution. Simulations execute in parallel with per-simulation RNG
-// streams, so the result depends only on the seed.
+// distribution; see RunSuccessCtx.
 func RunSuccess(p SuccessParams, seed uint64) (SuccessOutcome, error) {
+	return RunSuccessCtx(context.Background(), p, seed, 0, nil)
+}
+
+// RunSuccessCtx runs the success protocol's p.Simulations independent
+// simulations on a worker pool with per-simulation RNG streams, so the
+// outcome depends only on the seed and is identical for any worker count
+// (workers <= 0 means GOMAXPROCS). Context cancellation aborts promptly
+// with ctx.Err(); observe, when non-nil, streams per-simulation summaries
+// in deterministic simulation order.
+func RunSuccessCtx(ctx context.Context, p SuccessParams, seed uint64, workers int, observe SuccessObserver) (SuccessOutcome, error) {
 	if err := p.Validate(); err != nil {
 		return SuccessOutcome{}, err
 	}
 	root := xrand.New(seed)
-	workers := runtime.GOMAXPROCS(0)
-	if workers > p.Simulations {
-		workers = p.Simulations
-	}
+	workers = runpool.Count(workers, p.Simulations)
 
-	type simResult struct {
-		counts   []int64
-		success  bool
-		relTotal float64
+	type worker struct {
+		ex       *executor
+		receipts []int32
 	}
-	results := make([]simResult, p.Simulations)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			ex := newExecutor(p.Params)
-			receipts := make([]int32, p.N)
-			for s := w; s < p.Simulations; s += workers {
-				r := root.Split(uint64(s))
-				results[s] = simResult(runOneSimulation(p, ex, receipts, r))
-			}
-		}(w)
+	ws := make([]*worker, workers)
+	results := make([]oneSim, p.Simulations)
+	var obs func(i int)
+	if observe != nil {
+		obs = func(i int) {
+			sr := results[i]
+			observe(i, SuccessSim{
+				Counts:          sr.counts,
+				Success:         sr.success,
+				MeanReliability: sr.relTotal / float64(p.Executions),
+			})
+		}
 	}
-	wg.Wait()
+	err := runpool.Run(ctx, p.Simulations, workers, func(w, s int) error {
+		wk := ws[w]
+		if wk == nil {
+			wk = &worker{ex: newExecutor(p.Params), receipts: make([]int32, p.N)}
+			ws[w] = wk
+		}
+		results[s] = runOneSimulation(p, wk.ex, wk.receipts, root.Split(uint64(s)))
+		return nil
+	}, obs)
+	if err != nil {
+		return SuccessOutcome{}, err
+	}
 
 	hist := stats.NewHistogram(p.Executions + 1)
 	successes := 0

@@ -41,7 +41,7 @@ func AblationFanoutShape(cfg Config) (*Figure, error) {
 		var maxNSWGap, maxFwdGap float64
 		for qi, q := range qs {
 			p := core.Params{N: 2000, Fanout: d, AliveRatio: q}
-			est, err := core.EstimateComponentReliability(p, runs, cfg.Seed^uint64(di*100+qi))
+			est, err := core.EstimateComponentReliabilityCtx(cfg.ctx(), p, runs, cfg.Seed^uint64(di*100+qi), 0, nil)
 			if err != nil {
 				return nil, err
 			}
@@ -90,7 +90,7 @@ func AblationCriticalPoint(cfg Config) (*Figure, error) {
 		qc := genfunc.PoissonCriticalRatio(z)
 		for qi, q := range numeric.Linspace(0.02, min(3*qc, 1), 15) {
 			p := core.Params{N: 2000, Fanout: dist.NewPoisson(z), AliveRatio: q}
-			est, err := core.EstimateComponentReliability(p, runs, cfg.Seed^uint64(zi*64+qi))
+			est, err := core.EstimateComponentReliabilityCtx(cfg.ctx(), p, runs, cfg.Seed^uint64(zi*64+qi), 0, nil)
 			if err != nil {
 				return nil, err
 			}
@@ -130,13 +130,13 @@ func AblationFailureMask(cfg Config) (*Figure, error) {
 		Executions:  20,
 		Simulations: cfg.runs(60, 5),
 	}
-	fixed, err := core.RunSuccess(base, cfg.Seed^0xA3)
+	fixed, err := core.RunSuccessCtx(cfg.ctx(), base, cfg.Seed^0xA3, 0, nil)
 	if err != nil {
 		return nil, err
 	}
 	resampled := base
 	resampled.ResampleMask = true
-	res, err := core.RunSuccess(resampled, cfg.Seed^0xA4)
+	res, err := core.RunSuccessCtx(cfg.ctx(), resampled, cfg.Seed^0xA4, 0, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -181,7 +181,7 @@ func AblationFiniteSize(cfg Config) (*Figure, error) {
 	finite := Series{Name: "|finite-n forward model − Eq.11|"}
 	for ni, n := range []int{100, 250, 500, 1000, 2500, 5000, 10000} {
 		p := core.Params{N: n, Fanout: dist.NewPoisson(4), AliveRatio: 0.9}
-		est, err := core.EstimateComponentReliability(p, runs, cfg.Seed^uint64(ni*7+1))
+		est, err := core.EstimateComponentReliabilityCtx(cfg.ctx(), p, runs, cfg.Seed^uint64(ni*7+1), 0, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -227,7 +227,7 @@ func AblationPartialView(cfg Config) (*Figure, error) {
 			AliveRatio: 0.9,
 			View:       pv,
 		}
-		est, err := core.EstimateComponentReliability(p, runs, cfg.Seed^uint64(ci+77))
+		est, err := core.EstimateComponentReliabilityCtx(cfg.ctx(), p, runs, cfg.Seed^uint64(ci+77), 0, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -263,7 +263,7 @@ func AblationReachVsGiant(cfg Config) (*Figure, error) {
 	q := 0.9
 	for fi, fanout := range numeric.Arange(1.5, 6.5, 0.5) {
 		p := core.Params{N: 2000, Fanout: dist.NewPoisson(fanout), AliveRatio: q}
-		est, err := core.EstimateComponentReliability(p, runs, cfg.Seed^uint64(fi*31))
+		est, err := core.EstimateComponentReliabilityCtx(cfg.ctx(), p, runs, cfg.Seed^uint64(fi*31), 0, nil)
 		if err != nil {
 			return nil, err
 		}

@@ -6,6 +6,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -21,6 +22,18 @@ type Config struct {
 	// simulations in the paper). 1.0 reproduces the paper's counts; CI
 	// and unit tests use smaller values. Values <= 0 mean 1.0.
 	Scale float64
+	// Ctx, when non-nil, cancels a running experiment mid-sweep: the
+	// Monte-Carlo and scenario worker pools underneath check it between
+	// replications. Nil means context.Background().
+	Ctx context.Context
+}
+
+// ctx returns the run's context, defaulting to Background.
+func (c Config) ctx() context.Context {
+	if c.Ctx != nil {
+		return c.Ctx
+	}
+	return context.Background()
 }
 
 // runs scales a paper replication count, with a floor.

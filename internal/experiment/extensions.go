@@ -157,7 +157,7 @@ func AblationProtocolComparison(cfg Config) (*Figure, error) {
 			Executions:  3,
 			Simulations: runs,
 		}
-		out, err := core.RunSuccess(p, cfg.Seed^0x333)
+		out, err := core.RunSuccessCtx(cfg.ctx(), p, cfg.Seed^0x333, 0, nil)
 		if err != nil {
 			return nil, err
 		}

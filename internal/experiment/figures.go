@@ -110,7 +110,7 @@ func reliabilityFigure(cfg Config, id string, n int, qs []float64) (*Figure, err
 				AliveRatio: q,
 			}
 			seed := cfg.Seed ^ uint64(qi*1000+fi) ^ uint64(n)
-			est, err := core.EstimateComponentReliability(p, runs, seed)
+			est, err := core.EstimateComponentReliabilityCtx(cfg.ctx(), p, runs, seed, 0, nil)
 			if err != nil {
 				return nil, err
 			}
@@ -179,7 +179,7 @@ func successFigure(cfg Config, id string, fanout, q float64) (*Figure, error) {
 		Executions:  20,
 		Simulations: cfg.runs(100, 5),
 	}
-	out, err := core.RunSuccess(p, cfg.Seed^0x51CCE55)
+	out, err := core.RunSuccessCtx(cfg.ctx(), p, cfg.Seed^0x51CCE55, 0, nil)
 	if err != nil {
 		return nil, err
 	}

@@ -30,7 +30,7 @@ func ScenarioGrid(cfg Config) (*Figure, error) {
 		Seeds:    seeds,
 		BaseSeed: cfg.Seed,
 	}
-	res, err := scenario.Sweep(suite, sweepCfg)
+	res, err := scenario.SweepCtx(cfg.ctx(), suite, sweepCfg, nil)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,121 @@
+// Package runpool is the one worker pool every replication sweep in the
+// repository runs on: a bounded pool executing n independent,
+// index-identified work items with three guarantees the engines above it
+// rely on.
+//
+// Determinism: item i always runs on worker i mod workers, so per-worker
+// scratch state (executors, run-state arenas) is recycled along the same
+// stride for a given worker count, and — because items are data-independent
+// and callers reduce results in item order after Run returns — the reduced
+// result is identical for ANY worker count.
+//
+// Ordered observation: the observe callback fires exactly once per
+// completed item in strictly increasing item order, regardless of the
+// completion order across workers (a small reorder cursor under the pool's
+// mutex delivers each contiguous prefix as it completes). Streaming
+// consumers therefore see run 0, 1, 2, ... on every execution.
+//
+// Cancellation: workers check the context between items; cancellation (or
+// the first item error, by item index) stops the pool promptly without
+// waiting for unstarted items, and Run returns ctx.Err() so callers can
+// translate it into their own sentinel.
+package runpool
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// Count normalizes a requested worker count for n work items: non-positive
+// means GOMAXPROCS, and the count never exceeds n.
+func Count(requested, n int) int {
+	w := requested
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Run executes body(w, i) for every item i in [0, n) on `workers`
+// goroutines (normalize with Count first; Run clamps again defensively).
+// Worker w runs items w, w+workers, w+2·workers, ...
+//
+// observe, when non-nil, is invoked exactly once per successfully completed
+// item, in strictly increasing item order; an item is only observed once
+// every earlier item has been observed, so an error or cancellation leaves
+// a clean observed prefix [0, k).
+//
+// On context cancellation Run returns ctx.Err(); otherwise it returns the
+// error of the lowest-indexed failing item, or nil. In both failure modes
+// remaining items are skipped promptly.
+func Run(ctx context.Context, n, workers int, body func(w, i int) error, observe func(i int)) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	workers = Count(workers, n)
+
+	var (
+		stop     = make(chan struct{})
+		stopOnce sync.Once
+		mu       sync.Mutex
+		done     []bool
+		next     int
+		errIdx   = n
+		firstErr error
+	)
+	if observe != nil {
+		done = make([]bool, n)
+	}
+	halt := func() { stopOnce.Do(func() { close(stop) }) }
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < n; i += workers {
+				select {
+				case <-ctx.Done():
+					halt()
+					return
+				case <-stop:
+					return
+				default:
+				}
+				if err := body(w, i); err != nil {
+					mu.Lock()
+					if i < errIdx {
+						errIdx, firstErr = i, err
+					}
+					mu.Unlock()
+					halt()
+					return
+				}
+				if observe != nil {
+					mu.Lock()
+					done[i] = true
+					// Deliver the contiguous completed prefix, but never
+					// past the lowest failed item.
+					for next < n && next < errIdx && done[next] {
+						observe(next)
+						next++
+					}
+					mu.Unlock()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return firstErr
+}

@@ -1,0 +1,171 @@
+package runpool
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestCount(t *testing.T) {
+	if got := Count(0, 10); got < 1 {
+		t.Errorf("Count(0,10)=%d", got)
+	}
+	if got := Count(8, 3); got != 3 {
+		t.Errorf("Count(8,3)=%d, want 3", got)
+	}
+	if got := Count(2, 100); got != 2 {
+		t.Errorf("Count(2,100)=%d, want 2", got)
+	}
+	if got := Count(-5, 0); got != 1 {
+		t.Errorf("Count(-5,0)=%d, want 1", got)
+	}
+}
+
+// TestOrderedObservation: for any worker count, observers fire 0,1,2,...,n-1.
+func TestOrderedObservation(t *testing.T) {
+	const n = 200
+	for _, workers := range []int{1, 2, 7, 16} {
+		var mu sync.Mutex
+		var seen []int
+		results := make([]int, n)
+		err := Run(context.Background(), n, workers, func(w, i int) error {
+			// Jitter completion order so the reorder cursor actually works.
+			if i%13 == 0 {
+				time.Sleep(time.Duration(i%5) * time.Microsecond)
+			}
+			results[i] = i * i
+			return nil
+		}, func(i int) {
+			mu.Lock()
+			seen = append(seen, i)
+			mu.Unlock()
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(seen) != n {
+			t.Fatalf("workers=%d: observed %d items", workers, len(seen))
+		}
+		for i, v := range seen {
+			if v != i {
+				t.Fatalf("workers=%d: observation %d was item %d, want strictly increasing order", workers, i, v)
+			}
+			if results[v] != v*v {
+				t.Fatalf("workers=%d: item %d observed before its result landed", workers, v)
+			}
+		}
+	}
+}
+
+// TestStridedAssignment pins the worker-stride contract per-worker scratch
+// reuse depends on: item i runs on worker i mod workers.
+func TestStridedAssignment(t *testing.T) {
+	const n, workers = 50, 4
+	owner := make([]int, n)
+	err := Run(context.Background(), n, workers, func(w, i int) error {
+		owner[i] = w
+		return nil
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range owner {
+		if w != i%workers {
+			t.Errorf("item %d ran on worker %d, want %d", i, w, i%workers)
+		}
+	}
+}
+
+func TestFirstErrorByIndexWins(t *testing.T) {
+	const n = 100
+	boom := func(i int) error { return fmt.Errorf("item %d failed", i) }
+	err := Run(context.Background(), n, 8, func(w, i int) error {
+		if i == 41 || i == 17 || i == 90 {
+			return boom(i)
+		}
+		return nil
+	}, nil)
+	if err == nil {
+		t.Fatal("no error returned")
+	}
+	// Early abort may skip later failing items, but whichever failures did
+	// run, the reported one must be the lowest-indexed of them; with 8
+	// workers item 17 always runs before the pool can halt on 41/90.
+	if err.Error() != "item 17 failed" && err.Error() != "item 41 failed" {
+		t.Fatalf("unexpected error %v", err)
+	}
+}
+
+// TestErrorStopsObservationAtCleanPrefix: no item after the failing index
+// is ever observed.
+func TestErrorStopsObservationAtCleanPrefix(t *testing.T) {
+	const n, bad = 60, 20
+	var mu sync.Mutex
+	var seen []int
+	err := Run(context.Background(), n, 4, func(w, i int) error {
+		if i == bad {
+			return errors.New("bad item")
+		}
+		return nil
+	}, func(i int) {
+		mu.Lock()
+		seen = append(seen, i)
+		mu.Unlock()
+	})
+	if err == nil {
+		t.Fatal("no error")
+	}
+	for idx, v := range seen {
+		if v != idx {
+			t.Fatalf("observation %d was item %d: not a clean prefix", idx, v)
+		}
+		if v >= bad {
+			t.Fatalf("item %d observed despite item %d failing", v, bad)
+		}
+	}
+}
+
+func TestCancellationStopsPromptly(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int64
+	const n = 10_000
+	err := Run(ctx, n, 4, func(w, i int) error {
+		if started.Add(1) == 8 {
+			cancel()
+		}
+		time.Sleep(50 * time.Microsecond)
+		return nil
+	}, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := started.Load(); got > 100 {
+		t.Errorf("%d items started after cancellation, want a prompt stop", got)
+	}
+}
+
+func TestPreCanceledContextRunsNothing(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	err := Run(ctx, 50, 4, func(w, i int) error {
+		ran.Add(1)
+		return nil
+	}, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if ran.Load() != 0 {
+		t.Errorf("%d items ran under a pre-canceled context", ran.Load())
+	}
+}
+
+func TestZeroItems(t *testing.T) {
+	if err := Run(context.Background(), 0, 4, func(w, i int) error { return errors.New("never") }, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,13 +1,13 @@
 package scenario
 
 import (
+	"context"
 	"fmt"
-	"runtime"
 	"strings"
-	"sync"
 
 	"gossipkit/internal/core"
 	"gossipkit/internal/dist"
+	"gossipkit/internal/runpool"
 	"gossipkit/internal/stats"
 )
 
@@ -64,11 +64,19 @@ type GridResult struct {
 }
 
 // SweepGrid replicates every scenario at every (q, fanout) combination for
-// cfg.Seeds seeds on a worker pool, each worker recycling one run-state
-// arena. Like Sweep, the result is deterministic in (scenarios, cfg)
-// regardless of cfg.Workers: cells are data-independent and reduced in grid
-// order after the pool drains.
+// cfg.Seeds seeds on a worker pool; see SweepGridCtx.
 func SweepGrid(scenarios []*Scenario, cfg GridConfig) (*GridResult, error) {
+	return SweepGridCtx(context.Background(), scenarios, cfg, nil)
+}
+
+// SweepGridCtx replicates every scenario at every (q, fanout) combination
+// for cfg.Seeds seeds on a worker pool, each worker recycling one run-state
+// arena. Like SweepCtx, the result is deterministic in (scenarios, cfg)
+// regardless of cfg.Workers: cells are data-independent and reduced in grid
+// order after the pool drains. Context cancellation aborts promptly with
+// ctx.Err(); observe, when non-nil, streams per-cell reports in
+// deterministic cell order (cell = ((si·|qs|+qi)·|fanouts|+fi)·Seeds+ri).
+func SweepGridCtx(ctx context.Context, scenarios []*Scenario, cfg GridConfig, observe Observer) (*GridResult, error) {
 	if len(scenarios) == 0 {
 		return nil, fmt.Errorf("scenario: empty grid sweep")
 	}
@@ -86,44 +94,38 @@ func SweepGrid(scenarios []*Scenario, cfg GridConfig) (*GridResult, error) {
 	if cfg.Seeds < 1 {
 		cfg.Seeds = 1
 	}
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
 	points := len(scenarios) * len(qs) * len(fanouts)
 	cells := points * cfg.Seeds
-	if workers > cells {
-		workers = cells
-	}
+	workers := runpool.Count(cfg.Workers, cells)
 
 	// Flattened cell index: ((si*len(qs)+qi)*len(fanouts)+fi)*Seeds+ri.
 	reports := make([]RunReport, cells)
 	lats := make([]stats.Running, cells)
-	errs := make([]error, cells)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			arena := core.NewNetArena()
-			for cell := w; cell < cells; cell += workers {
-				ri := cell % cfg.Seeds
-				fi := cell / cfg.Seeds % len(fanouts)
-				qi := cell / cfg.Seeds / len(fanouts) % len(qs)
-				si := cell / cfg.Seeds / len(fanouts) / len(qs)
-				run := cfg.Run
-				run.Params.AliveRatio = qs[qi]
-				run.Params.Fanout = fanouts[fi]
-				rep, lat, err := runWithLatency(scenarios[si], run, cfg.cellSeed(si, qi, fi, ri), arena)
-				reports[cell], lats[cell], errs[cell] = rep, lat, err
-			}
-		}(w)
+	arenas := make([]*core.NetArena, workers)
+	var obs func(i int)
+	if observe != nil {
+		obs = func(i int) { observe(i, reports[i]) }
 	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+	err := runpool.Run(ctx, cells, workers, func(w, cell int) error {
+		if arenas[w] == nil {
+			arenas[w] = core.NewNetArena()
 		}
+		ri := cell % cfg.Seeds
+		fi := cell / cfg.Seeds % len(fanouts)
+		qi := cell / cfg.Seeds / len(fanouts) % len(qs)
+		si := cell / cfg.Seeds / len(fanouts) / len(qs)
+		run := cfg.Run
+		run.Params.AliveRatio = qs[qi]
+		run.Params.Fanout = fanouts[fi]
+		rep, lat, err := runWithLatency(scenarios[si], run, cfg.cellSeed(si, qi, fi, ri), arenas[w])
+		if err != nil {
+			return err
+		}
+		reports[cell], lats[cell] = rep, lat
+		return nil
+	}, obs)
+	if err != nil {
+		return nil, err
 	}
 
 	out := &GridResult{

@@ -57,6 +57,15 @@ func DefaultSuite() []*Scenario {
 			At(ms(6), CrashFraction(0.30)).
 			At(ms(40), RestartFraction(0.50)).
 			At(ms(45), Regossip(10)),
+
+		// Appended after the original nine so their sweep cell seeds (a
+		// function of the scenario index) — and therefore the bundled-suite
+		// sweep JSON prefix — stay byte-stable across releases.
+		New("regossip-heartbeat",
+			"recurring anti-entropy heartbeat: under 20% ambient loss and a mid-spread crash wave, 3 random holders re-gossip every 15ms through 90ms").
+			At(0, Loss(0.20)).
+			At(ms(6), CrashFraction(0.15)).
+			EveryUntil(ms(15), ms(15), ms(90), Regossip(3)),
 	}
 }
 

@@ -1,13 +1,13 @@
 package scenario
 
 import (
+	"context"
 	"fmt"
-	"runtime"
 	"sort"
 	"strings"
-	"sync"
 
 	"gossipkit/internal/core"
+	"gossipkit/internal/runpool"
 	"gossipkit/internal/simnet"
 	"gossipkit/internal/stats"
 )
@@ -90,12 +90,26 @@ type SweepResult struct {
 	Scenarios []Summary `json:"scenarios"`
 }
 
+// Observer streams completed sweep cells: it is called once per cell, in
+// deterministic cell order (cells are numbered in grid order; for Sweep,
+// cell = si·Seeds + ri), regardless of worker count.
+type Observer func(cell int, rep RunReport)
+
 // Sweep runs every scenario for cfg.Seeds seeded replications on a worker
-// pool and aggregates per-scenario summaries. Results are deterministic in
-// (scenarios, cfg) regardless of cfg.Workers: the grid cells are
-// data-independent and the reduction happens in grid order after all
-// workers finish.
+// pool and aggregates per-scenario summaries; see SweepCtx.
 func Sweep(scenarios []*Scenario, cfg SweepConfig) (*SweepResult, error) {
+	return SweepCtx(context.Background(), scenarios, cfg, nil)
+}
+
+// SweepCtx runs every scenario for cfg.Seeds seeded replications on a
+// worker pool and aggregates per-scenario summaries. Results are
+// deterministic in (scenarios, cfg) regardless of cfg.Workers: the grid
+// cells are data-independent (each worker recycles one run-state arena,
+// which is result-neutral) and the reduction happens in grid order after
+// the pool drains. Context cancellation aborts the sweep promptly with
+// ctx.Err(); observe, when non-nil, streams per-cell reports in
+// deterministic cell order.
+func SweepCtx(ctx context.Context, scenarios []*Scenario, cfg SweepConfig, observe Observer) (*SweepResult, error) {
 	if len(scenarios) == 0 {
 		return nil, fmt.Errorf("scenario: empty sweep")
 	}
@@ -105,39 +119,32 @@ func Sweep(scenarios []*Scenario, cfg SweepConfig) (*SweepResult, error) {
 	if cfg.Seeds < 1 {
 		cfg.Seeds = 1
 	}
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
 	cells := len(scenarios) * cfg.Seeds
-	if workers > cells {
-		workers = cells
-	}
+	workers := runpool.Count(cfg.Workers, cells)
 
 	reports := make([]RunReport, cells)
 	lats := make([]stats.Running, cells)
-	errs := make([]error, cells)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			// One run-state arena per worker: every run on this
-			// worker recycles the same kernel queue, network
-			// buffers, and receive flags.
-			arena := core.NewNetArena()
-			for cell := w; cell < cells; cell += workers {
-				si, ri := cell/cfg.Seeds, cell%cfg.Seeds
-				rep, lat, err := runWithLatency(scenarios[si], cfg.Run, cfg.cellSeed(si, ri), arena)
-				reports[cell], lats[cell], errs[cell] = rep, lat, err
-			}
-		}(w)
+	// One run-state arena per worker: every run on a worker recycles the
+	// same kernel queue, network buffers, and receive flags.
+	arenas := make([]*core.NetArena, workers)
+	var obs func(i int)
+	if observe != nil {
+		obs = func(i int) { observe(i, reports[i]) }
 	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+	err := runpool.Run(ctx, cells, workers, func(w, cell int) error {
+		if arenas[w] == nil {
+			arenas[w] = core.NewNetArena()
 		}
+		si, ri := cell/cfg.Seeds, cell%cfg.Seeds
+		rep, lat, err := runWithLatency(scenarios[si], cfg.Run, cfg.cellSeed(si, ri), arenas[w])
+		if err != nil {
+			return err
+		}
+		reports[cell], lats[cell] = rep, lat
+		return nil
+	}, obs)
+	if err != nil {
+		return nil, err
 	}
 
 	out := &SweepResult{
@@ -182,6 +189,11 @@ func summarize(s *Scenario, reports []RunReport, lats []stats.Running) Summary {
 	sum.EffectiveGap = srel.Mean() - sum.EffectivePrediction
 	return sum
 }
+
+// CheckShared rejects run-config state sweep workers would mutate
+// concurrently; it is the pre-flight check the facade engines run before
+// dispatching a sweep. See checkSweepShared.
+func CheckShared(run RunConfig) error { return checkSweepShared(run) }
 
 // checkSweepShared rejects run-config state the sweep workers would mutate
 // concurrently: a shared membership view (churn unsubscribes into it) or a

@@ -91,13 +91,15 @@ func TestReviewCalendarOverflowOnly(t *testing.T) {
 	}
 	for len(hp) > 0 {
 		want := heapPop(&hp)
-		// interleave a below-window push occasionally
+		// Interleave a below-window push occasionally: the record shares
+		// the timestamp just popped (at or below the calendar's slid
+		// window, forcing the rebase path) but carries a later seq, so
+		// `want` still fires first and the two queues stay in sync.
 		if want.seq%97 == 0 {
 			seq++
 			rec := record{at: want.at, seq: seq}
 			cal.push(rec)
 			heapPush(&hp, rec)
-			want = heapPop(&hp)
 		}
 		got := cal.pop()
 		if got != want {

@@ -1,0 +1,22 @@
+#!/bin/sh
+# lint-api.sh — fail CI when cmd/ or examples/ reference deprecated facade
+# shims.
+#
+# The pre-Engine entry points (Execute, ExecuteOnNetwork[Reusing],
+# MeasureReliability, MeasureGiantComponent, RunSuccess, RunScenario,
+# SweepScenarios, SweepScenarioGrid, NewNetArena) survive only as
+# back-compat shims over gossipkit.Run/RunMany; everything the repository
+# itself ships must sit on the unified engine API. This is a grep, not a
+# linter dependency, so it runs anywhere a POSIX shell does.
+set -eu
+cd "$(dirname "$0")/.."
+
+deprecated='Execute|ExecuteOnNetwork|ExecuteOnNetworkReusing|MeasureReliability|MeasureGiantComponent|RunSuccess|RunScenario|SweepScenarios|SweepScenarioGrid|NewNetArena'
+
+if hits=$(grep -rnE "gossipkit\.($deprecated)\(" cmd examples); then
+    echo "api-lint: deprecated facade shims referenced outside the compat layer:" >&2
+    echo "$hits" >&2
+    echo "api-lint: migrate to gossipkit.Run/RunMany (see the migration table in README.md)" >&2
+    exit 1
+fi
+echo "api-lint: cmd/ and examples/ are clean of deprecated shims"
