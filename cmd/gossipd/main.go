@@ -34,10 +34,17 @@ func main() {
 		linger  = flag.Duration("linger", 0, "exit after this duration (0 = run until interrupted)")
 	)
 	flag.Parse()
+	// -fanout is user input: ParseFanout errors cleanly where the
+	// gossipkit.Poisson constructor would panic.
+	fanoutDist, err := gossipkit.ParseFanout("poisson", *fanout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gossipd:", err)
+		os.Exit(2)
+	}
 
 	node, err := gossipnode.Start(gossipnode.Config{
 		ListenAddr: *listen,
-		Fanout:     gossipkit.Poisson(*fanout),
+		Fanout:     fanoutDist,
 		Seed:       *seed,
 		Deliver: func(g wire.Gossip) {
 			fmt.Printf("[%s] deliver msg %016x from %s (%d hops): %q\n",
@@ -53,7 +60,7 @@ func main() {
 	// The analytic engine prices this fanout before any traffic flows:
 	// per-multicast delivery probability if up to 10% of peers are down.
 	if out, err := gossipkit.Run(context.Background(), gossipkit.Analytic{
-		Params: gossipkit.Params{N: 1000, Fanout: gossipkit.Poisson(*fanout), AliveRatio: 0.9},
+		Params: gossipkit.Params{N: 1000, Fanout: fanoutDist, AliveRatio: 0.9},
 	}); err == nil {
 		pred := out.Aggregate.(gossipkit.Prediction)
 		fmt.Printf("model: delivery %.4f at q=0.9, collapse below q_c=%.2f (Eq. 10/11)\n",

@@ -64,10 +64,15 @@ commands:
 }
 
 // predict evaluates Eq. 11 for Poisson mean fanout z at nonfailed ratio q
-// via the Analytic engine.
+// via the Analytic engine. z is flag input, so it goes through ParseFanout
+// rather than gossipkit.Poisson, which panics on invalid means.
 func predict(z, q float64) (gossipkit.Prediction, error) {
+	f, err := gossipkit.ParseFanout("poisson", z)
+	if err != nil {
+		return gossipkit.Prediction{}, err
+	}
 	out, err := gossipkit.Run(context.Background(), gossipkit.Analytic{
-		Params: gossipkit.Params{N: modelN, Fanout: gossipkit.Poisson(z), AliveRatio: q},
+		Params: gossipkit.Params{N: modelN, Fanout: f, AliveRatio: q},
 	})
 	if err != nil {
 		return gossipkit.Prediction{}, err

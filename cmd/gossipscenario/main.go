@@ -331,17 +331,5 @@ func selectScenarios(suite, name, spec string) ([]*gossipkit.Scenario, error) {
 }
 
 func makeDist(kind string, fanout float64) (gossipkit.Distribution, error) {
-	switch kind {
-	case "poisson":
-		return gossipkit.Poisson(fanout), nil
-	case "fixed":
-		return gossipkit.FixedFanout(int(fanout)), nil
-	case "geometric":
-		// Mean (1-p)/p = fanout → p = 1/(1+fanout).
-		return gossipkit.GeometricFanout(1 / (1 + fanout)), nil
-	case "uniform":
-		return gossipkit.UniformFanout(1, int(fanout)), nil
-	default:
-		return nil, fmt.Errorf("unknown distribution %q", kind)
-	}
+	return gossipkit.ParseFanout(kind, fanout)
 }

@@ -50,19 +50,9 @@ func main() {
 }
 
 func run(ctx context.Context, n int, distKind string, fanout, q float64, runs int, seed uint64, latency time.Duration, loss float64, progress bool) error {
-	var d gossipkit.Distribution
-	switch distKind {
-	case "poisson":
-		d = gossipkit.Poisson(fanout)
-	case "fixed":
-		d = gossipkit.FixedFanout(int(fanout))
-	case "geometric":
-		// Mean (1-p)/p = fanout → p = 1/(1+fanout).
-		d = gossipkit.GeometricFanout(1 / (1 + fanout))
-	case "uniform":
-		d = gossipkit.UniformFanout(1, int(fanout))
-	default:
-		return fmt.Errorf("unknown distribution %q", distKind)
+	d, err := gossipkit.ParseFanout(distKind, fanout)
+	if err != nil {
+		return err
 	}
 	p := gossipkit.Params{N: n, Fanout: d, AliveRatio: q}
 	var observe gossipkit.Observer

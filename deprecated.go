@@ -8,9 +8,14 @@ import (
 
 // This file holds the pre-Engine entry points, kept as thin shims over
 // Run/RunMany so existing callers keep working with identical results
-// (sweep JSON stays byte-identical). New code should use the unified
-// engine API; see the migration table in README.md. cmd/ and examples/
-// are gated off these by scripts/lint-api.sh.
+// (sweep JSON stays byte-identical). Error VALUES are not byte-identical,
+// however: routing through the engine layer wraps validation failures in
+// ErrInvalidParams, so a failure that used to read "core: ..." now reads
+// "gossipkit: invalid parameters: core: ...". Callers that matched error
+// strings should switch to errors.Is(err, gossipkit.ErrInvalidParams);
+// the original message is preserved in the wrapped chain. New code should
+// use the unified engine API; see the migration table in README.md.
+// cmd/ and examples/ are gated off these by scripts/lint-api.sh.
 
 // Execute runs one execution of the general gossiping algorithm.
 //

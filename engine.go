@@ -166,7 +166,11 @@ func WithObserver(fn Observer) Option { return func(o *runOptions) { o.observer 
 // WithoutReports drops per-run Reports from the Outcome (Outcome.Reports
 // stays nil); aggregates, moments, and observer streaming are unaffected.
 // Use it on very large sweeps consumed through Aggregate or an observer
-// only, where retaining every boxed Report would dominate memory.
+// only, where retaining every boxed Report would dominate memory: the
+// MonteCarlo, Network, Success, and protocol engines then stream their
+// reduction and hold only out-of-order completions live. The Campaign
+// engine is the exception — it still buffers one report per sweep cell
+// internally to build its per-scenario summaries.
 func WithoutReports() Option { return func(o *runOptions) { o.noReports = true } }
 
 // WithRNG makes a single Run execute on the caller's RNG stream instead of
@@ -249,7 +253,11 @@ func execute(ctx context.Context, spec Engine, o *runOptions) (*Outcome, error) 
 	}
 	agg, err := spec.run(ctx, o, emit)
 	if err != nil {
-		if ctx.Err() != nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		// Map onto ErrCanceled only when the failure IS the cancellation
+		// (the pool and engines propagate ctx.Err() unwrapped). A genuine
+		// engine error that merely races a ctx cancel must surface as
+		// itself, not be masked behind the CLIs' "interrupted" exit path.
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			return nil, canceled(err, emitted)
 		}
 		return nil, err

@@ -47,19 +47,14 @@ func (s Network) run(ctx context.Context, o *runOptions, emit func(Report)) (any
 
 	root := xrand.New(o.seed)
 	workers := runpool.Count(o.workers, o.runs)
-	results := make([]core.NetResult, o.runs)
 	arenas := make([]*core.NetArena, workers)
-	err := runpool.Run(ctx, o.runs, workers, func(w, run int) error {
-		if arenas[w] == nil {
-			arenas[w] = core.NewNetArena()
-		}
-		res, err := core.ExecuteOnNetworkArena(s.Params, s.Net, root.Split(uint64(run)), nil, arenas[w])
-		if err != nil {
-			return err
-		}
-		results[run] = res
-		return nil
-	}, func(i int) { emit(netReport(results[i])) })
+	err := runpool.RunOrdered(ctx, o.runs, workers,
+		func(w, run int) (core.NetResult, error) {
+			if arenas[w] == nil {
+				arenas[w] = core.NewNetArena()
+			}
+			return core.ExecuteOnNetworkArena(s.Params, s.Net, root.Split(uint64(run)), nil, arenas[w])
+		}, func(run int, res core.NetResult) { emit(netReport(res)) })
 	if err != nil {
 		return nil, err
 	}

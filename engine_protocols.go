@@ -208,14 +208,9 @@ func protocolSweep(ctx context.Context, o *runOptions, emit func(Report), one fu
 		return nil, nil
 	}
 	root := xrand.New(o.seed)
-	reports := make([]Report, o.runs)
-	err := runpool.Run(ctx, o.runs, runpool.Count(o.workers, o.runs), func(w, run int) error {
-		rep, err := one(root.Split(uint64(run)))
-		if err != nil {
-			return err
-		}
-		reports[run] = rep
-		return nil
-	}, func(i int) { emit(reports[i]) })
+	err := runpool.RunOrdered(ctx, o.runs, runpool.Count(o.workers, o.runs),
+		func(w, run int) (Report, error) {
+			return one(root.Split(uint64(run)))
+		}, func(run int, rep Report) { emit(rep) })
 	return nil, err
 }

@@ -45,6 +45,8 @@
 package gossipkit
 
 import (
+	"fmt"
+	"math"
 	"time"
 
 	"gossipkit/internal/core"
@@ -105,6 +107,36 @@ func UniformFanout(lo, hi int) Distribution { return dist.NewUniformRange(lo, hi
 // NegBinomialFanout returns the overdispersed negative binomial fanout
 // NB(r, p) on {0,1,...} (mean r(1−p)/p).
 func NegBinomialFanout(r int, p float64) Distribution { return dist.NewNegBinomial(r, p) }
+
+// ParseFanout builds a fanout distribution of the given mean from
+// untrusted input (CLI flags, config files). The panicking constructors
+// above treat invalid parameters as programmer error; ParseFanout instead
+// returns an error wrapping ErrInvalidParams, so user input never panics.
+//
+// Kinds: "poisson" (Po(mean)), "fixed" (point mass at ⌊mean⌋),
+// "geometric" (success probability chosen so the mean matches), and
+// "uniform" (uniform on {1..⌊mean⌋}, which needs mean >= 1).
+func ParseFanout(kind string, mean float64) (Distribution, error) {
+	if mean < 0 || math.IsNaN(mean) || math.IsInf(mean, 0) {
+		return nil, fmt.Errorf("%w: fanout mean %g (want a finite value >= 0)", ErrInvalidParams, mean)
+	}
+	switch kind {
+	case "poisson":
+		return dist.NewPoisson(mean), nil
+	case "fixed":
+		return dist.NewFixed(int(mean)), nil
+	case "geometric":
+		// Mean (1-p)/p = mean → p = 1/(1+mean).
+		return dist.NewGeometric(1 / (1 + mean)), nil
+	case "uniform":
+		if int(mean) < 1 {
+			return nil, fmt.Errorf("%w: uniform fanout needs a mean >= 1, got %g", ErrInvalidParams, mean)
+		}
+		return dist.NewUniformRange(1, int(mean)), nil
+	default:
+		return nil, fmt.Errorf("%w: unknown fanout distribution %q (want poisson, fixed, geometric, or uniform)", ErrInvalidParams, kind)
+	}
+}
 
 // AtLeastOnce conditions a fanout distribution on drawing at least one
 // target, so no member ever stays silent.

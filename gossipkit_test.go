@@ -1,9 +1,56 @@
 package gossipkit
 
 import (
+	"errors"
 	"math"
 	"testing"
 )
+
+// TestParseFanout: the untrusted-input constructor errors (matching
+// ErrInvalidParams) where the panicking constructors would panic.
+func TestParseFanout(t *testing.T) {
+	valid := []struct {
+		kind string
+		mean float64
+		name string
+	}{
+		{"poisson", 4, "Poisson(4)"},
+		{"fixed", 3.7, "Fixed(3)"},
+		{"geometric", 4, "Geometric(0.2)"},
+		{"uniform", 5, "Uniform(1..5)"},
+	}
+	for _, tc := range valid {
+		d, err := ParseFanout(tc.kind, tc.mean)
+		if err != nil {
+			t.Errorf("ParseFanout(%q, %g): %v", tc.kind, tc.mean, err)
+			continue
+		}
+		if d.Name() != tc.name {
+			t.Errorf("ParseFanout(%q, %g) = %s, want %s", tc.kind, tc.mean, d.Name(), tc.name)
+		}
+	}
+	invalid := []struct {
+		kind string
+		mean float64
+	}{
+		{"poisson", -1},
+		{"poisson", math.NaN()},
+		{"poisson", math.Inf(1)},
+		{"fixed", math.Inf(-1)},
+		{"uniform", 0.5},
+		{"cauchy", 4},
+	}
+	for _, tc := range invalid {
+		d, err := ParseFanout(tc.kind, tc.mean)
+		if err == nil {
+			t.Errorf("ParseFanout(%q, %g) = %v, want error", tc.kind, tc.mean, d.Name())
+			continue
+		}
+		if !errors.Is(err, ErrInvalidParams) {
+			t.Errorf("ParseFanout(%q, %g) error %v does not match ErrInvalidParams", tc.kind, tc.mean, err)
+		}
+	}
+}
 
 func TestFacadeQuickstartFlow(t *testing.T) {
 	p := Params{N: 1000, Fanout: Poisson(4), AliveRatio: 0.9}

@@ -135,33 +135,28 @@ func EstimateComponentReliabilityCtx(ctx context.Context, p Params, runs int, se
 		return ComponentEstimate{}, fmt.Errorf("core: run count %d < 1", runs)
 	}
 	root := xrand.New(seed)
-	results := make([]ComponentResult, runs)
-	var obs func(i int)
-	if observe != nil {
-		obs = func(i int) { observe(i, results[i]) }
-	}
-	err := runpool.Run(ctx, runs, runpool.Count(workers, runs), func(w, run int) error {
-		res, err := ComponentReliability(p, root.Split(uint64(run)))
-		if err != nil {
-			return err
-		}
-		results[run] = res
-		return nil
-	}, obs)
-	if err != nil {
-		return ComponentEstimate{}, err
-	}
-
+	// Streaming reduction in run order: same accumulation order as a
+	// post-hoc loop over a full result buffer (worker-count-invariant),
+	// without holding all `runs` results live.
 	var rel, reach stats.Running
 	inG := 0
-	for _, res := range results {
-		rel.Add(res.Reliability)
-		if res.AliveCount > 0 {
-			reach.Add(float64(res.SourceReach) / float64(res.AliveCount))
-		}
-		if res.SourceInGiant {
-			inG++
-		}
+	err := runpool.RunOrdered(ctx, runs, runpool.Count(workers, runs),
+		func(w, run int) (ComponentResult, error) {
+			return ComponentReliability(p, root.Split(uint64(run)))
+		}, func(run int, res ComponentResult) {
+			rel.Add(res.Reliability)
+			if res.AliveCount > 0 {
+				reach.Add(float64(res.SourceReach) / float64(res.AliveCount))
+			}
+			if res.SourceInGiant {
+				inG++
+			}
+			if observe != nil {
+				observe(run, res)
+			}
+		})
+	if err != nil {
+		return ComponentEstimate{}, err
 	}
 	return ComponentEstimate{
 		Runs:              rel.N(),

@@ -56,31 +56,30 @@ func EstimateReliabilityCtx(ctx context.Context, p Params, runs int, seed uint64
 	}
 	root := xrand.New(seed)
 	workers = runpool.Count(workers, runs)
-	results := make([]Result, runs)
 	exs := make([]*executor, workers)
-	var obs func(i int)
-	if observe != nil {
-		obs = func(i int) { observe(i, results[i]) }
-	}
-	err := runpool.Run(ctx, runs, workers, func(w, run int) error {
+	// Streaming reduction in run order: identical float accumulation order
+	// to a post-hoc loop over a full result buffer (so the estimate stays
+	// worker-count-invariant) while keeping only out-of-order completions
+	// live instead of all `runs` results.
+	var rel, msgs, rnds stats.Running
+	err := runpool.RunOrdered(ctx, runs, workers, func(w, run int) (Result, error) {
 		ex := exs[w]
 		if ex == nil {
 			ex = newExecutor(p)
 			exs[w] = ex
 		}
 		r := root.Split(uint64(run))
-		results[run] = ex.run(p.drawMask(r), r)
-		return nil
-	}, obs)
-	if err != nil {
-		return Estimate{}, err
-	}
-
-	var rel, msgs, rnds stats.Running
-	for _, res := range results {
+		return ex.run(p.drawMask(r), r), nil
+	}, func(run int, res Result) {
 		rel.Add(res.Reliability)
 		msgs.Add(float64(res.MessagesSent))
 		rnds.Add(float64(res.Rounds))
+		if observe != nil {
+			observe(run, res)
+		}
+	})
+	if err != nil {
+		return Estimate{}, err
 	}
 	return Estimate{
 		Runs:         rel.N(),

@@ -119,44 +119,40 @@ func RunSuccessCtx(ctx context.Context, p SuccessParams, seed uint64, workers in
 		receipts []int32
 	}
 	ws := make([]*worker, workers)
-	results := make([]oneSim, p.Simulations)
-	var obs func(i int)
-	if observe != nil {
-		obs = func(i int) {
-			sr := results[i]
-			observe(i, SuccessSim{
-				Counts:          sr.counts,
-				Success:         sr.success,
-				MeanReliability: sr.relTotal / float64(p.Executions),
-			})
-		}
-	}
-	err := runpool.Run(ctx, p.Simulations, workers, func(w, s int) error {
-		wk := ws[w]
-		if wk == nil {
-			wk = &worker{ex: newExecutor(p.Params), receipts: make([]int32, p.N)}
-			ws[w] = wk
-		}
-		results[s] = runOneSimulation(p, wk.ex, wk.receipts, root.Split(uint64(s)))
-		return nil
-	}, obs)
-	if err != nil {
-		return SuccessOutcome{}, err
-	}
-
+	// Streaming reduction in simulation order: identical accumulation
+	// order to a post-hoc loop over a full result buffer, without holding
+	// all p.Simulations receipt histograms live.
 	hist := stats.NewHistogram(p.Executions + 1)
 	successes := 0
 	var relSum float64
-	for _, sr := range results {
-		for k, c := range sr.counts {
-			for i := int64(0); i < c; i++ {
-				hist.Add(k)
+	err := runpool.RunOrdered(ctx, p.Simulations, workers,
+		func(w, s int) (oneSim, error) {
+			wk := ws[w]
+			if wk == nil {
+				wk = &worker{ex: newExecutor(p.Params), receipts: make([]int32, p.N)}
+				ws[w] = wk
 			}
-		}
-		if sr.success {
-			successes++
-		}
-		relSum += sr.relTotal
+			return runOneSimulation(p, wk.ex, wk.receipts, root.Split(uint64(s))), nil
+		}, func(s int, sr oneSim) {
+			for k, c := range sr.counts {
+				for i := int64(0); i < c; i++ {
+					hist.Add(k)
+				}
+			}
+			if sr.success {
+				successes++
+			}
+			relSum += sr.relTotal
+			if observe != nil {
+				observe(s, SuccessSim{
+					Counts:          sr.counts,
+					Success:         sr.success,
+					MeanReliability: sr.relTotal / float64(p.Executions),
+				})
+			}
+		})
+	if err != nil {
+		return SuccessOutcome{}, err
 	}
 	return SuccessOutcome{
 		ReceiptHistogram:         hist,

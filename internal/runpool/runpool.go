@@ -6,14 +6,18 @@
 // Determinism: item i always runs on worker i mod workers, so per-worker
 // scratch state (executors, run-state arenas) is recycled along the same
 // stride for a given worker count, and — because items are data-independent
-// and callers reduce results in item order after Run returns — the reduced
-// result is identical for ANY worker count.
+// and callers reduce results in item order (streaming via RunOrdered, or
+// after Run returns) — the reduced result is identical for ANY worker
+// count.
 //
 // Ordered observation: the observe callback fires exactly once per
 // completed item in strictly increasing item order, regardless of the
-// completion order across workers (a small reorder cursor under the pool's
-// mutex delivers each contiguous prefix as it completes). Streaming
-// consumers therefore see run 0, 1, 2, ... on every execution.
+// completion order across workers (a small reorder cursor tracks the
+// contiguous completed prefix; one worker at a time delivers it outside
+// the pool's lock, so a slow consumer never serializes the pool).
+// Streaming consumers therefore see run 0, 1, 2, ... on every execution,
+// and RunOrdered builds on this to reduce per-item results in item order
+// while holding only out-of-order completions live.
 //
 // Cancellation: workers check the context between items; cancellation (or
 // the first item error, by item index) stops the pool promptly without
@@ -48,9 +52,11 @@ func Count(requested, n int) int {
 // Worker w runs items w, w+workers, w+2·workers, ...
 //
 // observe, when non-nil, is invoked exactly once per successfully completed
-// item, in strictly increasing item order; an item is only observed once
-// every earlier item has been observed, so an error or cancellation leaves
-// a clean observed prefix [0, k).
+// item, in strictly increasing item order and never concurrently with
+// itself; an item is only observed once every earlier item has been
+// observed, so an error or cancellation leaves a clean observed prefix
+// [0, k). Callbacks run outside the pool's lock, so a slow observer delays
+// at most the one worker delivering the current prefix, not the pool.
 //
 // On context cancellation Run returns ctx.Err(); otherwise it returns the
 // error of the lowest-indexed failing item, or nil. In both failure modes
@@ -62,13 +68,14 @@ func Run(ctx context.Context, n, workers int, body func(w, i int) error, observe
 	workers = Count(workers, n)
 
 	var (
-		stop     = make(chan struct{})
-		stopOnce sync.Once
-		mu       sync.Mutex
-		done     []bool
-		next     int
-		errIdx   = n
-		firstErr error
+		stop       = make(chan struct{})
+		stopOnce   sync.Once
+		mu         sync.Mutex
+		done       []bool
+		next       int
+		delivering bool
+		errIdx     = n
+		firstErr   error
 	)
 	if observe != nil {
 		done = make([]bool, n)
@@ -101,11 +108,30 @@ func Run(ctx context.Context, n, workers int, body func(w, i int) error, observe
 				if observe != nil {
 					mu.Lock()
 					done[i] = true
-					// Deliver the contiguous completed prefix, but never
-					// past the lowest failed item.
-					for next < n && next < errIdx && done[next] {
-						observe(next)
-						next++
+					// Deliver the contiguous completed prefix (never past
+					// the lowest failed item) OUTSIDE the lock: one
+					// deliverer at a time keeps observations ordered and
+					// non-concurrent, and it re-scans after each batch so
+					// items completed meanwhile are never stranded. A
+					// delivered item always stays below any later-recorded
+					// errIdx: a failing item never sets done, so the prefix
+					// scan cannot pass it.
+					for !delivering {
+						start := next
+						end := start
+						for end < n && end < errIdx && done[end] {
+							end++
+						}
+						if end == start {
+							break
+						}
+						delivering, next = true, end
+						mu.Unlock()
+						for j := start; j < end; j++ {
+							observe(j)
+						}
+						mu.Lock()
+						delivering = false
 					}
 					mu.Unlock()
 				}
@@ -118,4 +144,34 @@ func Run(ctx context.Context, n, workers int, body func(w, i int) error, observe
 		return err
 	}
 	return firstErr
+}
+
+// RunOrdered is Run for bodies that produce a result per item: each result
+// is handed to reduce in strictly increasing item order (never
+// concurrently), buffering only out-of-order completions — O(worker skew)
+// live results instead of the O(n) slice a caller-side buffer needs, which
+// is what makes million-run sweeps consumable through streaming reduction.
+// Like Run's observe, an error or cancellation leaves reduce with a clean
+// prefix [0, k); the error contract is Run's.
+func RunOrdered[T any](ctx context.Context, n, workers int, body func(w, i int) (T, error), reduce func(i int, v T)) error {
+	var (
+		mu      sync.Mutex
+		pending = make(map[int]T)
+	)
+	return Run(ctx, n, workers, func(w, i int) error {
+		v, err := body(w, i)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		pending[i] = v
+		mu.Unlock()
+		return nil
+	}, func(i int) {
+		mu.Lock()
+		v := pending[i]
+		delete(pending, i)
+		mu.Unlock()
+		reduce(i, v)
+	})
 }

@@ -82,21 +82,37 @@ func TestStridedAssignment(t *testing.T) {
 
 func TestFirstErrorByIndexWins(t *testing.T) {
 	const n = 100
-	boom := func(i int) error { return fmt.Errorf("item %d failed", i) }
+	failing := []int{17, 41, 90}
+	var ran [n]atomic.Bool
 	err := Run(context.Background(), n, 8, func(w, i int) error {
-		if i == 41 || i == 17 || i == 90 {
-			return boom(i)
+		for _, f := range failing {
+			if i == f {
+				ran[i].Store(true)
+				return fmt.Errorf("item %d failed", i)
+			}
 		}
 		return nil
 	}, nil)
 	if err == nil {
 		t.Fatal("no error returned")
 	}
-	// Early abort may skip later failing items, but whichever failures did
-	// run, the reported one must be the lowest-indexed of them; with 8
-	// workers item 17 always runs before the pool can halt on 41/90.
-	if err.Error() != "item 17 failed" && err.Error() != "item 41 failed" {
-		t.Fatalf("unexpected error %v", err)
+	// Early abort may skip later failing items: which of 17/41/90 run
+	// depends on scheduling. The contract is that whichever failures DID
+	// run, the reported error is the lowest-indexed of them — and Run only
+	// returns after all workers exit, so ran[] is settled here.
+	lowest := -1
+	for _, f := range failing {
+		if ran[f].Load() {
+			lowest = f
+			break
+		}
+	}
+	if lowest == -1 {
+		t.Fatal("Run returned an error but no failing item ran")
+	}
+	if want := fmt.Sprintf("item %d failed", lowest); err.Error() != want {
+		t.Fatalf("err = %v, want %q (failures that ran: 17=%v 41=%v 90=%v)",
+			err, want, ran[17].Load(), ran[41].Load(), ran[90].Load())
 	}
 }
 
@@ -125,6 +141,97 @@ func TestErrorStopsObservationAtCleanPrefix(t *testing.T) {
 		}
 		if v >= bad {
 			t.Fatalf("item %d observed despite item %d failing", v, bad)
+		}
+	}
+}
+
+// TestObserveNeverConcurrent: delivery happens outside the pool lock, but
+// the observer must still never run concurrently with itself.
+func TestObserveNeverConcurrent(t *testing.T) {
+	const n = 500
+	var inFlight, overlaps, calls atomic.Int32
+	err := Run(context.Background(), n, 8, func(w, i int) error {
+		if i%7 == 0 {
+			time.Sleep(time.Duration(i%3) * time.Microsecond)
+		}
+		return nil
+	}, func(i int) {
+		if inFlight.Add(1) > 1 {
+			overlaps.Add(1)
+		}
+		calls.Add(1)
+		time.Sleep(time.Microsecond)
+		inFlight.Add(-1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != n {
+		t.Fatalf("observed %d items, want %d", calls.Load(), n)
+	}
+	if overlaps.Load() != 0 {
+		t.Fatalf("%d concurrent observer invocations", overlaps.Load())
+	}
+}
+
+// TestRunOrdered: reduce receives every item's value in strictly
+// increasing item order, for any worker count.
+func TestRunOrdered(t *testing.T) {
+	const n = 300
+	for _, workers := range []int{1, 3, 8} {
+		var got []int
+		sum := 0
+		err := RunOrdered(context.Background(), n, workers, func(w, i int) (int, error) {
+			if i%11 == 0 {
+				time.Sleep(time.Duration(i%4) * time.Microsecond)
+			}
+			return i * 2, nil
+		}, func(i, v int) {
+			if v != i*2 {
+				t.Errorf("workers=%d: reduce(%d, %d), want value %d", workers, i, v, i*2)
+			}
+			got = append(got, i)
+			sum += v
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != n {
+			t.Fatalf("workers=%d: reduced %d items", workers, len(got))
+		}
+		for i, v := range got {
+			if v != i {
+				t.Fatalf("workers=%d: reduction %d was item %d, want strictly increasing order", workers, i, v)
+			}
+		}
+		if want := n * (n - 1); sum != want {
+			t.Fatalf("workers=%d: sum %d, want %d", workers, sum, want)
+		}
+	}
+}
+
+// TestRunOrderedErrorCleanPrefix: on failure, reduce has received exactly
+// a clean prefix [0, k) with k at most the failing index.
+func TestRunOrderedErrorCleanPrefix(t *testing.T) {
+	const n, bad = 80, 23
+	var got []int
+	err := RunOrdered(context.Background(), n, 4, func(w, i int) (int, error) {
+		if i == bad {
+			return 0, errors.New("bad item")
+		}
+		return i, nil
+	}, func(i, v int) {
+		got = append(got, i)
+	})
+	if err == nil {
+		t.Fatal("no error")
+	}
+	for idx, v := range got {
+		if v != idx {
+			t.Fatalf("reduction %d was item %d: not a clean prefix", idx, v)
+		}
+		if v >= bad {
+			t.Fatalf("item %d reduced despite item %d failing", v, bad)
 		}
 	}
 }

@@ -13,10 +13,29 @@ cd "$(dirname "$0")/.."
 
 deprecated='Execute|ExecuteOnNetwork|ExecuteOnNetworkReusing|MeasureReliability|MeasureGiantComponent|RunSuccess|RunScenario|SweepScenarios|SweepScenarioGrid|NewNetArena'
 
-if hits=$(grep -rnE "gossipkit\.($deprecated)\(" cmd examples); then
+for dir in cmd examples; do
+    if [ ! -d "$dir" ]; then
+        echo "api-lint: directory $dir/ not found; the gate has nothing to scan" >&2
+        exit 2
+    fi
+done
+
+# grep exits 0 on match, 1 on no match, >=2 on error. Only 1 means clean;
+# a hard error (unreadable tree, bad pattern) must fail the gate, not pass it.
+rc=0
+hits=$(grep -rnE "gossipkit\.($deprecated)\(" cmd examples) || rc=$?
+case $rc in
+0)
     echo "api-lint: deprecated facade shims referenced outside the compat layer:" >&2
     echo "$hits" >&2
     echo "api-lint: migrate to gossipkit.Run/RunMany (see the migration table in README.md)" >&2
     exit 1
-fi
-echo "api-lint: cmd/ and examples/ are clean of deprecated shims"
+    ;;
+1)
+    echo "api-lint: cmd/ and examples/ are clean of deprecated shims"
+    ;;
+*)
+    echo "api-lint: grep failed with exit status $rc" >&2
+    exit "$rc"
+    ;;
+esac
