@@ -12,6 +12,7 @@
 //	gossipscenario run -spec campaign.json -format csv
 //	gossipscenario sweep -seeds 20 -workers 8 -format ascii
 //	gossipscenario grid -qs 0.6,0.8,1.0 -fanouts 3,5,8 -format csv
+//	gossipscenario compare -scenarios crash-wave,burst-loss,partition-heal -seeds 5 -format ascii
 //
 // Output on stdout is a pure function of the flags and seed (timing and
 // throughput diagnostics go to stderr), so reports can be diffed and
@@ -24,6 +25,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"os/signal"
 	"runtime"
@@ -51,6 +53,8 @@ func main() {
 		err = run(ctx, os.Args[2:], true)
 	case "grid":
 		err = grid(ctx, os.Args[2:])
+	case "compare":
+		err = compare(ctx, os.Args[2:])
 	case "-h", "-help", "--help", "help":
 		usage()
 	default:
@@ -73,6 +77,7 @@ func usage() {
   gossipscenario run   [flags]            run each selected scenario, per-run reports
   gossipscenario sweep [flags]            replicate scenarios x seeds on a worker pool
   gossipscenario grid  [flags]            sweep the (scenario x q x fanout) grid, CSV/JSON
+  gossipscenario compare [flags]          run campaigns against every protocol baseline
 
 flags (run/sweep):
   -suite default        run the whole bundled suite (default when nothing else selected)
@@ -92,6 +97,12 @@ flags (run/sweep):
 flags (grid only):
   -qs LIST              comma-separated nonfailed ratios, e.g. 0.6,0.8,1.0
   -fanouts LIST         comma-separated mean fanouts, e.g. 3,5,8 (uses -dist)
+
+flags (compare only):
+  -scenarios LIST       comma-separated bundled scenario names (default: whole suite)
+  -protocols LIST       comma-separated rows: paper, pbcast, lpbcast, anti-entropy,
+                        rdg, lrg, flooding (default: all seven)
+  -rounds INT           round budget for the round-based baselines (default 10)
 `)
 }
 
@@ -278,6 +289,169 @@ func grid(ctx context.Context, args []string) error {
 	return nil
 }
 
+// compare runs the (protocol × scenario) comparison grid: every selected
+// campaign against every selected protocol row on the shared DES substrate,
+// with byte-identical campaign randomness per (scenario, seed) cell
+// whatever the protocol.
+func compare(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("gossipscenario compare", flag.ExitOnError)
+	var (
+		names     = fs.String("scenarios", "", "comma-separated bundled scenario names (default: whole suite)")
+		protoList = fs.String("protocols", "", "comma-separated protocol rows (default: all seven)")
+		n         = fs.Int("n", 1000, "group size")
+		distKind  = fs.String("dist", "poisson", "fanout distribution (paper row)")
+		fanout    = fs.Float64("fanout", 5, "mean fanout")
+		q         = fs.Float64("q", 1, "static nonfailed ratio")
+		rounds    = fs.Int("rounds", 10, "round budget for round-based baselines")
+		views     = fs.Int("views", 2, "SCAMP partial-view extra copies (0 = full view)")
+		seed      = fs.Uint64("seed", 42, "base random seed")
+		seeds     = fs.Int("seeds", 5, "replications per (protocol, scenario) cell")
+		workers   = fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		format    = fs.String("format", "csv", "output format: csv, json, ascii")
+		progress  = fs.Bool("progress", false, "stream per-cell progress to stderr")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	scenarios, err := selectScenarioList(*names)
+	if err != nil {
+		return err
+	}
+	d, err := makeDist(*distKind, *fanout)
+	if err != nil {
+		return err
+	}
+	spec := gossipkit.Compare{
+		Scenarios: scenarios,
+		Config: gossipkit.ScenarioRunConfig{
+			Params:            gossipkit.Params{N: *n, Fanout: d, AliveRatio: *q},
+			PartialViewCopies: *views,
+		},
+	}
+	rows := strings.Split("paper,pbcast,lpbcast,anti-entropy,rdg,lrg,flooding", ",")
+	if *protoList != "" {
+		rows = strings.Split(*protoList, ",")
+	}
+	// The baselines take an integer per-round fanout where the paper row
+	// draws from a distribution of that mean; a fractional -fanout cannot
+	// be honored exactly on the baseline rows, so round it and say so
+	// rather than silently comparing protocols at different fanouts.
+	baseFanout := int(math.Round(*fanout))
+	if baseFanout < 1 {
+		return fmt.Errorf("-fanout %g: baseline protocol rows need a fanout >= 1", *fanout)
+	}
+	if float64(baseFanout) != *fanout {
+		fmt.Fprintf(os.Stderr, "note: baseline rows use integer fanout %d (paper row keeps mean %g)\n",
+			baseFanout, *fanout)
+	}
+	for _, row := range rows {
+		p, err := baselineSpec(strings.TrimSpace(row), *n, baseFanout, *rounds, *q, *views)
+		if err != nil {
+			return err
+		}
+		if p == nil {
+			spec.Paper = true
+			continue
+		}
+		spec.Protocols = append(spec.Protocols, p)
+	}
+	cells := (len(spec.Protocols) + b2i(spec.Paper)) * len(scenarios) * *seeds
+
+	start := time.Now()
+	out, err := gossipkit.RunMany(ctx, spec, *seeds,
+		gossipkit.WithSeed(*seed), gossipkit.WithWorkers(*workers),
+		gossipkit.WithObserver(observer(*progress, cells)))
+	if err != nil {
+		return err
+	}
+	result := out.Aggregate.(*gossipkit.ScenarioCompareResult)
+	elapsed := time.Since(start)
+	fmt.Fprintf(os.Stderr, "ran %d protocols x %d scenarios x %d seeds = %d executions in %v (%.1f runs/sec)\n",
+		len(result.Protocols), len(scenarios), *seeds, cells,
+		elapsed.Round(time.Millisecond), float64(cells)/elapsed.Seconds())
+
+	switch *format {
+	case "csv":
+		fmt.Print(result.CSV())
+	case "json":
+		enc, err := json.MarshalIndent(result, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(enc))
+	case "ascii":
+		fmt.Print(result.Table())
+	default:
+		return fmt.Errorf("unknown format %q (want csv, json, or ascii)", *format)
+	}
+	return nil
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// baselineSpec builds one comparison row's protocol parameters from the
+// shared CLI knobs (fanout already validated >= 1); a nil spec with nil
+// error means the paper row.
+func baselineSpec(row string, n, fanout, rounds int, q float64, views int) (gossipkit.ProtocolSpec, error) {
+	switch row {
+	case "paper":
+		return nil, nil
+	case "pbcast":
+		return gossipkit.PbcastParams{N: n, Fanout: fanout, Rounds: rounds, AliveRatio: q}, nil
+	case "lpbcast":
+		return gossipkit.LpbcastParams{N: n, Fanout: fanout, Rounds: rounds,
+			BufferSize: 8, Events: 3, AliveRatio: q, ViewCopies: views}, nil
+	case "anti-entropy":
+		return gossipkit.AntiEntropyParams{N: n, Rounds: rounds, Mode: gossipkit.PushPull, AliveRatio: q}, nil
+	case "rdg":
+		return gossipkit.RDGParams{N: n, Fanout: fanout, PushRounds: rounds,
+			RecoveryRounds: (rounds + 1) / 2, AliveRatio: q, ViewCopies: views, PayloadProb: 0.8}, nil
+	case "lrg":
+		return gossipkit.LRGParams{N: n, Degree: fanout + 2, GossipProb: 0.8,
+			RepairRounds: (rounds + 1) / 2, AliveRatio: q}, nil
+	case "flooding":
+		return gossipkit.FloodingParams{N: n, AliveRatio: q}, nil
+	default:
+		return nil, fmt.Errorf("unknown protocol %q (want paper, pbcast, lpbcast, anti-entropy, rdg, lrg, or flooding)", row)
+	}
+}
+
+// selectScenarioList resolves a comma-separated list of bundled scenario
+// names; empty means the whole bundled suite.
+func selectScenarioList(names string) ([]*gossipkit.Scenario, error) {
+	if names == "" {
+		return gossipkit.DefaultScenarioSuite(), nil
+	}
+	var out []*gossipkit.Scenario
+	for _, name := range strings.Split(names, ",") {
+		s, err := bundledScenario(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// bundledScenario resolves one bundled scenario name, failing with the
+// list of known names.
+func bundledScenario(name string) (*gossipkit.Scenario, error) {
+	s, ok := gossipkit.ScenarioByName(name)
+	if !ok {
+		var known []string
+		for _, b := range gossipkit.DefaultScenarioSuite() {
+			known = append(known, b.Name)
+		}
+		return nil, fmt.Errorf("unknown scenario %q (bundled: %s)", name, strings.Join(known, ", "))
+	}
+	return s, nil
+}
+
 // parseFloats parses a comma-separated list of floats, rejecting any
 // malformed entry outright.
 func parseFloats(flagName, list string) ([]float64, error) {
@@ -304,13 +478,9 @@ func selectScenarios(suite, name, spec string) ([]*gossipkit.Scenario, error) {
 	}
 	switch {
 	case name != "":
-		s, ok := gossipkit.ScenarioByName(name)
-		if !ok {
-			var names []string
-			for _, b := range gossipkit.DefaultScenarioSuite() {
-				names = append(names, b.Name)
-			}
-			return nil, fmt.Errorf("unknown scenario %q (bundled: %s)", name, strings.Join(names, ", "))
+		s, err := bundledScenario(name)
+		if err != nil {
+			return nil, err
 		}
 		return []*gossipkit.Scenario{s}, nil
 	case spec != "":

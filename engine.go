@@ -31,8 +31,10 @@ func invalid(err error) error {
 // Run/RunMany entry points: the analytic model (Analytic), the Monte-Carlo
 // graph estimator (MonteCarlo), the discrete-event network executor
 // (Network), the fault-injection scenario runner (Campaign), the
-// repeated-execution success protocol (Success), and the related-work
-// protocol baselines (Pbcast, Lpbcast, AntiEntropy, RDG, LRG, Flooding).
+// repeated-execution success protocol (Success), the related-work protocol
+// baselines (Pbcast, Lpbcast, AntiEntropy, RDG, LRG, Flooding — all on the
+// same discrete-event substrate as Network), and the (protocol × scenario)
+// comparison grid (Compare).
 //
 // Every engine is context-aware (cancellation aborts promptly with
 // ErrCanceled), observable (WithObserver streams per-run Reports in
@@ -124,7 +126,9 @@ type Outcome struct {
 	// Aggregate is the engine's native aggregate, when it has one:
 	// Prediction (Analytic), Estimate or ComponentEstimate (MonteCarlo),
 	// SuccessOutcome (Success), *ScenarioSweepResult or
-	// *ScenarioGridResult (Campaign under RunMany). Nil otherwise.
+	// *ScenarioGridResult (Campaign under RunMany), *ProtocolSweep (a
+	// protocol baseline under RunMany), *ScenarioCompareResult (Compare).
+	// Nil otherwise.
 	Aggregate any
 }
 

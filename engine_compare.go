@@ -1,0 +1,91 @@
+package gossipkit
+
+import (
+	"context"
+	"fmt"
+
+	"gossipkit/internal/scenario"
+)
+
+// Compare is the engine for the (protocol × scenario) comparison grid:
+// every listed fault campaign runs against every listed protocol on the
+// shared discrete-event substrate, so the related-work baselines and the
+// paper's own algorithm face identical crash waves, loss episodes, and
+// partitions — byte-identical campaign randomness per (scenario, seed)
+// cell, whatever the protocol.
+//
+// Compare only has replication-sweep semantics: drive it with RunMany (or
+// WithRuns), which replicates every cell for that many derived seeds.
+// Outcome.Aggregate is the *ScenarioCompareResult — the full grid with
+// per-cell moments and a CSV/Table rendering — and Report.Detail streams
+// the per-run ScenarioReport in deterministic cell order, protocol-major.
+type Compare struct {
+	// Scenarios are the fault campaigns each protocol faces.
+	Scenarios []*Scenario
+	// Protocols are the baseline rows of the grid (PbcastParams,
+	// LpbcastParams, AntiEntropyParams, RDGParams, LRGParams,
+	// FloodingParams — any mix).
+	Protocols []ProtocolSpec
+	// Paper, when true, prepends the paper's own algorithm (configured by
+	// Config.Params) as the first row, labeled "paper".
+	Paper bool
+	// Config parameterizes each execution: the network substrate every
+	// protocol crosses and — for the paper row — the gossip model params.
+	Config ScenarioRunConfig
+}
+
+// Name implements Engine.
+func (Compare) Name() string { return "compare" }
+
+func (s Compare) run(ctx context.Context, o *runOptions, emit func(Report)) (any, error) {
+	if len(s.Scenarios) == 0 {
+		return nil, fmt.Errorf("%w: comparison has no scenarios", ErrInvalidParams)
+	}
+	if len(s.Protocols) == 0 && !s.Paper {
+		return nil, fmt.Errorf("%w: comparison has no protocols (list baselines or set Paper)", ErrInvalidParams)
+	}
+	for _, sc := range s.Scenarios {
+		if err := sc.Validate(); err != nil {
+			return nil, invalid(err)
+		}
+	}
+	for i, p := range s.Protocols {
+		if p == nil {
+			return nil, fmt.Errorf("%w: comparison protocol %d is nil", ErrInvalidParams, i)
+		}
+		if err := p.Validate(); err != nil {
+			return nil, invalid(err)
+		}
+	}
+	if o.rng != nil {
+		return nil, fmt.Errorf("%w: the compare engine derives RNG streams from seeds; use WithSeed", ErrInvalidParams)
+	}
+	if !o.many {
+		return nil, fmt.Errorf("%w: Compare is a grid sweep; use RunMany (or WithRuns) to set the seeds per cell", ErrInvalidParams)
+	}
+	if err := scenario.CheckShared(s.Config); err != nil {
+		return nil, invalid(err)
+	}
+
+	var executors []ScenarioExecutor
+	if s.Paper {
+		if err := s.Config.Params.Validate(); err != nil {
+			return nil, invalid(err)
+		}
+		executors = append(executors, scenario.PaperExecutor("paper"))
+	}
+	for _, p := range s.Protocols {
+		executors = append(executors, scenario.NewProtocolExecutor(p))
+	}
+
+	cfg := scenario.CompareConfig{
+		Run: s.Config, Executors: executors,
+		Seeds: o.runs, BaseSeed: o.seed, Workers: o.workers,
+	}
+	res, err := scenario.CompareCtx(ctx, s.Scenarios, cfg,
+		func(cell int, rep scenario.RunReport) { emit(scenarioReport(rep)) })
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}

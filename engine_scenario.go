@@ -24,7 +24,11 @@ type Campaign struct {
 	// Scenarios are the campaigns to run.
 	Scenarios []*Scenario
 	// Config parameterizes each execution (model params, network
-	// substrate, partial-view construction).
+	// substrate, partial-view construction) and — via Config.Executor —
+	// the protocol under the campaigns: nil runs the paper's algorithm,
+	// BaselineExecutor(spec) runs a related-work baseline (Params are
+	// then ignored, and the grid axes below are rejected; use Compare for
+	// protocol grids).
 	Config ScenarioRunConfig
 	// Qs, when set, sweeps the nonfailed ratio across these values
 	// (grid mode).
@@ -46,8 +50,12 @@ func (s Campaign) run(ctx context.Context, o *runOptions, emit func(Report)) (an
 			return nil, invalid(err)
 		}
 	}
-	if err := s.Config.Params.Validate(); err != nil {
-		return nil, invalid(err)
+	if s.Config.Executor == nil {
+		// The paper path runs Config.Params; a protocol executor carries
+		// its own parameters and ignores them.
+		if err := s.Config.Params.Validate(); err != nil {
+			return nil, invalid(err)
+		}
 	}
 	if o.rng != nil {
 		return nil, fmt.Errorf("%w: the scenario engine derives RNG streams from seeds; use WithSeed", ErrInvalidParams)
@@ -63,6 +71,12 @@ func (s Campaign) run(ctx context.Context, o *runOptions, emit func(Report)) (an
 		}
 	}
 	grid := len(s.Qs) > 0 || len(s.Fanouts) > 0
+	if grid && s.Config.Executor != nil {
+		// The grid axes override Params.AliveRatio/Fanout per cell, which
+		// protocol executors ignore — the grid would report rows labeled
+		// with different q/fanout values carrying identical results.
+		return nil, fmt.Errorf("%w: grid axes (Qs/Fanouts) sweep the paper's Params, which a protocol executor ignores; use Compare for protocol grids", ErrInvalidParams)
+	}
 
 	if !o.many {
 		if len(s.Scenarios) != 1 || grid {

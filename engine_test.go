@@ -24,6 +24,9 @@ func allEngineSpecs() []Engine {
 		RDG{Params: RDGParams{N: 300, Fanout: 3, PushRounds: 6, RecoveryRounds: 3, AliveRatio: 0.9, ViewCopies: 2, PayloadProb: 0.9}},
 		LRG{Params: LRGParams{N: 300, Degree: 6, GossipProb: 0.8, RepairRounds: 3, AliveRatio: 0.9}},
 		Flooding{Params: FloodingParams{N: 300, AliveRatio: 0.9}},
+		Compare{Scenarios: DefaultScenarioSuite()[:2], Paper: true,
+			Protocols: []ProtocolSpec{PbcastParams{N: 300, Fanout: 3, Rounds: 8, AliveRatio: 1}},
+			Config:    ScenarioRunConfig{Params: Params{N: 300, Fanout: Poisson(5), AliveRatio: 1}}},
 	}
 }
 

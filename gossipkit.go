@@ -237,6 +237,28 @@ type ScenarioGridConfig = scenario.GridConfig
 // (scenario, q, fanout); its CSV method emits the regression-tracking grid.
 type ScenarioGridResult = scenario.GridResult
 
+// ScenarioExecutor is the protocol a campaign drives: the seam that lets
+// any scenario target any dissemination protocol on the shared
+// discrete-event substrate. A nil ScenarioRunConfig.Executor runs the
+// paper's algorithm; BaselineExecutor wraps any related-work protocol spec.
+// The Compare engine builds one executor per grid row from the same
+// constructors.
+type ScenarioExecutor = scenario.Executor
+
+// BaselineExecutor wraps a baseline protocol spec (PbcastParams,
+// LpbcastParams, AntiEntropyParams, RDGParams, LRGParams, FloodingParams)
+// as a ScenarioExecutor: set it on ScenarioRunConfig.Executor to run any
+// campaign — crash waves, partitions, loss episodes, flash crowds — against
+// that baseline instead of the paper's algorithm.
+func BaselineExecutor(spec ProtocolSpec) ScenarioExecutor {
+	return scenario.NewProtocolExecutor(spec)
+}
+
+// ScenarioCompareResult aggregates a (protocol × scenario) comparison grid
+// (the Compare engine's Outcome.Aggregate), one cell per pair; its CSV
+// method emits the regression-tracking grid with escaped fields.
+type ScenarioCompareResult = scenario.CompareResult
+
 // Scenario action constructors, re-exported for campaign building.
 var (
 	CrashFraction   = scenario.CrashFraction

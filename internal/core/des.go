@@ -49,14 +49,38 @@ type NetRun struct {
 	Net *simnet.Network
 	// View is the membership view targets are drawn from; scenario churn
 	// mutates it when it is a *membership.PartialViews.
-	View     membership.View
-	mask     *failure.Mask
-	received *bitset.Bits
-	publish  func(id int)
+	View      membership.View
+	mask      *failure.Mask
+	received  *bitset.Bits
+	delivered *int
+	publish   func(id int)
+}
+
+// NewNetRun assembles the injection facade for a simulation front end
+// other than this package's own executor — the protocol baseline runtime
+// in internal/protocols builds one so scenario campaigns can drive its
+// executions through the exact seam they drive the paper's algorithm
+// through. received must be the run's first-receipt bitset, delivered a
+// pointer to its delivered-member counter, and publish the protocol's
+// out-of-band publish hook (may be nil for protocols without one).
+func NewNetRun(kernel *sim.Kernel, net *simnet.Network, view membership.View,
+	mask *failure.Mask, received *bitset.Bits, delivered *int, publish func(id int)) *NetRun {
+	if publish == nil {
+		publish = func(int) {}
+	}
+	return &NetRun{
+		Kernel: kernel, Net: net, View: view,
+		mask: mask, received: received, delivered: delivered, publish: publish,
+	}
 }
 
 // HasReceived reports whether id has received the multicast so far.
 func (nr *NetRun) HasReceived(id int) bool { return nr.received.Get(id) }
+
+// Delivered returns the number of members that have received the multicast
+// so far. Stall-triggered scenario steps watch this counter to detect a
+// spread that has stopped making progress.
+func (nr *NetRun) Delivered() int { return *nr.delivered }
 
 // Restartable reports whether id may be restarted: only members that were
 // alive under the execution's initial failure mask have a registered
@@ -92,6 +116,41 @@ func NewNetArena() *NetArena {
 	return &NetArena{kernel: sim.New(), mask: &failure.Mask{}, targets: make([]int, 0, 16)}
 }
 
+// RunState is the leased per-run state a simulation front end builds an
+// execution from: a Reset kernel, a Reset network, the pooled failure mask
+// (fill it before use), and the cleared first-receipt bitset. The lease is
+// valid until the arena's next Lease (or ExecuteOnNetworkArena) call.
+type RunState struct {
+	Kernel   *sim.Kernel
+	Net      *simnet.Network
+	Mask     *failure.Mask
+	Received *bitset.Bits
+}
+
+// Lease resets the arena's pooled state for a fresh n-node run over netCfg
+// and hands it out. It is the seam non-core executors (the protocol
+// baseline runtime) recycle run state through; this package's own
+// ExecuteOnNetworkArena leases through the same path, so both kinds of run
+// share one arena without interference. Results are byte-identical whether
+// the arena is fresh or recycled.
+func (a *NetArena) Lease(n int, netCfg simnet.Config, netRNG *xrand.RNG) RunState {
+	a.kernel.Reset()
+	if a.net == nil {
+		a.net = simnet.New(a.kernel, n, netRNG, netCfg)
+	} else {
+		a.net.Reset(a.kernel, n, netRNG, netCfg)
+	}
+	a.received.Reset(n)
+	return RunState{Kernel: a.kernel, Net: a.net, Mask: a.mask, Received: &a.received}
+}
+
+// Targets leases the arena's pooled target-sampling buffer; pair with
+// SetTargets to return the (possibly grown) buffer when the run finishes.
+func (a *NetArena) Targets() []int { return a.targets }
+
+// SetTargets returns the sampling buffer leased with Targets.
+func (a *NetArena) SetTargets(t []int) { a.targets = t }
+
 // ExecuteOnNetwork runs one execution of the general gossiping algorithm as
 // an event-driven protocol over a simulated network: each first receipt
 // triggers fanout selection and sends, each send incurs the network's
@@ -124,23 +183,13 @@ func ExecuteOnNetworkArena(p Params, netCfg simnet.Config, r *xrand.RNG, inject 
 	if arena == nil {
 		arena = NewNetArena()
 	}
-	kernel := arena.kernel
-	kernel.Reset()
+	st := arena.Lease(p.N, netCfg, r.Split(0xfeed))
+	kernel, nw, mask, received := st.Kernel, st.Net, st.Mask, st.Received
 	kernel.SetBudget(uint64(p.N) * 10000)
-	netRNG := r.Split(0xfeed)
-	if arena.net == nil {
-		arena.net = simnet.New(kernel, p.N, netRNG, netCfg)
-	} else {
-		arena.net.Reset(kernel, p.N, netRNG, netCfg)
-	}
-	nw := arena.net
-	mask := arena.mask
 	p.drawMaskInto(mask, r)
 	view := p.view()
 
 	res := NetResult{Result: Result{AliveCount: mask.AliveCount()}}
-	arena.received.Reset(p.N)
-	received := &arena.received
 	targets := arena.targets
 	defer func() { arena.targets = targets }()
 
@@ -187,11 +236,12 @@ func ExecuteOnNetworkArena(p Params, netCfg simnet.Config, r *xrand.RNG, inject 
 
 	if inject != nil {
 		inject(&NetRun{
-			Kernel:   kernel,
-			Net:      nw,
-			View:     view,
-			mask:     mask,
-			received: received,
+			Kernel:    kernel,
+			Net:       nw,
+			View:      view,
+			mask:      mask,
+			received:  received,
+			delivered: &res.Delivered,
 			publish: func(id int) {
 				if id < 0 || id >= p.N || !nw.Up(simnet.NodeID(id)) || !mask.Alive(id) {
 					return

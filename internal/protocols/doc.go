@@ -1,0 +1,51 @@
+// Package protocols implements the baseline dissemination protocols the
+// paper positions itself against (§2 Related Work), so the experiment
+// harness can compare the paper's single-shot general gossip with the
+// protocol families the related work analyzes:
+//
+//   - Pbcast (Bimodal Multicast, Birman et al. [5]): round-based
+//     anti-entropy gossip — every member that has the message gossips every
+//     round for a fixed number of rounds, which removes the single-shot
+//     die-out failure mode at the cost of more messages.
+//   - lpbcast (Eugster et al. [1]): gossip over SCAMP partial views with
+//     bounded event buffers that age out under load — constant memory
+//     traded against reliability.
+//   - Anti-entropy (Demers et al. [2]): each round every member contacts
+//     one uniformly random peer and exchanges state push, pull, or
+//     push-pull.
+//   - RDG (Route Driven Gossip, Luo, Eugster & Hubaux [8]): push gossip of
+//     payloads and packet-id digests over partial views, then NACK-driven
+//     pull recovery.
+//   - LRG (Local Retransmission-based Gossip, Jia et al. [9]):
+//     probabilistic flooding over a bounded-degree neighbor overlay with
+//     NACK-style local repair rounds, plus its SI epidemic ODE model.
+//   - Flooding: the best-effort baseline — forward to every member on
+//     first receipt (fanout n−1), maximal reliability and maximal cost.
+//
+// All protocols share the paper's failure model: a fail-stop alive mask
+// with the source protected.
+//
+// # Two execution substrates, one oracle
+//
+// Every baseline has two executions:
+//
+//   - The legacy pure round loops (RunPbcast, RunLpbcast, RunAntiEntropy,
+//     RunRDG, RunLRG, RunFlooding): synchronous-round simulations with no
+//     notion of time, latency, or mid-run faults beyond the static mask.
+//     They are kept as the equivalence oracle.
+//   - The discrete-event runtime (RunOnDES over a Spec): the same
+//     protocol logic driven by the shared sim.Kernel round ticker with
+//     every gossip, digest, NACK, and pull reply routed through a
+//     simnet.Network — so latency models, message loss, partitions, and
+//     mid-run crash/restart/churn campaigns apply to the baselines
+//     exactly as they apply to the paper's own algorithm in
+//     internal/core.
+//
+// Under a zero-latency, no-loss network the DES execution consumes the
+// protocol RNG stream in exactly the legacy order and fires deliveries in
+// legacy iteration order, so its results are identical to the oracle's —
+// equiv_test.go pins this per protocol, golden values included. The
+// runtime recycles run state through core.NetArena (zero O(n) allocations
+// on a warm arena) and exposes a core.NetRun so scenario campaigns inject
+// into baseline runs through the same seam as paper runs.
+package protocols

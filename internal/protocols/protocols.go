@@ -1,20 +1,3 @@
-// Package protocols implements the baseline dissemination protocols the
-// paper positions itself against (§2 Related Work), so the experiment
-// harness can compare the paper's single-shot general gossip with the
-// protocol families the related work analyzes:
-//
-//   - Pbcast (Bimodal Multicast, Birman et al. [5]): round-based
-//     anti-entropy gossip — every member that has the message gossips every
-//     round for a fixed number of rounds, which removes the single-shot
-//     die-out failure mode at the cost of more messages.
-//   - LRG (Local Retransmission-based Gossip, Jia et al. [9]):
-//     probabilistic flooding over a bounded-degree neighbor overlay with
-//     NACK-style local repair rounds, plus its SI epidemic ODE model.
-//   - Flooding: the best-effort baseline — forward to every member on
-//     first receipt (fanout n−1), maximal reliability and maximal cost.
-//
-// All protocols share the paper's failure model: a fail-stop alive mask
-// with the source protected.
 package protocols
 
 import (
@@ -224,16 +207,22 @@ func RunLRG(p LRGParams, r *xrand.RNG) (Result, error) {
 		}
 	}
 	// Phase 2: local repair — missing members pull from a neighbor that
-	// has the message (one pull per round per missing member).
+	// has the message (one pull per round per missing member). Provider
+	// eligibility is evaluated against the round-start state (synchronous-
+	// round semantics, matching the anti-entropy snapshot): a member
+	// repaired this round can serve as a provider from the next round on,
+	// which is also exactly what the message-based DES runtime produces.
+	var snapshot []bool
 	for round := 0; round < p.RepairRounds; round++ {
 		res.Rounds++
+		snapshot = append(snapshot[:0], has...)
 		fixed := 0
 		for v := 0; v < p.N; v++ {
 			if has[v] || !mask.Alive(v) {
 				continue
 			}
 			for _, u := range overlay.Out(v) {
-				if has[u] {
+				if snapshot[u] {
 					res.MessagesSent += 2 // NACK + retransmission
 					has[v] = true
 					res.Delivered++

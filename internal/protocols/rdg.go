@@ -145,15 +145,21 @@ func RunRDG(p RDGParams, r *xrand.RNG) (RDGResult, error) {
 	// Recovery phase: aware-but-missing members NACK their provider (who
 	// advertised the id); the pull succeeds when the provider holds the
 	// payload by now. Failed pulls re-aim at a random view member.
+	// Provider possession is evaluated against the round-start state
+	// (synchronous-round semantics, like the LRG repair snapshot): a
+	// member recovered this round serves pulls from the next round on,
+	// which is also exactly what the message-based DES runtime produces.
+	var snapshot []bool
 	for round := 0; round < p.RecoveryRounds; round++ {
 		res.Rounds++
+		snapshot = append(snapshot[:0], has...)
 		recovered := 0
 		for id := 0; id < p.N; id++ {
 			if !mask.Alive(id) || has[id] || !aware[id] {
 				continue
 			}
 			target := int(provider[id])
-			if target < 0 || !mask.Alive(target) || !has[target] {
+			if target < 0 || !mask.Alive(target) || !snapshot[target] {
 				targets = views.SampleTargets(targets, id, 1, r)
 				if len(targets) != 1 {
 					continue
@@ -161,7 +167,7 @@ func RunRDG(p RDGParams, r *xrand.RNG) (RDGResult, error) {
 				target = targets[0]
 			}
 			res.MessagesSent++ // the NACK
-			if mask.Alive(target) && has[target] {
+			if mask.Alive(target) && snapshot[target] {
 				res.MessagesSent++ // the retransmission
 				has[id] = true
 				res.Delivered++

@@ -1,0 +1,269 @@
+package protocols
+
+import (
+	"fmt"
+	"time"
+
+	"gossipkit/internal/bitset"
+	"gossipkit/internal/core"
+	"gossipkit/internal/failure"
+	"gossipkit/internal/membership"
+	"gossipkit/internal/sim"
+	"gossipkit/internal/simnet"
+	"gossipkit/internal/xrand"
+)
+
+// Protocol message tags (simnet.Message.Tag). They stay below simnet's
+// packed-tag limit, so every protocol message is slot-free on the network
+// hot path.
+const (
+	tagGossip   int32 = iota // data push carrying the payload
+	tagAEReq                 // anti-entropy contact, caller clean at round start
+	tagAEReqHot              // anti-entropy contact, caller infected at round start
+	tagAEReply               // anti-entropy pull reply carrying the payload
+	tagDigest                // RDG digest-only push (packet id, no payload)
+	tagNack                  // RDG/LRG pull request
+	tagRepair                // RDG/LRG retransmission answering a NACK
+)
+
+// DESConfig configures a baseline protocol execution on the shared
+// discrete-event substrate.
+type DESConfig struct {
+	// Net is the network substrate (latency model, loss model, tracer).
+	// The zero value — zero latency, no loss — reproduces the legacy
+	// synchronous round loop of every protocol exactly.
+	Net simnet.Config
+	// RoundInterval is the simulated-time spacing of gossip round ticks.
+	// Zero defaults to the latency model's bound when it has one
+	// (simnet.LatencyBounder), 20ms for unbounded models, and 1ms with no
+	// latency model at all — so a synchronous-round baseline sees round
+	// r's messages land before round r+1 fires, preserving its round
+	// semantics under latency. Set it below the latency bound to study
+	// pipelining: a round's messages may still be in flight when the next
+	// round fires, which the quiescence checks account for via
+	// simnet.Stats.InFlight.
+	RoundInterval time.Duration
+}
+
+func (c DESConfig) interval() time.Duration {
+	if c.RoundInterval > 0 {
+		return c.RoundInterval
+	}
+	if c.Net.Latency == nil {
+		return time.Millisecond
+	}
+	if b, ok := c.Net.Latency.(simnet.LatencyBounder); ok {
+		if d, bounded := b.LatencyBound(); bounded && d > 0 {
+			return d
+		}
+	}
+	return 20 * time.Millisecond
+}
+
+// Spec is a protocol parameter set that can run on the DES substrate: all
+// six baseline param types implement it.
+type Spec interface {
+	// Protocol names the baseline ("pbcast", "lpbcast", "anti-entropy",
+	// "rdg", "lrg", "flooding").
+	Protocol() string
+	// Validate checks the parameters.
+	Validate() error
+
+	size() int  // group size n
+	start() int // source member
+	newMachine() machine
+}
+
+// Shape returns the group size and protected source member of a spec —
+// the geometry callers outside this package (the scenario executor seam)
+// need to schedule campaigns against a baseline run.
+func Shape(s Spec) (n, source int) { return s.size(), s.start() }
+
+// machine is one protocol's per-run state machine on the runtime: init
+// draws protocol state from the run RNG in exactly the legacy loop's
+// order, tick executes one gossip round (returning false to stop the
+// ticker), deliver consumes a network message at an up node, publish
+// injects m out of band (scenario flash crowds and re-gossip waves), and
+// detail builds the protocol-shaped result after the run drains.
+type machine interface {
+	init(rt *Runtime)
+	tick(rt *Runtime, round int) bool
+	deliver(rt *Runtime, now sim.Time, msg simnet.Message)
+	publish(rt *Runtime, id int)
+	detail(rt *Runtime) any
+}
+
+// Runtime is the shared round-driver all six baselines execute on: it owns
+// the kernel, the network, the failure mask, and the cross-protocol
+// bookkeeping (first receipts, delivery latency, message counts), while a
+// per-protocol machine supplies the round and delivery logic. Every
+// protocol message is routed through simnet, so latency, loss, partitions,
+// and mid-run crashes apply to the baselines exactly as they do to the
+// paper's algorithm in internal/core.
+type Runtime struct {
+	// Kernel drives the run; Net carries every protocol message; RNG is
+	// the protocol decision stream (legacy-identical order); Mask is the
+	// static fail-stop mask.
+	Kernel *sim.Kernel
+	Net    *simnet.Network
+	RNG    *xrand.RNG
+	Mask   *failure.Mask
+
+	n, source int
+	interval  time.Duration
+	m         machine
+	recv      *bitset.Bits
+	targets   []int
+	view      membership.View
+	res       core.NetResult
+}
+
+// DESOutcome is the result of one baseline execution on the DES substrate:
+// the cross-protocol NetResult (what scenario campaigns and the comparison
+// grid consume) plus the protocol-shaped Detail (Result, LpbcastResult,
+// AntiEntropyResult, or RDGResult — identical to the legacy loop's output
+// under a zero-latency, no-loss network).
+type DESOutcome struct {
+	core.NetResult
+	Detail any
+}
+
+// RunOnDES executes one run of spec as an event-driven protocol over the
+// simulated network. Protocol decisions consume r exactly as the legacy
+// round loop does (the network's jitter stream is r.Split(0xfeed), which
+// leaves r untouched), so with the zero DESConfig the outcome Detail is
+// identical to the corresponding legacy Run* function — equiv_test.go
+// pins this per protocol. inject, when non-nil, is called with the run's
+// core.NetRun after setup and before the first round tick, so scenario
+// campaigns schedule crashes, partitions, loss episodes, and publishes on
+// baseline runs through the same seam as paper runs. arena (nil for a
+// throwaway one) recycles the kernel, network, mask, and receipt state
+// across runs; results are byte-identical either way.
+func RunOnDES(spec Spec, cfg DESConfig, r *xrand.RNG, inject func(*core.NetRun), arena *core.NetArena) (DESOutcome, error) {
+	if err := spec.Validate(); err != nil {
+		return DESOutcome{}, err
+	}
+	if arena == nil {
+		arena = core.NewNetArena()
+	}
+	n := spec.size()
+	st := arena.Lease(n, cfg.Net, r.Split(0xfeed))
+	rt := &Runtime{
+		Kernel: st.Kernel, Net: st.Net, RNG: r, Mask: st.Mask,
+		n: n, source: spec.start(), interval: cfg.interval(),
+		m: spec.newMachine(), recv: st.Received, targets: arena.Targets(),
+	}
+	defer func() { arena.SetTargets(rt.targets) }()
+	rt.Kernel.SetBudget(uint64(n) * 10000)
+
+	rt.m.init(rt)
+	rt.res.AliveCount = rt.Mask.AliveCount()
+	for id := 0; id < n; id++ {
+		if !rt.Mask.Alive(id) {
+			rt.Net.Crash(simnet.NodeID(id))
+		}
+	}
+	rt.Net.RegisterAll(func(now sim.Time, msg simnet.Message) {
+		rt.m.deliver(rt, now, msg)
+	})
+
+	if inject != nil {
+		inject(core.NewNetRun(rt.Kernel, rt.Net, rt.view, rt.Mask, rt.recv, &rt.res.Delivered,
+			func(id int) {
+				if id < 0 || id >= n || !rt.Net.Up(simnet.NodeID(id)) || !rt.Mask.Alive(id) {
+					return
+				}
+				rt.m.publish(rt, id)
+			}))
+	}
+
+	// Round ticks fire at t = 0, interval, 2·interval, ... — after any
+	// t=0 campaign actions the hook scheduled above, so a loss episode or
+	// crash at time zero applies to round 0's sends.
+	round := 0
+	rt.Kernel.Every(0, rt.interval, func() bool {
+		cont := rt.m.tick(rt, round)
+		round++
+		return cont
+	})
+	if err := rt.Kernel.RunAll(); err != nil {
+		return DESOutcome{}, fmt.Errorf("protocols: %s execution aborted: %w", spec.Protocol(), err)
+	}
+
+	if rt.res.AliveCount > 0 {
+		rt.res.Reliability = float64(rt.res.Delivered) / float64(rt.res.AliveCount)
+	}
+	for id := 0; id < n; id++ {
+		if rt.Net.Up(simnet.NodeID(id)) {
+			rt.res.UpAtEnd++
+			if rt.recv.Get(id) {
+				rt.res.DeliveredUp++
+			}
+		}
+	}
+	if rt.res.UpAtEnd > 0 {
+		rt.res.SurvivorReliability = float64(rt.res.DeliveredUp) / float64(rt.res.UpAtEnd)
+	}
+	rt.res.Net = rt.Net.Stats()
+	return DESOutcome{NetResult: rt.res, Detail: rt.m.detail(rt)}, nil
+}
+
+// seedSource marks the source as holding m before the clock starts, with
+// no delivery-latency sample — mirroring core's source bootstrap.
+func (rt *Runtime) seedSource() {
+	rt.recv.Set(rt.source)
+	rt.res.Delivered++
+}
+
+// markReceived records id's first receipt of m at now and reports whether
+// it was new. The caller decides whether a repeat counts as a duplicate.
+func (rt *Runtime) markReceived(id int, now sim.Time) bool {
+	if rt.recv.Get(id) {
+		return false
+	}
+	rt.recv.Set(id)
+	rt.res.Delivered++
+	rt.res.DeliveryLatency.Add(now.Seconds())
+	if d := now.Duration(); d > rt.res.SpreadTime {
+		rt.res.SpreadTime = d
+	}
+	return true
+}
+
+// upAlive reports whether id participates in rounds: alive under the
+// static mask and currently up at the network layer (scenario crashes take
+// members out mid-run; restarts bring mask-alive members back).
+func (rt *Runtime) upAlive(id int) bool {
+	return rt.Mask.Alive(id) && rt.Net.Up(simnet.NodeID(id))
+}
+
+// fanoutBlast sends one uniform-fanout gossip wave from `from`, with the
+// same sampling and accounting as the legacy pbcast round loop.
+func (rt *Runtime) fanoutBlast(from, fanout int) {
+	rt.targets = rt.RNG.SampleExcluding(rt.targets, rt.n, fanout, from)
+	rt.res.MessagesSent += len(rt.targets)
+	for _, v := range rt.targets {
+		if !rt.Mask.Alive(v) {
+			rt.res.WastedOnFailed++
+		}
+		rt.Net.SendTag(simnet.NodeID(from), simnet.NodeID(v), tagGossip)
+	}
+}
+
+// baseResult flattens the runtime's shared bookkeeping into the common
+// protocol Result.
+func (rt *Runtime) baseResult() Result {
+	res := Result{
+		AliveCount:   rt.res.AliveCount,
+		Delivered:    rt.res.Delivered,
+		MessagesSent: rt.res.MessagesSent,
+		Rounds:       rt.res.Rounds,
+	}
+	finish(&res)
+	return res
+}
+
+// inFlight reports how many accepted messages are still airborne; the
+// quiescence checks use it so pipelined rounds under real latency do not
+// declare "no progress" while deliveries are pending.
+func (rt *Runtime) inFlight() int64 { return rt.Net.Stats().InFlight() }

@@ -1,0 +1,164 @@
+package protocols
+
+import (
+	"testing"
+	"time"
+
+	"gossipkit/internal/core"
+	"gossipkit/internal/simnet"
+	"gossipkit/internal/xrand"
+)
+
+// TestDESFaultsDegradeBaselines: the point of the substrate refactor — the
+// network's failure machinery now applies to the baselines. Loss thins a
+// fixed-round pbcast spread; a crash wave mid-run removes deliveries
+// flooding would otherwise make.
+func TestDESFaultsDegradeBaselines(t *testing.T) {
+	p := PbcastParams{N: 800, Fanout: 2, Rounds: 5, AliveRatio: 1}
+	clean, err := RunOnDES(p, DESConfig{}, xrand.New(7), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lossy, err := RunOnDES(p, DESConfig{Net: simnet.Config{Loss: simnet.BernoulliLoss{P: 0.5}}},
+		xrand.New(7), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lossy.Reliability >= clean.Reliability {
+		t.Errorf("50%% loss did not degrade pbcast: %.4f clean vs %.4f lossy",
+			clean.Reliability, lossy.Reliability)
+	}
+	if lossy.Net.DroppedLoss == 0 {
+		t.Error("loss model never fired")
+	}
+
+	// A mid-run crash of half the group (injected through the NetRun seam,
+	// exactly as scenario campaigns do) must strand survivors' deliveries.
+	fl := FloodingParams{N: 400, AliveRatio: 1}
+	crashed, err := RunOnDES(fl, DESConfig{Net: simnet.Config{Latency: simnet.ConstantLatency{D: 2 * time.Millisecond}}},
+		xrand.New(3), func(nr *core.NetRun) {
+			nr.Kernel.At(1e6, func() { // 1ms: after the source blast, before delivery
+				for id := 200; id < 400; id++ {
+					nr.Net.Crash(simnet.NodeID(id))
+				}
+			})
+		}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if crashed.UpAtEnd != 200 {
+		t.Fatalf("up at end %d, want 200", crashed.UpAtEnd)
+	}
+	if crashed.Delivered >= 400 || crashed.SurvivorReliability != 1 {
+		t.Errorf("crash wave: delivered %d, survivor reliability %.4f",
+			crashed.Delivered, crashed.SurvivorReliability)
+	}
+	if crashed.Net.DroppedCrash == 0 {
+		t.Error("no deliveries were dropped at crashed members")
+	}
+}
+
+// TestDESPartitionBlocksAntiEntropy: a partition installed mid-run stops
+// cross-side exchanges until the protocol quiesces; healing is out of
+// scope here (the scenario engine tests it end to end).
+func TestDESPartitionBlocksAntiEntropy(t *testing.T) {
+	p := AntiEntropyParams{N: 200, Rounds: 0, Mode: PushPull, AliveRatio: 1}
+	out, err := RunOnDES(p, DESConfig{}, xrand.New(5), func(nr *core.NetRun) {
+		// Isolate the top half (source 0 is in the bottom) from t=0.
+		nr.Net.SetPartition(simnet.SplitPartition(func(id simnet.NodeID) bool {
+			return int(id) >= 100
+		}))
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Delivered > 100 {
+		t.Errorf("partitioned anti-entropy delivered %d members, want <= 100", out.Delivered)
+	}
+	if out.Net.DroppedPart == 0 {
+		t.Error("partition never dropped a message")
+	}
+}
+
+// TestDESPublishSeam: the NetRun publish hook (flash crowds, re-gossip
+// waves) reaches every machine.
+func TestDESPublishSeam(t *testing.T) {
+	for _, tc := range desEquivCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			published := 0
+			out, err := RunOnDES(tc.spec, DESConfig{}, xrand.New(11), func(nr *core.NetRun) {
+				nr.Kernel.At(0, func() {
+					for id := 1; id < 20; id++ {
+						if nr.Net.Up(simnet.NodeID(id)) && nr.Restartable(id) {
+							nr.Publish(id)
+							published++
+						}
+					}
+				})
+			}, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if published == 0 {
+				t.Skip("no publishable members under this mask")
+			}
+			if out.Delivered < published {
+				t.Errorf("delivered %d < %d published members", out.Delivered, published)
+			}
+		})
+	}
+}
+
+// TestDESArenaNeutral: recycling one arena across heterogeneous protocol
+// runs is result-neutral (the same guarantee core's sweeps rely on).
+func TestDESArenaNeutral(t *testing.T) {
+	arena := core.NewNetArena()
+	for _, tc := range desEquivCases() {
+		fresh, err := RunOnDES(tc.spec, DESConfig{}, xrand.New(31), nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pooled, err := RunOnDES(tc.spec, DESConfig{}, xrand.New(31), nil, arena)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fresh.NetResult != pooled.NetResult {
+			t.Errorf("%s: pooled run diverged from fresh run", tc.name)
+		}
+	}
+}
+
+// BenchmarkProtocolOnDES is the CI smoke benchmark for the protocol-on-DES
+// hot path: pbcast rounds over the kernel+simnet substrate with a warm
+// arena, at n=10³ and n=10⁴.
+func BenchmarkProtocolOnDES(b *testing.B) {
+	for _, n := range []int{1000, 10000} {
+		p := PbcastParams{N: n, Fanout: 4, Rounds: 12, AliveRatio: 0.9}
+		b.Run(sizeName(n), func(b *testing.B) {
+			arena := core.NewNetArena()
+			r := xrand.New(1)
+			b.ReportAllocs()
+			b.ResetTimer()
+			msgs := 0
+			for i := 0; i < b.N; i++ {
+				out, err := RunOnDES(p, DESConfig{}, r, nil, arena)
+				if err != nil {
+					b.Fatal(err)
+				}
+				msgs += out.MessagesSent
+			}
+			b.ReportMetric(float64(msgs)/b.Elapsed().Seconds(), "msgs/sec")
+		})
+	}
+}
+
+func sizeName(n int) string {
+	switch n {
+	case 1000:
+		return "n=1000"
+	case 10000:
+		return "n=10000"
+	default:
+		return "n"
+	}
+}

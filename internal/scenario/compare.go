@@ -1,0 +1,222 @@
+package scenario
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"gossipkit/internal/core"
+	"gossipkit/internal/protocols"
+	"gossipkit/internal/runpool"
+	"gossipkit/internal/stats"
+	"gossipkit/internal/xrand"
+)
+
+// This file is the (protocol × scenario) comparison grid: every campaign
+// in a suite run against every protocol executor — the paper's own
+// algorithm next to the six related-work baselines, all on the same
+// kernel+simnet substrate, so "how does pbcast weather the crash wave that
+// the paper's algorithm shrugs off?" is one sweep instead of two
+// simulators.
+
+// NewProtocolExecutor wraps a baseline protocol spec (protocols.PbcastParams,
+// LpbcastParams, AntiEntropyParams, RDGParams, LRGParams, FloodingParams)
+// as a scenario Executor on the shared DES runtime: the campaign's crashes,
+// partitions, loss episodes, and publishes inject through the same NetRun
+// seam as paper runs. The executor ignores RunConfig.Params — the protocol
+// spec carries its own group size and parameters — and has no analytic
+// model (Predict always reports ok=false).
+func NewProtocolExecutor(spec protocols.Spec) Executor {
+	return protocolExecutor{spec: spec}
+}
+
+// PaperExecutor returns the paper's-algorithm executor with an explicit
+// protocol label for comparison rows (the default, unlabeled executor
+// keeps single-protocol sweep output byte-stable by labeling rows "").
+func PaperExecutor(label string) Executor { return paperExecutor{label: label} }
+
+type protocolExecutor struct {
+	spec protocols.Spec
+}
+
+func (e protocolExecutor) Protocol() string { return e.spec.Protocol() }
+
+func (e protocolExecutor) Shape(RunConfig) (int, int) { return protocols.Shape(e.spec) }
+
+func (e protocolExecutor) Execute(cfg RunConfig, r *xrand.RNG, inject func(*core.NetRun), arena *core.NetArena) (core.NetResult, error) {
+	des := protocols.DESConfig{Net: cfg.Net, RoundInterval: cfg.RoundInterval}
+	out, err := protocols.RunOnDES(e.spec, des, r, inject, arena)
+	return out.NetResult, err
+}
+
+func (protocolExecutor) Predict(RunConfig, float64) (float64, bool) { return 0, false }
+
+// CompareConfig parameterizes a (protocol × scenario) comparison grid.
+type CompareConfig struct {
+	// Run configures each execution. Run.Executor is ignored — the grid
+	// supplies each row's executor from Executors.
+	Run RunConfig
+	// Executors are the protocol rows of the grid, each typically built
+	// with NewProtocolExecutor or PaperExecutor. Executors must be
+	// stateless values: workers share them across cells.
+	Executors []Executor
+	// Seeds is the number of seeded replications per cell (>= 1).
+	Seeds int
+	// BaseSeed derives each cell's seed; the grid is a pure function of
+	// it. A cell's seed depends only on (scenario, replication) — NOT on
+	// the protocol row — so every protocol faces byte-identical campaign
+	// randomness (the same crash victims at the same instants), and the
+	// paper row reproduces the single-protocol Sweep cells exactly.
+	BaseSeed uint64
+	// Workers bounds the worker pool; <= 0 means GOMAXPROCS. The result
+	// is identical for any worker count.
+	Workers int
+}
+
+// cellSeed derives the seed for scenario si, replication ri — delegating
+// to SweepConfig's derivation so the paper row's seed parity with
+// single-protocol sweeps holds by construction, and independent of the
+// protocol row (see CompareConfig.BaseSeed).
+func (c CompareConfig) cellSeed(si, ri int) uint64 {
+	return SweepConfig{BaseSeed: c.BaseSeed}.cellSeed(si, ri)
+}
+
+// CompareCell is the aggregate of one (protocol, scenario) grid point.
+type CompareCell struct {
+	Protocol string `json:"protocol"`
+	Summary
+}
+
+// CompareResult is the aggregated outcome of a comparison grid, in
+// (protocol, scenario) order.
+type CompareResult struct {
+	Seeds     int           `json:"seeds"`
+	BaseSeed  uint64        `json:"base_seed"`
+	Protocols []string      `json:"protocols"`
+	Scenarios []string      `json:"scenarios"`
+	Cells     []CompareCell `json:"cells"`
+}
+
+// Compare runs every scenario against every executor for cfg.Seeds seeded
+// replications on a worker pool; see CompareCtx.
+func Compare(scenarios []*Scenario, cfg CompareConfig) (*CompareResult, error) {
+	return CompareCtx(context.Background(), scenarios, cfg, nil)
+}
+
+// CompareCtx runs every scenario against every executor for cfg.Seeds
+// seeded replications on a worker pool, each worker recycling one run-state
+// arena across heterogeneous protocol runs (core.NetArena leases are
+// result-neutral). Like the sweeps, the result is deterministic in
+// (scenarios, cfg) for any cfg.Workers: cells are data-independent and
+// reduced in grid order after the pool drains. Context cancellation aborts
+// promptly with ctx.Err(); observe, when non-nil, streams per-cell reports
+// in deterministic cell order (cell = (pi·|scenarios|+si)·Seeds+ri).
+func CompareCtx(ctx context.Context, scenarios []*Scenario, cfg CompareConfig, observe Observer) (*CompareResult, error) {
+	if len(scenarios) == 0 {
+		return nil, fmt.Errorf("scenario: comparison grid has no scenarios")
+	}
+	if len(cfg.Executors) == 0 {
+		return nil, fmt.Errorf("scenario: comparison grid has no executors")
+	}
+	if err := checkSweepShared(cfg.Run); err != nil {
+		return nil, err
+	}
+	if cfg.Seeds < 1 {
+		cfg.Seeds = 1
+	}
+	rows := len(cfg.Executors)
+	cells := rows * len(scenarios) * cfg.Seeds
+	workers := runpool.Count(cfg.Workers, cells)
+
+	// Flattened cell index: (pi*len(scenarios)+si)*Seeds+ri.
+	reports := make([]RunReport, cells)
+	lats := make([]stats.Running, cells)
+	arenas := make([]*core.NetArena, workers)
+	var obs func(i int)
+	if observe != nil {
+		obs = func(i int) { observe(i, reports[i]) }
+	}
+	err := runpool.Run(ctx, cells, workers, func(w, cell int) error {
+		if arenas[w] == nil {
+			arenas[w] = core.NewNetArena()
+		}
+		ri := cell % cfg.Seeds
+		si := cell / cfg.Seeds % len(scenarios)
+		pi := cell / cfg.Seeds / len(scenarios)
+		run := cfg.Run
+		run.Executor = cfg.Executors[pi]
+		rep, lat, err := runWithLatency(scenarios[si], run, cfg.cellSeed(si, ri), arenas[w])
+		if err != nil {
+			return err
+		}
+		reports[cell], lats[cell] = rep, lat
+		return nil
+	}, obs)
+	if err != nil {
+		return nil, err
+	}
+
+	out := &CompareResult{Seeds: cfg.Seeds, BaseSeed: cfg.BaseSeed}
+	for _, ex := range cfg.Executors {
+		out.Protocols = append(out.Protocols, ex.Protocol())
+	}
+	for _, s := range scenarios {
+		out.Scenarios = append(out.Scenarios, s.Name)
+	}
+	for pi, ex := range cfg.Executors {
+		for si, s := range scenarios {
+			lo := (pi*len(scenarios) + si) * cfg.Seeds
+			out.Cells = append(out.Cells, CompareCell{
+				Protocol: ex.Protocol(),
+				Summary:  summarize(s, reports[lo:lo+cfg.Seeds], lats[lo:lo+cfg.Seeds]),
+			})
+		}
+	}
+	return out, nil
+}
+
+// CSV renders the full comparison grid, one row per (protocol, scenario)
+// cell, fields CSV-escaped.
+func (r *CompareResult) CSV() string {
+	var b strings.Builder
+	b.WriteString("protocol,scenario,runs,reliability,reliability_stddev,survivor_reliability,spread_ms,mean_messages,mean_up_at_end,static_prediction,effective_prediction\n")
+	for _, c := range r.Cells {
+		fmt.Fprintf(&b, "%s,%s,%d,%.6f,%.6f,%.6f,%.3f,%.1f,%.1f,%.6f,%.6f\n",
+			csvField(c.Protocol), csvField(c.Scenario), c.Runs,
+			c.Reliability.Mean, c.Reliability.StdDev, c.SurvivorReliability.Mean,
+			c.SpreadMs.Mean, c.MeanMessages, c.MeanUpAtEnd,
+			c.StaticPrediction, c.EffectivePrediction)
+	}
+	return b.String()
+}
+
+// Table renders the grid as an aligned ASCII matrix: one line per
+// protocol × scenario, grouped by scenario, survivor reliability and spread
+// side by side.
+func (r *CompareResult) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "comparison: %d protocols x %d scenarios, %d seeds\n",
+		len(r.Protocols), len(r.Scenarios), r.Seeds)
+	fmt.Fprintf(&b, "%-18s %-18s %10s %10s %9s %12s\n",
+		"scenario", "protocol", "rel", "survivors", "spread", "messages")
+	for si, sc := range r.Scenarios {
+		for pi, pr := range r.Protocols {
+			c := r.Cells[pi*len(r.Scenarios)+si]
+			fmt.Fprintf(&b, "%-18s %-18s %10.4f %10.4f %7.1fms %12.1f\n",
+				sc, pr, c.Reliability.Mean, c.SurvivorReliability.Mean,
+				c.SpreadMs.Mean, c.MeanMessages)
+		}
+	}
+	return b.String()
+}
+
+// csvField escapes one CSV cell per RFC 4180: a field containing commas,
+// quotes, or newlines is quoted, with embedded quotes doubled. Fields
+// without such characters pass through unchanged, which keeps the bundled
+// suite's golden CSVs byte-stable.
+func csvField(s string) string {
+	if !strings.ContainsAny(s, ",\"\n") {
+		return s
+	}
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+}

@@ -160,8 +160,8 @@ func (r *GridResult) CSV() string {
 	b.WriteString("scenario,q,fanout,runs,reliability,reliability_stddev,survivor_reliability,spread_ms,mean_messages,mean_up_at_end,static_prediction,effective_prediction,static_gap,effective_gap\n")
 	for _, c := range r.Cells {
 		fmt.Fprintf(&b, "%s,%g,%s,%d,%.6f,%.6f,%.6f,%.3f,%.1f,%.1f,%.6f,%.6f,%.6f,%.6f\n",
-			strings.ReplaceAll(c.Scenario, ",", ";"), c.Q,
-			strings.ReplaceAll(c.Fanout, ",", ";"), c.Runs,
+			csvField(c.Scenario), c.Q,
+			csvField(c.Fanout), c.Runs,
 			c.Reliability.Mean, c.Reliability.StdDev, c.SurvivorReliability.Mean,
 			c.SpreadMs.Mean, c.MeanMessages, c.MeanUpAtEnd,
 			c.StaticPrediction, c.EffectivePrediction, c.StaticGap, c.EffectiveGap)

@@ -12,6 +12,33 @@ import (
 	"gossipkit/internal/xrand"
 )
 
+// Executor runs one execution of some dissemination protocol under a
+// campaign's injection hook — the seam that lets every bundled campaign
+// target any protocol. The default (nil RunConfig.Executor) runs the
+// paper's own algorithm via core.ExecuteOnNetworkArena; the facade builds
+// executors for the six related-work baselines on top of the protocol DES
+// runtime. Executors must be stateless values: the sweep and comparison
+// grids share one executor across workers.
+type Executor interface {
+	// Protocol labels the executor's rows in reports and the comparison
+	// CSV. The default executor returns "" so single-protocol sweep JSON
+	// stays byte-stable.
+	Protocol() string
+	// Shape returns the group size and the protected source member of an
+	// execution under cfg.
+	Shape(cfg RunConfig) (n, source int)
+	// Execute runs one execution: all protocol randomness derives from r
+	// (network jitter from the non-consuming r.Split(0xfeed)), cfg.Net
+	// arrives already resolved (never nil models), inject is called with
+	// the run's NetRun after setup and before the protocol starts, and
+	// arena (which may be nil) recycles run state.
+	Execute(cfg RunConfig, r *xrand.RNG, inject func(*core.NetRun), arena *core.NetArena) (core.NetResult, error)
+	// Predict returns the executor's analytic reliability at nonfailed
+	// ratio q when it has a model (the paper's Eq. 11 for the default
+	// executor); ok=false otherwise.
+	Predict(cfg RunConfig, q float64) (pred float64, ok bool)
+}
+
 // RunConfig parameterizes scenario executions.
 type RunConfig struct {
 	// Params is the gossip model under test. AliveRatio is usually 1 for
@@ -30,6 +57,18 @@ type RunConfig struct {
 	// already set — but beware that a caller-supplied view is shared and
 	// mutated across churn runs.
 	PartialViewCopies int
+	// Executor selects the protocol under the campaign; nil runs the
+	// paper's algorithm (Params). The comparison grid sets it per row.
+	Executor Executor
+	// RoundInterval paces the round ticks of round-driven protocol
+	// executors (the paper's algorithm is purely event-driven and ignores
+	// it). Zero defaults per protocols.DESConfig: the latency model's
+	// bound when it has one (20ms for the runner's stock 1–20ms uniform
+	// latency) — one round's messages land before the next round fires,
+	// preserving the baselines' synchronous-round semantics under the
+	// runner's latency instead of letting a fast ticker burn the whole
+	// round budget while the first hop is still airborne.
+	RoundInterval time.Duration
 }
 
 func (c RunConfig) netConfig() simnet.Config {
@@ -40,10 +79,61 @@ func (c RunConfig) netConfig() simnet.Config {
 	return cfg
 }
 
+func (c RunConfig) executor() Executor {
+	if c.Executor != nil {
+		return c.Executor
+	}
+	return paperExecutor{}
+}
+
+// paperExecutor is the default Executor: the paper's general gossiping
+// algorithm on core's DES executor. The default (RunConfig.Executor nil)
+// instance carries an empty protocol label so existing single-protocol
+// sweep output is unchanged; comparison grids label their paper row via
+// PaperExecutor.
+type paperExecutor struct{ label string }
+
+func (e paperExecutor) Protocol() string { return e.label }
+
+func (paperExecutor) Shape(cfg RunConfig) (int, int) { return cfg.Params.N, cfg.Params.Source }
+
+func (paperExecutor) Execute(cfg RunConfig, r *xrand.RNG, inject func(*core.NetRun), arena *core.NetArena) (core.NetResult, error) {
+	return ExecutePaper(cfg, r, inject, arena)
+}
+
+func (paperExecutor) Predict(cfg RunConfig, q float64) (float64, bool) {
+	p := cfg.Params
+	p.AliveRatio = q
+	pred, err := core.Predict(p)
+	if err != nil {
+		return 0, false
+	}
+	return pred.Reliability, true
+}
+
+// ExecutePaper is the default executor's Execute, exported so comparison
+// rows that pit the paper's algorithm against the baselines can wrap it
+// with their own Params. cfg.Net must already be resolved (the runner does
+// this); per-run SCAMP views are built when PartialViewCopies asks for
+// them, consuming the same split RNG stream the runner always used.
+func ExecutePaper(cfg RunConfig, r *xrand.RNG, inject func(*core.NetRun), arena *core.NetArena) (core.NetResult, error) {
+	p := cfg.Params
+	if err := p.Validate(); err != nil {
+		return core.NetResult{}, err
+	}
+	if cfg.PartialViewCopies > 0 && p.View == nil {
+		p.View = membership.NewPartialViews(p.N, cfg.PartialViewCopies, r.Split(0x71e75))
+	}
+	return core.ExecuteOnNetworkArena(p, cfg.Net, r, inject, arena)
+}
+
 // RunReport is the outcome of one scenario execution.
 type RunReport struct {
 	// Scenario names the campaign that ran.
 	Scenario string `json:"scenario"`
+	// Protocol labels the executor that ran the campaign; empty for the
+	// default single-protocol runner.
+	Protocol string `json:"protocol,omitempty"`
 	// Seed is the run's random seed.
 	Seed uint64 `json:"seed"`
 	// Delivered is the number of members that received m.
@@ -69,7 +159,8 @@ type RunReport struct {
 	ArcsDonated int `json:"arcs_donated,omitempty"`
 	Published   int `json:"published,omitempty"`
 	// StaticPrediction is the paper's Eq. 11 reliability at the initial
-	// q — the static model the scenario stresses.
+	// q — the static model the scenario stresses. Zero for protocol
+	// executors without an analytic model.
 	StaticPrediction float64 `json:"static_prediction"`
 	// EffectivePrediction is Eq. 11 re-evaluated at the end-of-run up
 	// fraction q_eff = UpAtEnd/n: the best the static model can do with
@@ -103,19 +194,15 @@ func runWithLatency(s *Scenario, cfg RunConfig, seed uint64, arena *core.NetAren
 	if err := s.Validate(); err != nil {
 		return RunReport{}, stats.Running{}, err
 	}
-	p := cfg.Params
-	if err := p.Validate(); err != nil {
-		return RunReport{}, stats.Running{}, err
-	}
+	ex := cfg.executor()
+	n, source := ex.Shape(cfg)
 	root := xrand.New(seed)
 	actionRNG := root.Split(0x5ce9a810)
-	if cfg.PartialViewCopies > 0 && p.View == nil {
-		p.View = membership.NewPartialViews(p.N, cfg.PartialViewCopies, root.Split(0x71e75))
-	}
+	cfg.Net = cfg.netConfig()
 
 	var e *env
-	res, err := core.ExecuteOnNetworkArena(p, cfg.netConfig(), root, func(run *core.NetRun) {
-		e = &env{run: run, rng: actionRNG, n: p.N, source: p.Source}
+	res, err := ex.Execute(cfg, root, func(run *core.NetRun) {
+		e = &env{run: run, rng: actionRNG, n: n, source: source}
 		schedule(run, e, s.Steps)
 	}, arena)
 	if err != nil {
@@ -124,6 +211,7 @@ func runWithLatency(s *Scenario, cfg RunConfig, seed uint64, arena *core.NetAren
 
 	rep := RunReport{
 		Scenario:            s.Name,
+		Protocol:            ex.Protocol(),
 		Seed:                seed,
 		Delivered:           res.Delivered,
 		Reliability:         res.Reliability,
@@ -144,13 +232,11 @@ func runWithLatency(s *Scenario, cfg RunConfig, seed uint64, arena *core.NetAren
 		rep.ArcsDonated = e.arcsDonated
 		rep.Published = e.published
 	}
-	if pred, err := core.Predict(p); err == nil {
-		rep.StaticPrediction = pred.Reliability
+	if pred, ok := ex.Predict(cfg, cfg.Params.AliveRatio); ok {
+		rep.StaticPrediction = pred
 	}
-	pEff := p
-	pEff.AliveRatio = float64(res.UpAtEnd) / float64(p.N)
-	if pred, err := core.Predict(pEff); err == nil {
-		rep.EffectivePrediction = pred.Reliability
+	if pred, ok := ex.Predict(cfg, float64(res.UpAtEnd)/float64(n)); ok {
+		rep.EffectivePrediction = pred
 	}
 	return rep, res.DeliveryLatency, nil
 }
@@ -158,35 +244,101 @@ func runWithLatency(s *Scenario, cfg RunConfig, seed uint64, arena *core.NetAren
 // schedule installs the scenario's steps on the run's kernel. One-shot
 // steps fire once at their time; recurring steps (Every > 0) refire every
 // interval, so campaigns like "crash 1% every 10ms" no longer need
-// hand-unrolled timelines. A bounded recurrence (Until > 0) refires until
+// hand-unrolled timelines; conditional steps (When = "stall") watch the
+// run's delivered count. A bounded recurrence (Until > 0) refires until
 // its window closes; an unbounded one refires only while the execution has
-// live work beyond the recurrences themselves, so it tracks the spread and
-// then lets the run drain.
+// live work beyond the campaign's own bookkeeping events (recurrences and
+// stall watchers, counted in `self`), so it tracks the spread and then
+// lets the run drain.
 func schedule(run *core.NetRun, e *env, steps []Step) {
-	recurring := 0 // recurrence events currently pending on the kernel
+	self := 0 // campaign bookkeeping events currently pending on the kernel
 	for _, st := range steps {
+		st := st
+		if st.When == WhenStall {
+			scheduleStall(run, e, st, &self)
+			continue
+		}
 		if st.Every <= 0 {
 			action := st.Action
 			run.Kernel.At(sim.Time(st.At), func() { action.apply(e) })
 			continue
 		}
-		st := st
 		var fire func()
 		fire = func() {
-			recurring--
+			self--
 			st.Action.apply(e)
 			next := run.Kernel.Now().Add(st.Every.Std())
 			if st.Until > 0 {
 				if next > sim.Time(st.Until) {
 					return // recurrence window closed
 				}
-			} else if run.Kernel.Pending() <= recurring {
-				return // only recurrences left; let the run drain
+			} else if run.Kernel.Pending() <= self {
+				return // only campaign bookkeeping left; let the run drain
 			}
-			recurring++
+			self++
 			run.Kernel.At(next, fire)
 		}
-		recurring++
+		self++
 		run.Kernel.At(sim.Time(st.At), fire)
 	}
+}
+
+// scheduleStall installs a stall trigger: a recurring kernel event that
+// polls the run's delivered-member count every half window and fires the
+// step's action — at most once per run — when the count has not moved for
+// a full window while some up member still lacks m. Before the FIRST
+// delivery moves the count, a quiet window is only a stall if the network
+// is drained too (simnet.Stats.InFlight): a window shorter than the
+// latency of the spread's opening hop must not fire while that hop is
+// still airborne, but once any progress has been observed the
+// delivered-count window alone decides (round-driven protocols keep
+// duplicate traffic airborne through a genuine stall, so a drained
+// network cannot be a precondition in general). The watcher's own events
+// count as campaign bookkeeping (self), so it never keeps an
+// otherwise-finished run alive: once every up member is served and only
+// bookkeeping is pending, it unwinds without firing.
+func scheduleStall(run *core.NetRun, e *env, st Step, self *int) {
+	window := st.Window.Std()
+	poll := window / 2
+	if poll <= 0 {
+		poll = window
+	}
+	lastDelivered := -1
+	sawProgress := false
+	var lastChange sim.Time
+	var fire func()
+	fire = func() {
+		*self--
+		now := run.Kernel.Now()
+		if d := run.Delivered(); d != lastDelivered {
+			sawProgress = lastDelivered >= 0 // the first poll only baselines
+			lastDelivered, lastChange = d, now
+		}
+		if now.Sub(lastChange) >= window &&
+			(sawProgress || run.Net.Stats().InFlight() == 0) {
+			if stallSatisfied(run, e.n) {
+				return // the spread finished; nothing to trigger
+			}
+			st.Action.apply(e)
+			return // fires at most once per run
+		}
+		if run.Kernel.Pending() <= *self && stallSatisfied(run, e.n) {
+			return // run is done except for bookkeeping; stop watching
+		}
+		*self++
+		run.Kernel.At(now.Add(poll), fire)
+	}
+	*self++
+	run.Kernel.At(sim.Time(st.At), fire)
+}
+
+// stallSatisfied reports whether every currently-up member has received m
+// — the state in which a stall trigger has nothing left to rescue.
+func stallSatisfied(run *core.NetRun, n int) bool {
+	for id := 0; id < n; id++ {
+		if run.Net.Up(simnet.NodeID(id)) && !run.HasReceived(id) {
+			return false
+		}
+	}
+	return true
 }

@@ -157,10 +157,15 @@ func (a Action) Validate() error {
 	}
 }
 
-// Step is one timestamped action of a scenario, optionally recurring.
+// WhenStall is the conditional-trigger condition a Step.When may carry:
+// the step fires when delivery makes no progress for the step's Window.
+const WhenStall = "stall"
+
+// Step is one timestamped action of a scenario, optionally recurring or
+// conditional.
 type Step struct {
 	// At is the simulated time (from execution start) the action fires
-	// (first fires, when recurring).
+	// (first fires, when recurring; watching starts, when conditional).
 	At Duration `json:"at"`
 	// Every, when positive, refires the action at this interval after the
 	// first firing. An unbounded recurrence (Until zero) keeps firing
@@ -172,6 +177,16 @@ type Step struct {
 	// Until, when positive, bounds a recurrence: the action fires at
 	// At, At+Every, ... up to and including Until.
 	Until Duration `json:"until,omitempty"`
+	// When, when set to "stall", makes the step conditional instead of
+	// timed: a kernel event watches the run's delivered-member count and
+	// fires the action (at most once per run) when delivery has made no
+	// progress for Window of simulated time while at least one up member
+	// still lacks m. The trigger works identically on the paper's
+	// algorithm and on the protocol-baseline executors — both expose the
+	// delivered count through the same NetRun seam.
+	When string `json:"when,omitempty"`
+	// Window is the no-progress window a stall trigger waits for.
+	Window Duration `json:"window,omitempty"`
 	// Action is the operation to apply.
 	Action Action `json:"action"`
 }
@@ -215,6 +230,16 @@ func (s *Scenario) EveryUntil(start, interval, until time.Duration, a Action) *S
 	return s
 }
 
+// OnStall appends a conditional step: the action fires (at most once per
+// run) when delivery has made no progress for window of simulated time
+// while at least one up member still lacks m — "when the spread stalls,
+// heal the partition / fire a re-gossip wave". JSON form:
+// {"when": "stall", "window": "10ms", "action": {...}}.
+func (s *Scenario) OnStall(window time.Duration, a Action) *Scenario {
+	s.Steps = append(s.Steps, Step{When: WhenStall, Window: Duration(window), Action: a})
+	return s
+}
+
 // Validate checks the scenario.
 func (s *Scenario) Validate() error {
 	if s.Name == "" {
@@ -235,6 +260,21 @@ func (s *Scenario) Validate() error {
 		}
 		if st.Until > 0 && st.Until < st.At {
 			return fmt.Errorf("scenario %q: step %d until %v before at %v", s.Name, i, st.Until.Std(), st.At.Std())
+		}
+		switch st.When {
+		case "":
+			if st.Window != 0 {
+				return fmt.Errorf("scenario %q: step %d has a window without when=%q", s.Name, i, WhenStall)
+			}
+		case WhenStall:
+			if st.Window <= 0 {
+				return fmt.Errorf("scenario %q: step %d: stall trigger needs a positive window", s.Name, i)
+			}
+			if st.Every != 0 || st.Until != 0 {
+				return fmt.Errorf("scenario %q: step %d: stall trigger cannot recur (every/until)", s.Name, i)
+			}
+		default:
+			return fmt.Errorf("scenario %q: step %d: unknown condition %q (only %q is supported)", s.Name, i, st.When, WhenStall)
 		}
 		// Publish and regossip generate fresh gossip traffic on every
 		// firing, so an unbounded recurrence of them would keep the

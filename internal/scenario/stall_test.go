@@ -1,0 +1,193 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"gossipkit/internal/core"
+	"gossipkit/internal/dist"
+	"gossipkit/internal/protocols"
+	"gossipkit/internal/simnet"
+)
+
+// The "when": "stall" conditional trigger: a kernel event watches the
+// run's delivered count and fires its action when delivery makes no
+// progress for the configured window while some up member still lacks m.
+// These tests pin that it (a) rescues a genuinely stalled spread, (b)
+// stays silent on a healthy run, (c) works identically through the
+// protocol-baseline executors, and (d) validates and round-trips in the
+// JSON spec language.
+
+func stallParams(n int) RunConfig {
+	return RunConfig{Params: core.Params{N: n, Fanout: dist.NewPoisson(6), AliveRatio: 1}}
+}
+
+// TestStallTriggerRescuesPartition: a never-healing partition stalls the
+// spread; the stall trigger heals it and fires a re-gossip wave, lifting
+// delivery to (near-)full — versus the same campaign without the trigger,
+// which leaves the partitioned half unserved.
+func TestStallTriggerRescuesPartition(t *testing.T) {
+	ms := func(d int) time.Duration { return time.Duration(d) * time.Millisecond }
+	// The partition lands at t=0, before any message can cross it: the
+	// top half stays uninfected until something intervenes.
+	stuck := New("stuck", "partition that never heals").
+		At(0, Partition(0.5, 1.0))
+	rescued := New("rescued", "partition healed by the stall trigger").
+		At(0, Partition(0.5, 1.0)).
+		OnStall(ms(30), Heal()).
+		OnStall(ms(30), Regossip(10))
+
+	repStuck, err := Run(stuck, stallParams(600), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repRescued, err := Run(rescued, stallParams(600), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repStuck.Reliability > 0.7 {
+		t.Fatalf("control run delivered %.3f; the partition did not stall the spread", repStuck.Reliability)
+	}
+	if repRescued.Reliability < 0.95 {
+		t.Errorf("stall trigger did not rescue the spread: reliability %.3f (stuck control: %.3f)",
+			repRescued.Reliability, repStuck.Reliability)
+	}
+}
+
+// TestStallTriggerSilentOnHealthyRun: on a run that serves every up member
+// the watcher unwinds without firing (observable through the Published
+// counter) and without keeping the execution alive. The run uses pbcast
+// with a full round budget — unlike the paper's single-shot algorithm, it
+// reliably reaches everyone, so "no progress" coincides with "done"
+// rather than with a genuinely stranded member.
+func TestStallTriggerSilentOnHealthyRun(t *testing.T) {
+	s := New("healthy", "no faults; the stall action must never fire").
+		OnStall(10*time.Millisecond, FlashCrowd(3))
+	cfg := stallParams(400)
+	cfg.Executor = NewProtocolExecutor(protocols.PbcastParams{N: 400, Fanout: 4, Rounds: 25, AliveRatio: 1})
+	rep, err := Run(s, cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Reliability != 1 {
+		t.Fatalf("pbcast did not serve everyone (%.4f); the healthy premise is broken", rep.Reliability)
+	}
+	if rep.Published != 0 {
+		t.Errorf("stall action fired on a healthy run (%d published)", rep.Published)
+	}
+}
+
+// TestStallTriggerOnProtocolExecutor: the trigger watches the delivered
+// count through the same NetRun seam on a baseline executor — a partition
+// stalling a pbcast spread is healed mid-run and later rounds cross it.
+func TestStallTriggerOnProtocolExecutor(t *testing.T) {
+	ms := func(d int) time.Duration { return time.Duration(d) * time.Millisecond }
+	pb := protocols.PbcastParams{N: 500, Fanout: 4, Rounds: 30, AliveRatio: 1}
+	cfg := stallParams(500)
+	cfg.Executor = NewProtocolExecutor(pb)
+
+	stuck := New("stuck", "partition that never heals").
+		At(ms(2), Partition(0.5, 1.0))
+	rescued := New("rescued", "partition healed by the stall trigger").
+		At(ms(2), Partition(0.5, 1.0)).
+		OnStall(ms(50), Heal())
+
+	repStuck, err := Run(stuck, cfg, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repRescued, err := Run(rescued, cfg, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repStuck.Protocol != "pbcast" || repRescued.Protocol != "pbcast" {
+		t.Fatalf("executor rows labeled %q/%q, want pbcast", repStuck.Protocol, repRescued.Protocol)
+	}
+	if repStuck.Reliability > 0.7 {
+		t.Fatalf("control pbcast run delivered %.3f; the partition did not stall it", repStuck.Reliability)
+	}
+	if repRescued.Reliability < 0.95 {
+		t.Errorf("stall trigger did not rescue pbcast: reliability %.3f (stuck control: %.3f)",
+			repRescued.Reliability, repStuck.Reliability)
+	}
+}
+
+// TestStallTriggerIgnoresStartupLull: a window shorter than the latency of
+// the spread's opening hop must not fire while that hop is still airborne.
+// Under a constant 15ms latency nothing can deliver before 15ms, so a 6ms
+// window sees a full quiet window at t=6 with 199 messages in flight —
+// exactly the startup shape that fired spuriously before the in-flight
+// guard. Flooding then serves every member in one hop, so no later phase
+// of this run can legitimately fire either: published must stay 0. (A
+// window shorter than a ROUND-driven protocol's tick interval is
+// different — delivery really does pause between rounds, and firing there
+// is the documented semantics.)
+func TestStallTriggerIgnoresStartupLull(t *testing.T) {
+	s := New("healthy", "short window; the startup lull must not fire").
+		OnStall(6*time.Millisecond, FlashCrowd(3))
+	cfg := stallParams(200)
+	cfg.Net = simnet.Config{Latency: simnet.ConstantLatency{D: 15 * time.Millisecond}}
+	cfg.Executor = NewProtocolExecutor(protocols.FloodingParams{N: 200, AliveRatio: 1})
+	rep, err := Run(s, cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Published != 0 {
+		t.Errorf("stall action fired during the startup lull (%d published)", rep.Published)
+	}
+	if rep.Reliability != 1 {
+		t.Errorf("flooding delivered %.4f, want 1", rep.Reliability)
+	}
+}
+
+// TestStallSpecValidation: the spec language rejects malformed conditional
+// steps.
+func TestStallSpecValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		s    *Scenario
+		want string
+	}{
+		{"window without when", &Scenario{Name: "x", Steps: []Step{
+			{Window: Duration(time.Millisecond), Action: Heal()}}}, "window without"},
+		{"stall without window", &Scenario{Name: "x", Steps: []Step{
+			{When: WhenStall, Action: Heal()}}}, "positive window"},
+		{"stall with every", &Scenario{Name: "x", Steps: []Step{
+			{When: WhenStall, Window: Duration(time.Millisecond), Every: Duration(time.Millisecond), Action: Heal()}}}, "cannot recur"},
+		{"unknown condition", &Scenario{Name: "x", Steps: []Step{
+			{When: "eclipse", Window: Duration(time.Millisecond), Action: Heal()}}}, "unknown condition"},
+	}
+	for _, tc := range cases {
+		err := tc.s.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err %v, want containing %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestStallSpecJSON: the conditional step survives the JSON round trip and
+// a hand-written spec parses.
+func TestStallSpecJSON(t *testing.T) {
+	s := New("stall-heal", "heal when the spread stalls").
+		At(2*time.Millisecond, Partition(0.5, 1.0)).
+		OnStall(25*time.Millisecond, Heal())
+	data, err := s.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"when": "stall"`) || !strings.Contains(string(data), `"window": "25ms"`) {
+		t.Fatalf("JSON missing conditional fields:\n%s", data)
+	}
+	back, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Steps[1].When != WhenStall || back.Steps[1].Window != Duration(25*time.Millisecond) {
+		t.Fatalf("round trip lost the conditional step: %+v", back.Steps[1])
+	}
+	handwritten := `{"name":"rescue","steps":[{"when":"stall","window":"10ms","action":{"op":"heal"}}]}`
+	if _, err := Parse([]byte(handwritten)); err != nil {
+		t.Fatalf("hand-written stall spec rejected: %v", err)
+	}
+}

@@ -149,10 +149,14 @@ func SweepCtx(ctx context.Context, scenarios []*Scenario, cfg SweepConfig, obser
 
 	out := &SweepResult{
 		N:        cfg.Run.Params.N,
-		Fanout:   cfg.Run.Params.Fanout.Name(),
 		Q:        cfg.Run.Params.AliveRatio,
 		Seeds:    cfg.Seeds,
 		BaseSeed: cfg.BaseSeed,
+	}
+	// Protocol-executor sweeps carry no paper params: the fanout (and N)
+	// live in the executor's spec, so the header fields stay zero.
+	if cfg.Run.Params.Fanout != nil {
+		out.Fanout = cfg.Run.Params.Fanout.Name()
 	}
 	for si, s := range scenarios {
 		lo := si * cfg.Seeds
@@ -215,7 +219,7 @@ func (r *SweepResult) CSV() string {
 	b.WriteString("scenario,runs,reliability,reliability_stddev,survivor_reliability,spread_ms,mean_messages,mean_up_at_end,static_prediction,effective_prediction,static_gap,effective_gap\n")
 	for _, s := range r.Scenarios {
 		fmt.Fprintf(&b, "%s,%d,%.6f,%.6f,%.6f,%.3f,%.1f,%.1f,%.6f,%.6f,%.6f,%.6f\n",
-			strings.ReplaceAll(s.Scenario, ",", ";"), s.Runs,
+			csvField(s.Scenario), s.Runs,
 			s.Reliability.Mean, s.Reliability.StdDev, s.SurvivorReliability.Mean,
 			s.SpreadMs.Mean, s.MeanMessages, s.MeanUpAtEnd,
 			s.StaticPrediction, s.EffectivePrediction, s.StaticGap, s.EffectiveGap)

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"math/bits"
+	"slices"
 	"time"
 )
 
@@ -368,11 +369,29 @@ func (c *CalendarQueue) pop() record {
 	return rec
 }
 
-// sortBucket insertion-sorts a gathered bucket descending by fire order
-// (the record that fires first ends up last, so pop is a truncation).
-// Buckets hold a handful of contiguous records; insertion sort beats
-// anything allocating or indirect at that size.
+// sortBucket sorts a gathered bucket descending by fire order (the record
+// that fires first ends up last, so pop is a truncation). Steady-state
+// buckets hold a handful of contiguous records, where insertion sort beats
+// anything indirect — but a bucket is not bounded: a constant-latency
+// model lands a whole message wave on one timestamp (and pushes arrive in
+// ascending seq order, insertion sort's exact worst case against the
+// descending target), which made bucket sorting quadratic in the wave
+// size. Past a small threshold, hand off to the standard pdqsort, which is
+// O(k) on such runs and O(k log k) always.
 func sortBucket(b []record) {
+	if len(b) > 32 {
+		slices.SortFunc(b, func(x, y record) int {
+			switch {
+			case x.before(y):
+				return 1
+			case y.before(x):
+				return -1
+			default:
+				return 0
+			}
+		})
+		return
+	}
 	for i := 1; i < len(b); i++ {
 		rec := b[i]
 		j := i

@@ -206,6 +206,31 @@ func (k *Kernel) After(d time.Duration, fn func()) *Event {
 	return k.At(k.now.Add(d), fn)
 }
 
+// Every schedules fn at absolute time start and then repeatedly every
+// interval for as long as fn returns true. It is the shared driver of
+// recurring activities that pace themselves off the simulated clock — the
+// protocol runtime's gossip round ticks and the scenario engine's stall
+// watcher both run on it. Each firing is an ordinary closure event, so
+// other events scheduled at the same timestamp interleave in seq order,
+// and the final false-returning call consumes its event and schedules
+// nothing further (the kernel can drain).
+func (k *Kernel) Every(start Time, interval time.Duration, fn func() bool) {
+	if interval <= 0 {
+		panic(fmt.Sprintf("sim: non-positive tick interval %v", interval))
+	}
+	if fn == nil {
+		panic("sim: nil tick function")
+	}
+	var fire func()
+	fire = func() {
+		if !fn() {
+			return
+		}
+		k.At(k.now.Add(interval), fire)
+	}
+	k.At(start, fire)
+}
+
 // Cancel removes a pending event; canceling an already-fired or canceled
 // event is a no-op. It reports whether the event was pending. The queue
 // record is invalidated in place (generation bump) and discarded when it

@@ -13,10 +13,14 @@ import (
 // NodeID identifies a node in the network, 0..N-1.
 type NodeID int
 
-// Message is a network datagram.
+// Message is a network datagram. Tag is a small protocol-defined message
+// kind (0 for plain Send); multi-message-type protocols — the baseline
+// runtime's gossip pushes, digests, NACKs, and pull replies — dispatch on
+// it without boxing a payload (see SendTag).
 type Message struct {
 	From    NodeID
 	To      NodeID
+	Tag     int32
 	Payload any
 }
 
@@ -148,8 +152,20 @@ type Stats struct {
 	Sent         int64 // Send calls accepted from live nodes
 	Delivered    int64 // messages handed to a handler
 	DroppedLoss  int64 // lost in transit
-	DroppedCrash int64 // destination (or source) was crashed
+	DroppedCrash int64 // destination was crashed (or had no handler) at delivery
+	DroppedDown  int64 // discarded at send time: the sender was down (never in Sent)
 	DroppedPart  int64 // blocked by a partition
+}
+
+// InFlight returns the number of accepted messages still in transit: sent
+// but neither delivered nor dropped. Round-driven protocols use it to
+// distinguish "no progress because the spread died" from "no progress yet
+// because messages are still airborne" before declaring quiescence. Every
+// term is an outcome of an accepted (Sent-counted) message — send-time
+// discards from down senders live in DroppedDown precisely so they cannot
+// push this below zero.
+func (s Stats) InFlight() int64 {
+	return s.Sent - s.Delivered - s.DroppedLoss - s.DroppedCrash - s.DroppedPart
 }
 
 // Config parameterizes a Network. Zero values mean: zero latency, no loss.
@@ -167,6 +183,7 @@ type Config struct {
 type inflight struct {
 	from    NodeID
 	sentAt  sim.Time
+	tag     int32
 	payload any
 }
 
@@ -184,6 +201,7 @@ type Network struct {
 	partition func(a, b NodeID) bool
 	stats     Stats
 	tracer    Tracer
+	packTags  bool // n < 2²⁴: (tag, from) pairs fit a slot-free event word
 
 	deliverID sim.HandlerID
 	inflight  []inflight
@@ -233,6 +251,7 @@ func (nw *Network) Reset(kernel *sim.Kernel, n int, rng *xrand.RNG, cfg Config) 
 	if nw.loss == nil {
 		nw.loss = NoLoss{}
 	}
+	nw.packTags = n < 1<<tagShift
 	nw.up.Reset(n)
 	nw.up.SetAll()
 	for i := range nw.inflight {
@@ -285,16 +304,42 @@ func (nw *Network) RegisterAll(h Handler) {
 	nw.handlers = nil
 }
 
+// tagShift positions a message tag above the 24-bit sender id in the
+// slot-free event-word encoding: with n < 2²⁴ (well past the n=10⁷
+// ceiling), a payload-free tagged message packs (tag, from) into one int32
+// and needs no in-flight slot. Tags must stay below tagLimit for the
+// packed form; larger tags (or larger networks) fall back to a pooled slot
+// transparently.
+const (
+	tagShift = 24
+	tagLimit = 1 << (31 - tagShift) // 7 tag bits keep the word positive
+)
+
 // Send queues a message for delivery after the modeled latency. Messages
 // from crashed nodes are silently discarded; messages to nodes that are
 // crashed at delivery time are dropped (fail-stop: a crashed node never
 // processes anything).
 func (nw *Network) Send(from, to NodeID, payload any) {
+	nw.send(from, to, 0, payload)
+}
+
+// SendTag queues a payload-free message carrying a small protocol message
+// kind, delivered as Message.Tag. Protocols with several message types
+// (data push, digest, NACK, pull reply) stay on the slot-free zero-
+// allocation path this way instead of boxing a payload per message.
+func (nw *Network) SendTag(from, to NodeID, tag int32) {
+	if tag < 0 {
+		panic(fmt.Sprintf("simnet: negative message tag %d", tag))
+	}
+	nw.send(from, to, tag, nil)
+}
+
+func (nw *Network) send(from, to NodeID, tag int32, payload any) {
 	nw.checkID(from)
 	nw.checkID(to)
 	now := nw.kernel.Now()
 	if !nw.up.Get(int(from)) {
-		nw.stats.DroppedCrash++
+		nw.stats.DroppedDown++
 		nw.trace(Event{Kind: EventDroppedCrash, From: from, To: to, At: now, SentAt: now})
 		return
 	}
@@ -315,40 +360,46 @@ func (nw *Network) Send(from, to NodeID, payload any) {
 		d = 0
 	}
 	// Payload-free messages with no tracer watching — the entire gossip
-	// hot path — need no in-flight slot: the sender id rides in the event
-	// record's payload word (encoded below zero), halving peak queue
-	// memory at n=10⁷. Everything else parks (from, sentAt, payload) in a
+	// hot path — need no in-flight slot: the sender id (and, when the
+	// group is small enough to pack, the tag) rides in the event record's
+	// payload word (encoded below zero), halving peak queue memory at
+	// n=10⁷. Everything else parks (from, sentAt, tag, payload) in a
 	// pooled slot.
-	if payload == nil && nw.tracer == nil {
-		nw.kernel.ScheduleAfter(d, nw.deliverID, int32(to), -int32(from)-1)
+	if payload == nil && nw.tracer == nil && (tag == 0 || (nw.packTags && tag < tagLimit)) {
+		nw.kernel.ScheduleAfter(d, nw.deliverID, int32(to), -(int32(from) | tag<<tagShift) - 1)
 		return
 	}
-	slot := nw.allocMsg(from, now, payload)
+	slot := nw.allocMsg(from, now, tag, payload)
 	nw.kernel.ScheduleAfter(d, nw.deliverID, int32(to), slot)
 }
 
 // allocMsg parks a message's payload in a pooled slot and returns its index.
-func (nw *Network) allocMsg(from NodeID, sentAt sim.Time, payload any) int32 {
+func (nw *Network) allocMsg(from NodeID, sentAt sim.Time, tag int32, payload any) int32 {
 	if n := len(nw.freeMsg); n > 0 {
 		idx := nw.freeMsg[n-1]
 		nw.freeMsg = nw.freeMsg[:n-1]
-		nw.inflight[idx] = inflight{from: from, sentAt: sentAt, payload: payload}
+		nw.inflight[idx] = inflight{from: from, sentAt: sentAt, tag: tag, payload: payload}
 		return idx
 	}
-	nw.inflight = append(nw.inflight, inflight{from: from, sentAt: sentAt, payload: payload})
+	nw.inflight = append(nw.inflight, inflight{from: from, sentAt: sentAt, tag: tag, payload: payload})
 	return int32(len(nw.inflight) - 1)
 }
 
 // deliverEvent is the typed kernel handler for message arrival: node is the
 // destination; payload is an inflight slot index when >= 0, or the encoded
-// sender of a slot-free payload-nil message when negative. A message sent
-// slot-free before a tracer was installed mid-flight reports SentAt equal
-// to its delivery time — the only observable difference between the two
-// encodings.
+// (tag, sender) of a slot-free payload-nil message when negative. A message
+// sent slot-free before a tracer was installed mid-flight reports SentAt
+// equal to its delivery time — the only observable difference between the
+// two encodings.
 func (nw *Network) deliverEvent(now sim.Time, node, slot int32) {
 	var m inflight
 	if slot < 0 {
-		m = inflight{from: NodeID(-slot - 1), sentAt: now}
+		word := -slot - 1
+		if nw.packTags {
+			m = inflight{from: NodeID(word & (1<<tagShift - 1)), tag: word >> tagShift, sentAt: now}
+		} else {
+			m = inflight{from: NodeID(word), sentAt: now}
+		}
 	} else {
 		m = nw.inflight[slot]
 		nw.inflight[slot].payload = nil // release the payload reference
@@ -378,7 +429,7 @@ func (nw *Network) deliverEvent(now sim.Time, node, slot int32) {
 	}
 	nw.stats.Delivered++
 	nw.trace(Event{Kind: EventDelivered, From: m.from, To: to, At: now, SentAt: m.sentAt})
-	h(now, Message{From: m.from, To: to, Payload: m.payload})
+	h(now, Message{From: m.from, To: to, Tag: m.tag, Payload: m.payload})
 }
 
 // Crash marks id as failed: in-flight messages to it will be dropped at

@@ -1,17 +1,29 @@
 #!/bin/sh
-# lint-api.sh — fail CI when cmd/ or examples/ reference deprecated facade
-# shims.
+# lint-api.sh — fail CI when cmd/ or examples/ bypass the facade's engine
+# API.
 #
-# The pre-Engine entry points (Execute, ExecuteOnNetwork[Reusing],
-# MeasureReliability, MeasureGiantComponent, RunSuccess, RunScenario,
-# SweepScenarios, SweepScenarioGrid, NewNetArena) survive only as
-# back-compat shims over gossipkit.Run/RunMany; everything the repository
-# itself ships must sit on the unified engine API. This is a grep, not a
-# linter dependency, so it runs anywhere a POSIX shell does.
+# Two gates, both greps (no linter dependency, runs anywhere a POSIX shell
+# does):
+#
+#   1. The pre-Engine entry points (Execute, ExecuteOnNetwork[Reusing],
+#      MeasureReliability, MeasureGiantComponent, RunSuccess, RunScenario,
+#      SweepScenarios, SweepScenarioGrid, NewNetArena) survive only as
+#      back-compat shims over gossipkit.Run/RunMany; everything the
+#      repository itself ships must sit on the unified engine API.
+#   2. The legacy synchronous round loops (protocols.RunPbcast,
+#      RunLpbcast, RunAntiEntropy, RunRDG, RunLRG, RunFlooding) are the
+#      equivalence ORACLE for the DES protocol runtime, not an execution
+#      path: cmd/ and examples/ must reach the baselines through the
+#      engine specs (Pbcast, ..., Flooding, Compare), which run on the
+#      sim kernel + simnet substrate. Importing internal/protocols from
+#      cmd/ or examples/ is blocked for the same reason — the facade specs
+#      are the only supported protocol surface. (Other internal imports —
+#      the sim/simnet substrate the node demos build on — stay allowed.)
 set -eu
 cd "$(dirname "$0")/.."
 
 deprecated='Execute|ExecuteOnNetwork|ExecuteOnNetworkReusing|MeasureReliability|MeasureGiantComponent|RunSuccess|RunScenario|SweepScenarios|SweepScenarioGrid|NewNetArena'
+legacy_loops='RunPbcast|RunLpbcast|RunAntiEntropy|RunRDG|RunLRG|RunFlooding'
 
 for dir in cmd examples; do
     if [ ! -d "$dir" ]; then
@@ -20,22 +32,35 @@ for dir in cmd examples; do
     fi
 done
 
-# grep exits 0 on match, 1 on no match, >=2 on error. Only 1 means clean;
-# a hard error (unreadable tree, bad pattern) must fail the gate, not pass it.
-rc=0
-hits=$(grep -rnE "gossipkit\.($deprecated)\(" cmd examples) || rc=$?
-case $rc in
-0)
-    echo "api-lint: deprecated facade shims referenced outside the compat layer:" >&2
-    echo "$hits" >&2
-    echo "api-lint: migrate to gossipkit.Run/RunMany (see the migration table in README.md)" >&2
-    exit 1
-    ;;
-1)
-    echo "api-lint: cmd/ and examples/ are clean of deprecated shims"
-    ;;
-*)
-    echo "api-lint: grep failed with exit status $rc" >&2
-    exit "$rc"
-    ;;
-esac
+# scan PATTERN LABEL HINT — grep exits 0 on match, 1 on no match, >=2 on
+# error. Only 1 means clean; a hard error (unreadable tree, bad pattern)
+# must fail the gate, not pass it.
+scan() {
+    rc=0
+    hits=$(grep -rnE "$1" cmd examples) || rc=$?
+    case $rc in
+    0)
+        echo "api-lint: $2:" >&2
+        echo "$hits" >&2
+        echo "api-lint: $3" >&2
+        exit 1
+        ;;
+    1) ;;
+    *)
+        echo "api-lint: grep failed with exit status $rc" >&2
+        exit "$rc"
+        ;;
+    esac
+}
+
+scan "gossipkit\.($deprecated)\(" \
+    "deprecated facade shims referenced outside the compat layer" \
+    "migrate to gossipkit.Run/RunMany (see the migration table in README.md)"
+scan "($legacy_loops)\(" \
+    "legacy round-loop entry points referenced" \
+    "the pure round loops are the DES runtime's equivalence oracle; use the engine specs (gossipkit.Pbcast, ..., gossipkit.Compare)"
+scan "\"gossipkit/internal/protocols\"" \
+    "internal/protocols imported" \
+    "reach the baselines through the facade engine specs (gossipkit.Pbcast, ..., gossipkit.Compare)"
+
+echo "api-lint: cmd/ and examples/ are clean (no deprecated shims, legacy round loops, or protocols imports)"

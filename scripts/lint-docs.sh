@@ -1,11 +1,12 @@
 #!/bin/sh
-# lint-docs.sh — fail CI when an internal package has no package comment.
+# lint-docs.sh — fail CI when a package lacks its doc comment.
 #
 # Every internal/ package must carry a `// Package <name> ...` comment (by
 # convention in doc.go, but any non-test .go file counts) stating its role,
 # paper section if any, and determinism/alloc guarantees — see
-# ARCHITECTURE.md. This is a grep, not a linter dependency, so it runs
-# anywhere a POSIX shell does.
+# ARCHITECTURE.md. Every cmd/ binary must likewise open with a
+# `// Command <name> ...` comment documenting its usage. This is a grep,
+# not a linter dependency, so it runs anywhere a POSIX shell does.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -17,8 +18,15 @@ for dir in internal/*/; do
         fail=1
     fi
 done
+for dir in cmd/*/; do
+    name=$(basename "$dir")
+    if ! grep -qs "^// Command $name " "$dir"*.go; then
+        echo "docs-lint: command $name lacks a command comment ('// Command $name ...' in $dir)" >&2
+        fail=1
+    fi
+done
 if [ "$fail" -ne 0 ]; then
-    echo "docs-lint: add the missing package comments (doc.go preferred)" >&2
+    echo "docs-lint: add the missing package/command comments (doc.go preferred for packages)" >&2
     exit 1
 fi
-echo "docs-lint: all internal packages documented"
+echo "docs-lint: all internal packages and cmd binaries documented"
