@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"gossipkit/internal/experiment"
+	"gossipkit/internal/obs"
 )
 
 func main() {
@@ -32,8 +33,17 @@ func main() {
 		scale  = flag.Float64("scale", 1.0, "replication scale (1.0 = paper's counts)")
 		width  = flag.Int("width", 72, "ASCII chart width")
 		height = flag.Int("height", 20, "ASCII chart height")
+		pprof  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+	if *pprof != "" {
+		addr, err := obs.StartPprof(*pprof)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "experiments: pprof on http://%s/debug/pprof/\n", addr)
+	}
 
 	if *list {
 		for _, e := range experiment.All() {

@@ -32,8 +32,17 @@ func main() {
 		seed    = flag.Uint64("seed", uint64(time.Now().UnixNano()), "random seed")
 		publish = flag.String("publish", "", "publish this payload after joining")
 		linger  = flag.Duration("linger", 0, "exit after this duration (0 = run until interrupted)")
+		pprof   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+	if *pprof != "" {
+		addr, err := gossipkit.StartPprof(*pprof)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gossipd:", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "gossipd: pprof on http://%s/debug/pprof/\n", addr)
+	}
 	// -fanout is user input: ParseFanout errors cleanly where the
 	// gossipkit.Poisson constructor would panic.
 	fanoutDist, err := gossipkit.ParseFanout("poisson", *fanout)

@@ -80,11 +80,32 @@ func predict(z, q float64) (gossipkit.Prediction, error) {
 	return out.Aggregate.(gossipkit.Prediction), nil
 }
 
+// pprofFlag registers -pprof on a subcommand's FlagSet; the returned
+// starter runs after parsing and brings the endpoint up when set.
+func pprofFlag(fs *flag.FlagSet) func() error {
+	addr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	return func() error {
+		if *addr == "" {
+			return nil
+		}
+		bound, err := gossipkit.StartPprof(*addr)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "gossipmodel: pprof on http://%s/debug/pprof/\n", bound)
+		return nil
+	}
+}
+
 func cmdReliability(args []string) error {
 	fs := flag.NewFlagSet("reliability", flag.ExitOnError)
 	fanout := fs.Float64("fanout", 4.0, "mean fanout z")
 	q := fs.Float64("q", 0.9, "nonfailed member ratio")
+	pprof := pprofFlag(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := pprof(); err != nil {
 		return err
 	}
 	pred, err := predict(*fanout, *q)
@@ -102,7 +123,11 @@ func cmdDesign(args []string) error {
 	fs := flag.NewFlagSet("design", flag.ExitOnError)
 	target := fs.Float64("target", 0.999, "required reliability S")
 	q := fs.Float64("q", 0.9, "nonfailed member ratio")
+	pprof := pprofFlag(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := pprof(); err != nil {
 		return err
 	}
 	z, err := gossipkit.FanoutForReliability(*target, *q)
@@ -117,7 +142,11 @@ func cmdDesign(args []string) error {
 func cmdTable(args []string) error {
 	fs := flag.NewFlagSet("table", flag.ExitOnError)
 	qlist := fs.String("q", "0.2,0.4,0.6,0.8,1.0", "comma-separated q values")
+	pprof := pprofFlag(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := pprof(); err != nil {
 		return err
 	}
 	var qs []float64
@@ -152,7 +181,11 @@ func cmdExecutions(args []string) error {
 	fanout := fs.Float64("fanout", 4.0, "mean fanout z")
 	q := fs.Float64("q", 0.9, "nonfailed member ratio")
 	success := fs.Float64("success", 0.999, "required success probability p_s")
+	pprof := pprofFlag(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := pprof(); err != nil {
 		return err
 	}
 	pred, err := predict(*fanout, *q)

@@ -11,8 +11,11 @@
 //	gossipscenario run -scenario crash-wave -n 2000 -fanout 6 -format ascii
 //	gossipscenario run -spec campaign.json -format csv
 //	gossipscenario sweep -seeds 20 -workers 8 -format ascii
+//	gossipscenario run -scenario crash-wave -curves csv    # sampled π(t)/in-flight series
 //	gossipscenario grid -qs 0.6,0.8,1.0 -fanouts 3,5,8 -format csv
 //	gossipscenario compare -scenarios crash-wave,burst-loss,partition-heal -seeds 5 -format ascii
+//
+// Every subcommand takes -pprof ADDR to serve net/http/pprof while it runs.
 //
 // Output on stdout is a pure function of the flags and seed (timing and
 // throughput diagnostics go to stderr), so reports can be diffed and
@@ -93,6 +96,8 @@ flags (run/sweep):
   -workers INT          worker pool size; 0 = GOMAXPROCS (sweep/grid)
   -format FMT           json, csv, or ascii (default json; grid: csv or json)
   -progress             stream per-cell progress to stderr
+  -pprof ADDR           serve net/http/pprof on ADDR while running (all subcommands)
+  -curves FMT           also emit merged per-scenario telemetry curves; FMT: csv (run/sweep)
 
 flags (grid only):
   -qs LIST              comma-separated nonfailed ratios, e.g. 0.6,0.8,1.0
@@ -111,6 +116,23 @@ func list() error {
 		fmt.Printf("%-18s %2d steps  %s\n", s.Name, len(s.Steps), s.Description)
 	}
 	return nil
+}
+
+// pprofFlag registers -pprof on a subcommand's FlagSet; the returned
+// starter runs after parsing and brings the endpoint up when set.
+func pprofFlag(fs *flag.FlagSet) func() error {
+	addr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	return func() error {
+		if *addr == "" {
+			return nil
+		}
+		bound, err := gossipkit.StartPprof(*addr)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "gossipscenario: pprof on http://%s/debug/pprof/\n", bound)
+		return nil
+	}
 }
 
 // observer returns a per-cell progress Observer writing to stderr, or nil
@@ -142,9 +164,17 @@ func run(ctx context.Context, args []string, sweep bool) error {
 		workers  = fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 		format   = fs.String("format", "json", "output format: json, csv, ascii")
 		progress = fs.Bool("progress", false, "stream per-cell progress to stderr")
+		curves   = fs.String("curves", "", "also emit merged per-scenario telemetry curves: csv")
 	)
+	pprof := pprofFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if err := pprof(); err != nil {
+		return err
+	}
+	if *curves != "" && *curves != "csv" {
+		return fmt.Errorf("unknown -curves format %q (only csv)", *curves)
 	}
 	if *seeds == 0 {
 		if sweep {
@@ -171,10 +201,15 @@ func run(ctx context.Context, args []string, sweep bool) error {
 	}
 	cells := len(scenarios) * *seeds
 
-	start := time.Now()
-	out, err := gossipkit.RunMany(ctx, campaign, *seeds,
+	opts := []gossipkit.Option{
 		gossipkit.WithSeed(*seed), gossipkit.WithWorkers(*workers),
-		gossipkit.WithObserver(observer(*progress, cells)))
+		gossipkit.WithObserver(observer(*progress, cells)),
+	}
+	if *curves != "" {
+		opts = append(opts, gossipkit.WithProbe(gossipkit.ProbeOptions{}))
+	}
+	start := time.Now()
+	out, err := gossipkit.RunMany(ctx, campaign, *seeds, opts...)
 	if err != nil {
 		return err
 	}
@@ -202,6 +237,13 @@ func run(ctx context.Context, args []string, sweep bool) error {
 	default:
 		return fmt.Errorf("unknown format %q (want json, csv, or ascii)", *format)
 	}
+	if *curves == "csv" {
+		csv, err := result.CurvesCSV()
+		if err != nil {
+			return err
+		}
+		fmt.Print(csv)
+	}
 	return nil
 }
 
@@ -223,7 +265,11 @@ func grid(ctx context.Context, args []string) error {
 		format   = fs.String("format", "csv", "output format: csv or json")
 		progress = fs.Bool("progress", false, "stream per-cell progress to stderr")
 	)
+	pprof := pprofFlag(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := pprof(); err != nil {
 		return err
 	}
 	scenarios, err := selectScenarios(*suite, *name, *spec)
@@ -310,7 +356,11 @@ func compare(ctx context.Context, args []string) error {
 		format    = fs.String("format", "csv", "output format: csv, json, ascii")
 		progress  = fs.Bool("progress", false, "stream per-cell progress to stderr")
 	)
+	pprof := pprofFlag(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := pprof(); err != nil {
 		return err
 	}
 	scenarios, err := selectScenarioList(*names)

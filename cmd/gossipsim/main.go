@@ -8,6 +8,9 @@
 //	gossipsim -n 2000 -dist fixed -fanout 4 -q 0.8
 //	gossipsim -n 1000 -fanout 4.0 -q 0.9 -latency 5ms -loss 0.05
 //	gossipsim -n 5000 -runs 200 -progress    # per-run progress on stderr
+//	gossipsim -latency 5ms -metrics          # π(t)/in-flight curve CSV on stdout
+//	gossipsim -latency 5ms -trace out.json   # Chrome trace of the network run
+//	gossipsim -pprof localhost:6060 ...      # live net/http/pprof endpoint
 //
 // Interrupt (Ctrl-C) cancels in-flight sweeps cleanly via context.
 package main
@@ -35,11 +38,22 @@ func main() {
 		latency  = flag.Duration("latency", 0, "run one execution on the simulated network with this constant latency")
 		loss     = flag.Float64("loss", 0, "message loss probability for the network execution")
 		progress = flag.Bool("progress", false, "stream per-run progress to stderr")
+		pprof    = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		metrics  = flag.Bool("metrics", false, "probe the network execution and print its virtual-time curve CSV")
+		trace    = flag.String("trace", "", "write a Chrome trace of the network execution to this file")
 	)
 	flag.Parse()
+	if *pprof != "" {
+		addr, err := gossipkit.StartPprof(*pprof)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gossipsim:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "gossipsim: pprof on http://%s/debug/pprof/\n", addr)
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	if err := run(ctx, *n, *distKin, *fanout, *q, *runs, *seed, *latency, *loss, *progress); err != nil {
+	if err := run(ctx, *n, *distKin, *fanout, *q, *runs, *seed, *latency, *loss, *progress, *metrics, *trace); err != nil {
 		if errors.Is(err, gossipkit.ErrCanceled) {
 			fmt.Fprintln(os.Stderr, "gossipsim: interrupted")
 			os.Exit(130)
@@ -49,7 +63,7 @@ func main() {
 	}
 }
 
-func run(ctx context.Context, n int, distKind string, fanout, q float64, runs int, seed uint64, latency time.Duration, loss float64, progress bool) error {
+func run(ctx context.Context, n int, distKind string, fanout, q float64, runs int, seed uint64, latency time.Duration, loss float64, progress, metrics bool, trace string) error {
 	d, err := gossipkit.ParseFanout(distKind, fanout)
 	if err != nil {
 		return err
@@ -94,7 +108,7 @@ func run(ctx context.Context, n int, distKind string, fanout, q float64, runs in
 		fmt.Printf("  executions for 99.9%% group success (Eq. 6): %d\n", tmin)
 	}
 
-	if latency > 0 || loss > 0 {
+	if latency > 0 || loss > 0 || metrics || trace != "" {
 		cfg := gossipkit.NetConfig{}
 		if latency > 0 {
 			cfg.Latency = gossipkit.ConstantLatency(latency)
@@ -104,15 +118,44 @@ func run(ctx context.Context, n int, distKind string, fanout, q float64, runs in
 		}
 		// WithRNG keeps this on the exact stream the pre-engine CLI used
 		// (xrand.New(seed+2) consumed directly), so output stays diffable
-		// across releases.
-		out, err := gossipkit.Run(ctx, gossipkit.Network{Params: p, Net: cfg},
-			gossipkit.WithRNG(gossipkit.NewRNG(seed+2)))
+		// across releases; the probe observes without touching that stream.
+		opts := []gossipkit.Option{gossipkit.WithRNG(gossipkit.NewRNG(seed + 2))}
+		if metrics || trace != "" {
+			po := gossipkit.ProbeOptions{}
+			if trace != "" {
+				po.TraceCapacity = 1 << 16
+			}
+			opts = append(opts, gossipkit.WithProbe(po))
+		}
+		out, err := gossipkit.Run(ctx, gossipkit.Network{Params: p, Net: cfg}, opts...)
 		if err != nil {
 			return err
 		}
 		nres := out.Reports[0].Detail.(gossipkit.NetResult)
 		fmt.Printf("  network execution         : reliability %.4f, spread time %v, sent %d, lost %d\n",
 			nres.Reliability, nres.SpreadTime, nres.Net.Sent, nres.Net.DroppedLoss)
+		if metrics {
+			if err := out.Metrics.WriteCurveCSV(os.Stdout, "network", true); err != nil {
+				return err
+			}
+		}
+		if trace != "" {
+			f, err := os.Create(trace)
+			if err != nil {
+				return err
+			}
+			m := out.Reports[0].Metrics
+			if err := gossipkit.WriteChromeTrace(f, m.Trace); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			if m.TraceDropped > 0 {
+				fmt.Fprintf(os.Stderr, "gossipsim: trace ring dropped %d early events (capacity %d)\n", m.TraceDropped, 1<<16)
+			}
+		}
 	}
 	return nil
 }

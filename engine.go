@@ -78,6 +78,9 @@ type Report struct {
 	// SpreadMs is the simulated time of the last first-receipt in
 	// milliseconds (discrete-event engines only).
 	SpreadMs float64
+	// Metrics is this run's telemetry snapshot when the execution ran
+	// under WithProbe on a discrete-event engine; nil otherwise.
+	Metrics *RunMetrics
 	// Detail is the engine's native result for this run.
 	Detail any
 }
@@ -123,6 +126,11 @@ type Outcome struct {
 	// Reports are the per-replication reports, in run order. Nil when the
 	// run used WithoutReports.
 	Reports []Report
+	// Metrics merges the per-run telemetry across replications when the
+	// execution ran under WithProbe on a discrete-event engine; nil
+	// otherwise. The merge happens in run order, so it is byte-identical
+	// for any WithWorkers count.
+	Metrics *MergedMetrics
 	// Aggregate is the engine's native aggregate, when it has one:
 	// Prediction (Analytic), Estimate or ComponentEstimate (MonteCarlo),
 	// SuccessOutcome (Success), *ScenarioSweepResult or
@@ -140,8 +148,9 @@ type runOptions struct {
 	workers   int
 	observer  Observer
 	noReports bool
-	rng       *RNG      // single-run override: execute on this RNG stream
-	arena     *NetArena // deprecated-shim arena pass-through (Network only)
+	probe     *ProbeOptions // dissemination telemetry (DES engines only)
+	rng       *RNG          // single-run override: execute on this RNG stream
+	arena     *NetArena     // deprecated-shim arena pass-through (Network only)
 }
 
 // Option configures Run and RunMany.
@@ -241,6 +250,10 @@ func execute(ctx context.Context, spec Engine, o *runOptions) (*Outcome, error) 
 	out := &Outcome{Engine: spec.Name(), Seed: o.seed}
 	emitted := 0
 	var rel, msgs, spread stats.Running
+	var merged *MergedMetrics
+	if o.probe != nil {
+		merged = &MergedMetrics{}
+	}
 	emit := func(r Report) {
 		r.Engine = out.Engine
 		r.Run = emitted
@@ -251,6 +264,9 @@ func execute(ctx context.Context, spec Engine, o *runOptions) (*Outcome, error) 
 		rel.Add(r.Reliability)
 		msgs.Add(float64(r.MessagesSent))
 		spread.Add(r.SpreadMs)
+		// Reports arrive in run order, so this merge — like every other
+		// reduction here — is byte-identical for any worker count.
+		merged.Merge(r.Metrics)
 		if o.observer != nil {
 			o.observer(r)
 		}
@@ -270,6 +286,9 @@ func execute(ctx context.Context, spec Engine, o *runOptions) (*Outcome, error) 
 	out.Reliability = momentsOf(rel)
 	out.Messages = momentsOf(msgs)
 	out.SpreadMs = momentsOf(spread)
+	if merged != nil && merged.Runs > 0 {
+		out.Metrics = merged
+	}
 	out.Aggregate = agg
 	return out, nil
 }

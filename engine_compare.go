@@ -60,6 +60,11 @@ func (s Compare) run(ctx context.Context, o *runOptions, emit func(Report)) (any
 	if o.rng != nil {
 		return nil, fmt.Errorf("%w: the compare engine derives RNG streams from seeds; use WithSeed", ErrInvalidParams)
 	}
+	if o.probe != nil {
+		// One merged curve has no meaning across protocol rows; probe a
+		// single protocol's campaign sweep instead.
+		return nil, fmt.Errorf("%w: WithProbe does not compose with the compare grid; probe one protocol's Campaign sweep at a time", ErrInvalidParams)
+	}
 	if !o.many {
 		return nil, fmt.Errorf("%w: Compare is a grid sweep; use RunMany (or WithRuns) to set the seeds per cell", ErrInvalidParams)
 	}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"gossipkit/internal/core"
+	"gossipkit/internal/obs"
 	"gossipkit/internal/runpool"
 	"gossipkit/internal/xrand"
 )
@@ -37,37 +38,54 @@ func (s Network) run(ctx context.Context, o *runOptions, emit func(Report)) (any
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		res, err := core.ExecuteOnNetworkArena(s.Params, s.Net, o.rng, nil, o.arena)
+		var probe *obs.Probe
+		if o.probe != nil {
+			probe = obs.New(*o.probe)
+		}
+		res, err := core.ExecuteOnNetworkProbed(s.Params, s.Net, o.rng, nil, o.arena, probe)
 		if err != nil {
 			return nil, err
 		}
-		emit(netReport(res))
+		emit(netReport(res, probe.Metrics()))
 		return nil, nil
 	}
 
 	root := xrand.New(o.seed)
 	workers := runpool.Count(o.workers, o.runs)
 	arenas := make([]*core.NetArena, workers)
+	// One pooled probe per worker, mirroring the arenas; each run's
+	// telemetry is snapshotted on the worker (Metrics deep-copies) before
+	// the probe is re-Attached to the next run.
+	probes := make([]*obs.Probe, workers)
+	type probedResult struct {
+		res     core.NetResult
+		metrics *obs.Metrics
+	}
 	err := runpool.RunOrdered(ctx, o.runs, workers,
-		func(w, run int) (core.NetResult, error) {
+		func(w, run int) (probedResult, error) {
 			if arenas[w] == nil {
 				arenas[w] = core.NewNetArena()
 			}
-			return core.ExecuteOnNetworkArena(s.Params, s.Net, root.Split(uint64(run)), nil, arenas[w])
-		}, func(run int, res core.NetResult) { emit(netReport(res)) })
+			if o.probe != nil && probes[w] == nil {
+				probes[w] = obs.New(*o.probe)
+			}
+			res, err := core.ExecuteOnNetworkProbed(s.Params, s.Net, root.Split(uint64(run)), nil, arenas[w], probes[w])
+			return probedResult{res, probes[w].Metrics()}, err
+		}, func(run int, r probedResult) { emit(netReport(r.res, r.metrics)) })
 	if err != nil {
 		return nil, err
 	}
 	return nil, nil
 }
 
-func netReport(res NetResult) Report {
+func netReport(res NetResult, m *obs.Metrics) Report {
 	return Report{
 		Reliability:  res.Reliability,
 		Delivered:    res.Delivered,
 		AliveCount:   res.AliveCount,
 		MessagesSent: res.MessagesSent,
 		SpreadMs:     float64(res.SpreadTime) / float64(time.Millisecond),
+		Metrics:      m,
 		Detail:       res,
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"gossipkit/internal/core"
+	"gossipkit/internal/obs"
 	"gossipkit/internal/protocols"
 	"gossipkit/internal/runpool"
 	"gossipkit/internal/stats"
@@ -279,25 +280,47 @@ func protocolSweep(ctx context.Context, o *runOptions, emit func(Report), spec P
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+		if o.probe != nil {
+			cfg.Probe = obs.New(*o.probe)
+		}
 		out, err := protocols.RunOnDES(spec, cfg, o.rng, nil, nil)
 		if err != nil {
 			return nil, err
 		}
-		emit(mk(out))
+		rep := mk(out)
+		rep.Metrics = cfg.Probe.Metrics()
+		emit(rep)
 		return nil, nil
 	}
 	root := xrand.New(o.seed)
 	workers := runpool.Count(o.workers, o.runs)
 	arenas := make([]*core.NetArena, workers)
+	// One pooled probe per worker, like the arenas; the Metrics snapshot
+	// is taken on the worker before the probe moves to its next run.
+	probes := make([]*obs.Probe, workers)
+	type probedOutcome struct {
+		out     protocols.DESOutcome
+		metrics *obs.Metrics
+	}
 	var rel, srel, msgs, rounds, spread stats.Running
 	err := runpool.RunOrdered(ctx, o.runs, workers,
-		func(w, run int) (protocols.DESOutcome, error) {
+		func(w, run int) (probedOutcome, error) {
 			if arenas[w] == nil {
 				arenas[w] = core.NewNetArena()
 			}
-			return protocols.RunOnDES(spec, cfg, root.Split(uint64(run)), nil, arenas[w])
-		}, func(run int, out protocols.DESOutcome) {
+			runCfg := cfg
+			if o.probe != nil {
+				if probes[w] == nil {
+					probes[w] = obs.New(*o.probe)
+				}
+				runCfg.Probe = probes[w]
+			}
+			out, err := protocols.RunOnDES(spec, runCfg, root.Split(uint64(run)), nil, arenas[w])
+			return probedOutcome{out, runCfg.Probe.Metrics()}, err
+		}, func(run int, po probedOutcome) {
+			out := po.out
 			rep := mk(out)
+			rep.Metrics = po.metrics
 			rel.Add(rep.Reliability)
 			srel.Add(out.SurvivorReliability)
 			msgs.Add(float64(rep.MessagesSent))

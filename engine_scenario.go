@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"gossipkit/internal/obs"
 	"gossipkit/internal/scenario"
 )
 
@@ -71,6 +72,12 @@ func (s Campaign) run(ctx context.Context, o *runOptions, emit func(Report)) (an
 		}
 	}
 	grid := len(s.Qs) > 0 || len(s.Fanouts) > 0
+	if grid && o.probe != nil {
+		// A merged curve per scenario has no meaning when the grid also
+		// sweeps q and fanout axes — run the cells of interest as plain
+		// sweeps instead.
+		return nil, fmt.Errorf("%w: WithProbe does not compose with grid axes (Qs/Fanouts); probe each (q, fanout) cell as its own sweep", ErrInvalidParams)
+	}
 	if grid && s.Config.Executor != nil {
 		// The grid axes override Params.AliveRatio/Fanout per cell, which
 		// protocol executors ignore — the grid would report rows labeled
@@ -85,7 +92,11 @@ func (s Campaign) run(ctx context.Context, o *runOptions, emit func(Report)) (an
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		rep, err := scenario.Run(s.Scenarios[0], s.Config, o.seed)
+		cfg := s.Config
+		if o.probe != nil {
+			cfg.Probe = obs.New(*o.probe)
+		}
+		rep, err := scenario.Run(s.Scenarios[0], cfg, o.seed)
 		if err != nil {
 			return nil, err
 		}
@@ -108,7 +119,7 @@ func (s Campaign) run(ctx context.Context, o *runOptions, emit func(Report)) (an
 		}
 		return res, nil
 	}
-	cfg := ScenarioSweepConfig{Run: s.Config, Seeds: o.runs, BaseSeed: o.seed, Workers: o.workers}
+	cfg := ScenarioSweepConfig{Run: s.Config, Seeds: o.runs, BaseSeed: o.seed, Workers: o.workers, Probe: o.probe}
 	res, err := scenario.SweepCtx(ctx, s.Scenarios, cfg, observe)
 	if err != nil {
 		return nil, err
@@ -122,6 +133,7 @@ func scenarioReport(rep ScenarioReport) Report {
 		Delivered:    rep.Delivered,
 		MessagesSent: rep.MessagesSent,
 		SpreadMs:     rep.SpreadMs,
+		Metrics:      rep.Metrics,
 		Detail:       rep,
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"gossipkit/internal/bitset"
 	"gossipkit/internal/failure"
 	"gossipkit/internal/membership"
+	"gossipkit/internal/obs"
 	"gossipkit/internal/sim"
 	"gossipkit/internal/simnet"
 	"gossipkit/internal/stats"
@@ -177,6 +178,16 @@ func ExecuteOnNetworkInjected(p Params, netCfg simnet.Config, r *xrand.RNG, inje
 // kernel, network, and per-member buffers across runs. Results are
 // byte-identical whether an arena is fresh or recycled.
 func ExecuteOnNetworkArena(p Params, netCfg simnet.Config, r *xrand.RNG, inject func(*NetRun), arena *NetArena) (NetResult, error) {
+	return ExecuteOnNetworkProbed(p, netCfg, r, inject, arena, nil)
+}
+
+// ExecuteOnNetworkProbed is ExecuteOnNetworkArena under telemetry: probe
+// (which may be nil — the zero-overhead off state) observes the run's
+// virtual-time curves, histograms, and optionally its raw events. The
+// probe never consumes the run's RNG streams and schedules nothing on the
+// kernel, so the NetResult is bit-identical with the probe on or off; the
+// caller snapshots probe.Metrics() afterward.
+func ExecuteOnNetworkProbed(p Params, netCfg simnet.Config, r *xrand.RNG, inject func(*NetRun), arena *NetArena, probe *obs.Probe) (NetResult, error) {
 	if err := p.Validate(); err != nil {
 		return NetResult{}, err
 	}
@@ -192,11 +203,13 @@ func ExecuteOnNetworkArena(p Params, netCfg simnet.Config, r *xrand.RNG, inject 
 	res := NetResult{Result: Result{AliveCount: mask.AliveCount()}}
 	targets := arena.targets
 	defer func() { arena.targets = targets }()
+	probe.Attach(nw, p.N, &res.Delivered)
 
 	forward := func(self int) {
 		f := p.Fanout.Sample(r)
 		targets = view.SampleTargets(targets, self, f, r)
 		res.MessagesSent += len(targets)
+		probe.ObserveFanout(len(targets))
 		for _, v := range targets {
 			if !mask.Alive(v) {
 				res.WastedOnFailed++
@@ -205,13 +218,16 @@ func ExecuteOnNetworkArena(p Params, netCfg simnet.Config, r *xrand.RNG, inject 
 		}
 	}
 
-	receive := func(id int, now sim.Time) {
+	// from is the forwarding member, or -1 for an out-of-band receipt (an
+	// additional publisher injected by a campaign).
+	receive := func(id, from int, now sim.Time) {
 		received.Set(id)
 		res.Delivered++
 		res.DeliveryLatency.Add(now.Seconds())
 		if d := now.Duration(); d > res.SpreadTime {
 			res.SpreadTime = d
 		}
+		probe.ObserveFirstReceipt(id, from, now)
 		forward(id)
 	}
 
@@ -226,7 +242,7 @@ func ExecuteOnNetworkArena(p Params, netCfg simnet.Config, r *xrand.RNG, inject 
 			res.Duplicates++
 			return
 		}
-		receive(id, now)
+		receive(id, int(msg.From), now)
 	})
 	for id := 0; id < p.N; id++ {
 		if !mask.Alive(id) {
@@ -250,7 +266,7 @@ func ExecuteOnNetworkArena(p Params, netCfg simnet.Config, r *xrand.RNG, inject 
 					forward(id) // re-gossip
 					return
 				}
-				receive(id, kernel.Now()) // additional publisher
+				receive(id, -1, kernel.Now()) // additional publisher
 			},
 		})
 	}
@@ -260,11 +276,13 @@ func ExecuteOnNetworkArena(p Params, netCfg simnet.Config, r *xrand.RNG, inject 
 	if !received.Get(p.Source) {
 		received.Set(p.Source)
 		res.Delivered++
+		probe.ObserveSeed(p.Source)
 		forward(p.Source)
 	}
 	if err := kernel.RunAll(); err != nil {
 		return NetResult{}, fmt.Errorf("core: network execution aborted: %w", err)
 	}
+	probe.Finish(kernel.Now())
 	if res.AliveCount > 0 {
 		res.Reliability = float64(res.Delivered) / float64(res.AliveCount)
 	}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"gossipkit/internal/dist"
+	"gossipkit/internal/obs"
 	"gossipkit/internal/simnet"
 	"gossipkit/internal/xrand"
 )
@@ -160,16 +161,31 @@ func TestTimingEquivalentAtScale(t *testing.T) {
 // the paper's ceiling: ~5.4M messages through the flat queue in one
 // iteration. Kept out of the default test run (benchmarks only execute
 // under -bench) so the race-enabled CI test job stays fast.
+//
+// It doubles as the probes-off alloc guard: after one untimed warm-up
+// run, each iteration must stay within 25 mallocs — the zero-overhead
+// contract of the telemetry layer is that a nil probe leaves this exact
+// path untouched, and CI fails the benchmark if an observability hook
+// starts allocating on it. The probed variant below measures what
+// telemetry actually costs when switched on.
 func BenchmarkExecuteOnNetworkMillion(b *testing.B) {
+	benchmarkMillion(b, nil)
+}
+
+// BenchmarkExecuteOnNetworkMillionProbed is the same execution observed
+// by a pooled probe (curves + histograms, no ring tracer): the overhead
+// quoted in README/ROADMAP is this benchmark vs the probes-off one.
+func BenchmarkExecuteOnNetworkMillionProbed(b *testing.B) {
+	benchmarkMillion(b, obs.New(obs.Options{}))
+}
+
+func benchmarkMillion(b *testing.B, probe *obs.Probe) {
 	p := Params{N: 1_000_000, Fanout: dist.NewPoisson(5), AliveRatio: 0.9}
 	cfg := simnet.Config{Latency: simnet.UniformLatency{Lo: time.Millisecond, Hi: 10 * time.Millisecond}}
 	arena := NewNetArena()
 	r := xrand.New(1)
-	var sent int64
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		res, err := ExecuteOnNetworkArena(p, cfg, r, nil, arena)
+	run := func() NetResult {
+		res, err := ExecuteOnNetworkProbed(p, cfg, r, nil, arena, probe)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -178,9 +194,27 @@ func BenchmarkExecuteOnNetworkMillion(b *testing.B) {
 		if res.Reliability < 0.95 {
 			b.Fatalf("reliability %.4f at n=10⁶", res.Reliability)
 		}
-		sent += res.Net.Sent
+		return res
 	}
+	run() // untimed warm-up: arena queue/buffers (and probe pools) grow once
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	var sent int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sent += run().Net.Sent
+	}
+	b.StopTimer()
+	runtime.ReadMemStats(&after)
+	perIter := (after.Mallocs - before.Mallocs) / uint64(b.N)
+	b.ReportMetric(float64(perIter), "warm-allocs/op")
 	b.ReportMetric(float64(sent)/b.Elapsed().Seconds(), "msgs/sec")
+	// The alloc guard applies to the probes-off path only: a probe's
+	// Metrics snapshots may allocate, the unobserved hot path must not.
+	if probe == nil && perIter > 25 {
+		b.Fatalf("probes-off warm n=10⁶ execution makes %d mallocs/op, want <= 25 — an observability hook is allocating on the unobserved hot path", perIter)
+	}
 }
 
 // BenchmarkExecuteOnNetworkTenMillion records the current single-core

@@ -204,6 +204,50 @@ func TestAblationsRun(t *testing.T) {
 	}
 }
 
+func TestCurvesOverlay(t *testing.T) {
+	f, err := CurvesOverlay(testCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Series) != 4 {
+		t.Fatalf("series = %d, want measured+recurrence for each of 2 campaigns", len(f.Series))
+	}
+	if len(f.Notes) != 2 {
+		t.Fatalf("notes = %d, want one divergence note per campaign: %v", len(f.Notes), f.Notes)
+	}
+	for _, s := range f.Series {
+		if len(s.X) == 0 {
+			t.Fatalf("series %q empty", s.Name)
+		}
+		// π(t)/n curves are fractions and nondecreasing (cumulative
+		// infections on both the measured and analytic side).
+		for i, y := range s.Y {
+			if y < 0 || y > 1.001 {
+				t.Errorf("%s: point %d = %g outside [0,1]", s.Name, i, y)
+			}
+			if i > 0 && y < s.Y[i-1]-1e-9 {
+				t.Errorf("%s: curve decreases at point %d (%g -> %g)", s.Name, i, s.Y[i-1], y)
+			}
+		}
+	}
+	// The crash waves remove 30% of the group while the static-q
+	// recurrence assumes everyone stays up: the measured plateau must sit
+	// visibly below the prediction — the divergence this overlay exists
+	// to expose.
+	measured, predicted := f.Series[0], f.Series[1]
+	if !strings.Contains(measured.Name, "crash-wave") {
+		t.Fatalf("series order changed: %q", measured.Name)
+	}
+	mFinal := measured.Y[len(measured.Y)-1]
+	pFinal := predicted.Y[len(predicted.Y)-1]
+	if mFinal > pFinal-0.05 {
+		t.Errorf("crash-wave measured plateau %.4f not below static-q prediction %.4f", mFinal, pFinal)
+	}
+	if !strings.Contains(f.Notes[0], "diverge") {
+		t.Errorf("crash-wave note carries no divergence finding: %q", f.Notes[0])
+	}
+}
+
 func TestAblationReachVsGiantOrdering(t *testing.T) {
 	f, err := AblationReachVsGiant(Config{Seed: 3, Scale: 0.2})
 	if err != nil {

@@ -1,0 +1,34 @@
+// Package obs is the observability layer of the DES stack: probes that
+// turn an opaque execution into inspectable telemetry without perturbing
+// it.
+//
+// A Probe attaches to one run of a simulation front end (core's network
+// executor or the protocol baseline runtime) and collects, per run:
+//
+//   - virtual-time series sampled at a configurable tick — the infected
+//     count π(t), the in-flight gauge, and cumulative per-kind
+//     send/deliver/drop counters;
+//   - fixed-bin pooled histograms — first-receipt delivery latency,
+//     hops- or rounds-to-delivery, and per-emission fanout;
+//   - optionally, raw network events in a preallocated ring buffer, with
+//     exporters to Chrome trace-event JSON and CSV.
+//
+// Zero-overhead contract: a nil *Probe is a valid probe, and every
+// Observe* hook on it is a nil-check-only no-op, so the unprobed hot path
+// pays one predictable branch per hook site and allocates nothing —
+// core's n=10⁶ benchmark invariant (≈2.2 s, 25 allocs) is guarded with
+// probes both off and on. When a probe IS attached, its buffers are
+// pooled and reused across runs (one probe per sweep worker), so probed
+// sweeps stay O(1)-allocation per run too.
+//
+// Curve sampling is driven by the network's tracer seam, not by kernel
+// events: the probe observes each network event, fills every elapsed tick
+// bin with the state just before the event, and never schedules anything
+// — so probing cannot interact with quiescence detection, stall
+// triggers, or the drain logic. Counters and curves ride the lite tracer
+// (simnet.SetTracerLite), which keeps the slot-free zero-allocation send
+// encoding; only ring tracing (which needs exact per-message send times)
+// installs a full tracer. Because sampling is a pure function of the
+// run's event sequence, per-run Metrics are deterministic, and merging
+// them in run order (Merged) is worker-count-invariant.
+package obs

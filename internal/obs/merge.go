@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"gossipkit/internal/stats"
+)
+
+// Series is one virtual-time series merged across replications: Points[i]
+// aggregates sample i of every run. Runs of different lengths compose by
+// padding: a run shorter than the merged length contributes its final
+// value at every later index (cumulative counters and the infected count
+// hold their final value after the run drains; the in-flight gauge's
+// final value is zero then, so its padding is zero too).
+type Series struct {
+	// Points aggregates each tick index across runs.
+	Points []stats.Running
+	// pad accumulates the final value of every merged run, so extending
+	// the merged length for a longer run back-fills earlier runs
+	// correctly.
+	pad stats.Running
+}
+
+func (s *Series) merge(vals []int64) {
+	for len(s.Points) < len(vals) {
+		s.Points = append(s.Points, s.pad)
+	}
+	var final float64
+	if len(vals) > 0 {
+		final = float64(vals[len(vals)-1])
+	}
+	for i := range s.Points {
+		if i < len(vals) {
+			s.Points[i].Add(float64(vals[i]))
+		} else {
+			s.Points[i].Add(final)
+		}
+	}
+	s.pad.Add(final)
+}
+
+// MergedHist sums one histogram across replications.
+type MergedHist struct {
+	// BinWidth is the value width of one bin (latency only; zero for
+	// unit-binned histograms).
+	BinWidth time.Duration
+	// Counts are the summed per-bin counts; Total the summed
+	// observation count.
+	Counts []int64
+	Total  int64
+}
+
+func (h *MergedHist) merge(s HistSnapshot) {
+	if s.Counts == nil {
+		return
+	}
+	if h.BinWidth == 0 {
+		h.BinWidth = s.BinWidth
+	}
+	for len(h.Counts) < len(s.Counts) {
+		h.Counts = append(h.Counts, 0)
+	}
+	for i, c := range s.Counts {
+		h.Counts[i] += c
+	}
+	h.Total += s.Total
+}
+
+// Merged aggregates per-run Metrics across replications via
+// stats.Running per tick index. Merging is order-sensitive only in the
+// usual bit-exactness sense, so callers merge in run order — then the
+// result is byte-identical for any worker count, like every other
+// reduction in the toolkit.
+type Merged struct {
+	// Tick is the curve sampling interval (taken from the first run).
+	Tick time.Duration
+	// Runs counts merged runs; Truncated reports that at least one of
+	// them hit its sample cap.
+	Runs      int
+	Truncated bool
+	// The merged virtual-time series; see Metrics for their meanings.
+	Infected, InFlight                                  Series
+	Sent, Delivered                                     Series
+	DroppedLoss, DroppedCrash, DroppedDown, DroppedPart Series
+	// The summed histograms.
+	Latency, Hops, Fanout MergedHist
+}
+
+// Merge folds one run's Metrics into the aggregate; nil is a no-op (a
+// skipped run).
+func (g *Merged) Merge(m *Metrics) {
+	if m == nil {
+		return
+	}
+	if g.Runs == 0 {
+		g.Tick = m.Tick
+	}
+	g.Runs++
+	g.Truncated = g.Truncated || m.Truncated
+	g.Infected.merge(m.Infected)
+	g.InFlight.merge(m.InFlight)
+	g.Sent.merge(m.Sent)
+	g.Delivered.merge(m.Delivered)
+	g.DroppedLoss.merge(m.DroppedLoss)
+	g.DroppedCrash.merge(m.DroppedCrash)
+	g.DroppedDown.merge(m.DroppedDown)
+	g.DroppedPart.merge(m.DroppedPart)
+	g.Latency.merge(m.Latency)
+	g.Hops.merge(m.Hops)
+	g.Fanout.merge(m.Fanout)
+}
+
+// CurveCSVHeader is the column header WriteCurveCSV emits.
+const CurveCSVHeader = "label,t_ms,runs,infected_mean,infected_stddev,inflight_mean,sent_mean,delivered_mean,dropped_loss_mean,dropped_crash_mean,dropped_down_mean,dropped_part_mean\n"
+
+// WriteCurveCSV renders the merged series as CSV, one row per tick,
+// labeled with label in the first column (so several merges — one per
+// scenario — concatenate into one file). Emit the header once via
+// CurveCSVHeader, or let the first call write it with header=true.
+func (g *Merged) WriteCurveCSV(w io.Writer, label string, header bool) error {
+	if header {
+		if _, err := io.WriteString(w, CurveCSVHeader); err != nil {
+			return err
+		}
+	}
+	tickMs := float64(g.Tick) / float64(time.Millisecond)
+	at := func(s Series, i int) float64 {
+		if i < len(s.Points) {
+			return s.Points[i].Mean()
+		}
+		return 0
+	}
+	for i := range g.Infected.Points {
+		_, err := fmt.Fprintf(w, "%s,%g,%d,%g,%g,%g,%g,%g,%g,%g,%g,%g\n",
+			label, float64(i)*tickMs, g.Infected.Points[i].N(),
+			g.Infected.Points[i].Mean(), g.Infected.Points[i].StdDev(),
+			at(g.InFlight, i), at(g.Sent, i), at(g.Delivered, i),
+			at(g.DroppedLoss, i), at(g.DroppedCrash, i),
+			at(g.DroppedDown, i), at(g.DroppedPart, i))
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// InfectedMeans returns the mean infected-count curve as a plain slice —
+// the series the Eq. 11 overlay experiment compares against the per-round
+// prediction.
+func (g *Merged) InfectedMeans() []float64 {
+	out := make([]float64, len(g.Infected.Points))
+	for i := range out {
+		out[i] = g.Infected.Points[i].Mean()
+	}
+	return out
+}

@@ -1,0 +1,20 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+	_ "net/http/pprof" // register the profiling handlers on DefaultServeMux
+)
+
+// StartPprof serves net/http/pprof on addr (e.g. "localhost:6060") in a
+// background goroutine and returns the bound address — the -pprof flag of
+// the cmd binaries, so long sweeps are profilable in place. An empty port
+// ("localhost:0") picks a free one; the returned address says which.
+func StartPprof(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	go http.Serve(ln, nil) //nolint:errcheck // serves until process exit
+	return ln.Addr().String(), nil
+}

@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"time"
+
+	"gossipkit/internal/simnet"
+)
+
+// Ring is a preallocated circular buffer of network events: pushes never
+// allocate, and once full the oldest event is overwritten — a flight
+// recorder for the tail of a run, not a complete log (Dropped counts the
+// overwrites).
+type Ring struct {
+	buf   []simnet.Event
+	count int64
+}
+
+// NewRing returns a ring holding up to capacity events.
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("obs: invalid ring capacity %d", capacity))
+	}
+	return &Ring{buf: make([]simnet.Event, capacity)}
+}
+
+// Reset empties the ring in place.
+func (r *Ring) Reset() { r.count = 0 }
+
+func (r *Ring) push(e simnet.Event) {
+	r.buf[r.count%int64(len(r.buf))] = e
+	r.count++
+}
+
+// Dropped returns the number of events overwritten by later ones.
+func (r *Ring) Dropped() int64 {
+	if d := r.count - int64(len(r.buf)); d > 0 {
+		return d
+	}
+	return 0
+}
+
+// Events returns the recorded events oldest-first, as a copy.
+func (r *Ring) Events() []simnet.Event {
+	n := r.count
+	if n > int64(len(r.buf)) {
+		n = int64(len(r.buf))
+	}
+	out := make([]simnet.Event, 0, n)
+	start := r.count - n
+	for i := int64(0); i < n; i++ {
+		out = append(out, r.buf[(start+i)%int64(len(r.buf))])
+	}
+	return out
+}
+
+// WriteChromeTrace renders events as Chrome trace-event JSON (load in
+// chrome://tracing or https://ui.perfetto.dev): deliveries become "X"
+// complete events spanning SentAt..At on the destination's thread lane,
+// everything else an "i" instant. Timestamps are microseconds of virtual
+// time.
+func WriteChromeTrace(w io.Writer, events []simnet.Event) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(`{"displayTimeUnit":"ms","traceEvents":[`); err != nil {
+		return err
+	}
+	us := func(t time.Duration) float64 { return float64(t) / float64(time.Microsecond) }
+	for i, e := range events {
+		if i > 0 {
+			bw.WriteByte(',')
+		}
+		var err error
+		if e.Kind == simnet.EventDelivered {
+			_, err = fmt.Fprintf(bw,
+				`{"name":"deliver","cat":"net","ph":"X","ts":%g,"dur":%g,"pid":0,"tid":%d,"args":{"from":%d}}`,
+				us(e.SentAt.Duration()), us(e.At.Sub(e.SentAt)), e.To, e.From)
+		} else {
+			_, err = fmt.Fprintf(bw,
+				`{"name":%q,"cat":"net","ph":"i","ts":%g,"s":"t","pid":0,"tid":%d,"args":{"from":%d}}`,
+				e.Kind.String(), us(e.At.Duration()), e.To, e.From)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString("]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// WriteTraceCSV renders events as CSV, oldest-first, times in
+// milliseconds of virtual time.
+func WriteTraceCSV(w io.Writer, events []simnet.Event) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("kind,from,to,at_ms,sent_ms\n"); err != nil {
+		return err
+	}
+	for _, e := range events {
+		_, err := fmt.Fprintf(bw, "%s,%d,%d,%g,%g\n", e.Kind, e.From, e.To,
+			float64(e.At)/float64(time.Millisecond),
+			float64(e.SentAt)/float64(time.Millisecond))
+		if err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -8,6 +8,7 @@ import (
 	"gossipkit/internal/core"
 	"gossipkit/internal/failure"
 	"gossipkit/internal/membership"
+	"gossipkit/internal/obs"
 	"gossipkit/internal/sim"
 	"gossipkit/internal/simnet"
 	"gossipkit/internal/xrand"
@@ -43,6 +44,13 @@ type DESConfig struct {
 	// round fires, which the quiescence checks account for via
 	// simnet.Stats.InFlight.
 	RoundInterval time.Duration
+	// Probe, when non-nil, observes the run: virtual-time curves,
+	// delivery-latency and rounds-to-delivery histograms, per-emission
+	// fanout, optional ring tracing. The probe neither consumes the run's
+	// RNG streams nor schedules kernel events, so results are
+	// bit-identical with it on or off; nil is the zero-overhead off
+	// state. Snapshot Probe.Metrics() after the run.
+	Probe *obs.Probe
 }
 
 func (c DESConfig) interval() time.Duration {
@@ -116,6 +124,8 @@ type Runtime struct {
 	targets   []int
 	view      membership.View
 	res       core.NetResult
+	probe     *obs.Probe
+	round     int // index of the last round tick fired; -1 before the first
 }
 
 // DESOutcome is the result of one baseline execution on the DES substrate:
@@ -152,9 +162,11 @@ func RunOnDES(spec Spec, cfg DESConfig, r *xrand.RNG, inject func(*core.NetRun),
 		Kernel: st.Kernel, Net: st.Net, RNG: r, Mask: st.Mask,
 		n: n, source: spec.start(), interval: cfg.interval(),
 		m: spec.newMachine(), recv: st.Received, targets: arena.Targets(),
+		probe: cfg.Probe, round: -1,
 	}
 	defer func() { arena.SetTargets(rt.targets) }()
 	rt.Kernel.SetBudget(uint64(n) * 10000)
+	rt.probe.Attach(rt.Net, n, &rt.res.Delivered)
 
 	rt.m.init(rt)
 	rt.res.AliveCount = rt.Mask.AliveCount()
@@ -182,6 +194,7 @@ func RunOnDES(spec Spec, cfg DESConfig, r *xrand.RNG, inject func(*core.NetRun),
 	// crash at time zero applies to round 0's sends.
 	round := 0
 	rt.Kernel.Every(0, rt.interval, func() bool {
+		rt.round = round
 		cont := rt.m.tick(rt, round)
 		round++
 		return cont
@@ -189,6 +202,7 @@ func RunOnDES(spec Spec, cfg DESConfig, r *xrand.RNG, inject func(*core.NetRun),
 	if err := rt.Kernel.RunAll(); err != nil {
 		return DESOutcome{}, fmt.Errorf("protocols: %s execution aborted: %w", spec.Protocol(), err)
 	}
+	rt.probe.Finish(rt.Kernel.Now())
 
 	if rt.res.AliveCount > 0 {
 		rt.res.Reliability = float64(rt.res.Delivered) / float64(rt.res.AliveCount)
@@ -213,6 +227,7 @@ func RunOnDES(spec Spec, cfg DESConfig, r *xrand.RNG, inject func(*core.NetRun),
 func (rt *Runtime) seedSource() {
 	rt.recv.Set(rt.source)
 	rt.res.Delivered++
+	rt.probe.ObserveSeed(rt.source)
 }
 
 // markReceived records id's first receipt of m at now and reports whether
@@ -227,6 +242,9 @@ func (rt *Runtime) markReceived(id int, now sim.Time) bool {
 	if d := now.Duration(); d > rt.res.SpreadTime {
 		rt.res.SpreadTime = d
 	}
+	// Rounds-to-delivery is 1-based: a receipt during or right after the
+	// round-0 wave counts as 1 round; a pre-tick publish counts as 0.
+	rt.probe.ObserveFirstReceiptRound(id, rt.round+1, now)
 	return true
 }
 
@@ -242,6 +260,7 @@ func (rt *Runtime) upAlive(id int) bool {
 func (rt *Runtime) fanoutBlast(from, fanout int) {
 	rt.targets = rt.RNG.SampleExcluding(rt.targets, rt.n, fanout, from)
 	rt.res.MessagesSent += len(rt.targets)
+	rt.probe.ObserveFanout(len(rt.targets))
 	for _, v := range rt.targets {
 		if !rt.Mask.Alive(v) {
 			rt.res.WastedOnFailed++

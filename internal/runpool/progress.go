@@ -1,0 +1,102 @@
+package runpool
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Update is one sweep-progress snapshot.
+type Update struct {
+	// Done and Total count completed vs scheduled work items.
+	Done, Total int
+	// Elapsed is wall-clock time since the progress tracker was built.
+	Elapsed time.Duration
+	// RatePerSec is the mean completion rate so far.
+	RatePerSec float64
+	// ETA estimates the remaining wall-clock time at the mean rate; zero
+	// until at least one item has completed.
+	ETA time.Duration
+}
+
+// String renders the snapshot as a single status line.
+func (u Update) String() string {
+	pct := 0.0
+	if u.Total > 0 {
+		pct = 100 * float64(u.Done) / float64(u.Total)
+	}
+	return fmt.Sprintf("%d/%d (%.1f%%) %.1f runs/s elapsed %s eta %s",
+		u.Done, u.Total, pct, u.RatePerSec,
+		u.Elapsed.Round(time.Millisecond), u.ETA.Round(time.Millisecond))
+}
+
+// Progress tracks completion of a sweep through Run/RunOrdered's observe
+// seam: pass Observe as (or call it from) the observe callback, and the
+// tracker emits throttled Updates — at most one per `every` interval, plus
+// always one for the final item. It observes only; it never perturbs the
+// pool's ordering or the sweep's results.
+//
+// Observe inherits the observe callback's delivery guarantees (in-order,
+// never concurrent with itself); Snapshot may be polled from any
+// goroutine.
+type Progress struct {
+	mu    sync.Mutex
+	total int
+	every time.Duration
+	emit  func(Update)
+	now   func() time.Time
+	start time.Time
+	last  time.Time
+	done  int
+}
+
+// NewProgress builds a tracker for total items emitting through emit
+// (nil emit just tracks for Snapshot polling); every <= 0 defaults to one
+// second between emissions.
+func NewProgress(total int, every time.Duration, emit func(Update)) *Progress {
+	if every <= 0 {
+		every = time.Second
+	}
+	p := &Progress{total: total, every: every, emit: emit, now: time.Now}
+	p.start = p.now()
+	p.last = p.start
+	return p
+}
+
+// Observe records one completed item and emits a throttled Update.
+func (p *Progress) Observe(int) {
+	p.mu.Lock()
+	p.done++
+	u, fire := p.snapshotLocked(), false
+	if p.emit != nil && (p.done == p.total || p.now().Sub(p.last) >= p.every) {
+		p.last = p.now()
+		fire = true
+	}
+	p.mu.Unlock()
+	if fire {
+		p.emit(u)
+	}
+}
+
+// Snapshot returns the current progress without emitting.
+func (p *Progress) Snapshot() Update {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.snapshotLocked()
+}
+
+func (p *Progress) snapshotLocked() Update {
+	u := Update{Done: p.done, Total: p.total, Elapsed: p.now().Sub(p.start)}
+	if secs := u.Elapsed.Seconds(); secs > 0 && p.done > 0 {
+		u.RatePerSec = float64(p.done) / secs
+		u.ETA = time.Duration(float64(p.total-p.done) / u.RatePerSec * float64(time.Second))
+	}
+	return u
+}
+
+// Writer returns an emit function printing one status line per Update to
+// w — the glue the CLI sweeps use for stderr progress.
+func Writer(w io.Writer) func(Update) {
+	return func(u Update) { fmt.Fprintf(w, "progress: %s\n", u) }
+}

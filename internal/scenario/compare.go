@@ -44,7 +44,7 @@ func (e protocolExecutor) Protocol() string { return e.spec.Protocol() }
 func (e protocolExecutor) Shape(RunConfig) (int, int) { return protocols.Shape(e.spec) }
 
 func (e protocolExecutor) Execute(cfg RunConfig, r *xrand.RNG, inject func(*core.NetRun), arena *core.NetArena) (core.NetResult, error) {
-	des := protocols.DESConfig{Net: cfg.Net, RoundInterval: cfg.RoundInterval}
+	des := protocols.DESConfig{Net: cfg.Net, RoundInterval: cfg.RoundInterval, Probe: cfg.Probe}
 	out, err := protocols.RunOnDES(e.spec, des, r, inject, arena)
 	return out.NetResult, err
 }

@@ -1,0 +1,83 @@
+package scenario
+
+import (
+	"testing"
+	"time"
+
+	"gossipkit/internal/core"
+	"gossipkit/internal/dist"
+	"gossipkit/internal/obs"
+	"gossipkit/internal/simnet"
+)
+
+// TestDropAttributionReconciles: under a partition-heal campaign with a
+// mid-spread crash wave, every drop the tracer attributes — partition vs
+// crash-at-delivery vs down-sender discard — reconciles exactly with the
+// network's Stats counters, and the probed Totals snapshot agrees with
+// both. This is the attribution seam the telemetry exporters rely on:
+// a drop misfiled between DroppedCrash and DroppedPart (or a send-time
+// DroppedDown leaking into Sent) would silently skew every campaign's
+// loss breakdown.
+func TestDropAttributionReconciles(t *testing.T) {
+	ms := func(d int) time.Duration { return time.Duration(d) * time.Millisecond }
+	s := New("partition-heal-crash",
+		"half the group partitioned away mid-spread with a crash wave inside the partition window, healed and re-gossiped").
+		At(ms(3), Partition(0.50, 1.0)).
+		At(ms(8), CrashFraction(0.20)).
+		At(ms(60), Heal()).
+		At(ms(65), Regossip(8))
+
+	counts := map[simnet.EventKind]int64{}
+	probe := obs.New(obs.Options{})
+	cfg := RunConfig{
+		Params:            core.Params{N: 400, Fanout: dist.NewPoisson(5), AliveRatio: 1},
+		PartialViewCopies: 2,
+		Net:               simnet.Config{Tracer: func(e simnet.Event) { counts[e.Kind]++ }},
+		Probe:             probe,
+	}
+	rep, err := Run(s, cfg, 2008)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Metrics == nil {
+		t.Fatal("probed run has no metrics")
+	}
+	st := rep.Metrics.Totals
+
+	// The campaign must actually exercise all three attribution paths.
+	if st.DroppedPart == 0 {
+		t.Error("no partition drops — the partition window missed the spread")
+	}
+	if st.DroppedCrash == 0 {
+		t.Error("no crash drops — the crash wave missed in-flight messages")
+	}
+
+	// Tracer attribution == Stats counters, kind for kind. The probe
+	// chains the test's tracer (both observe every event), so its Totals
+	// snapshot is the same Stats the network reports at quiescence.
+	want := map[simnet.EventKind]int64{
+		simnet.EventSent:             st.Sent,
+		simnet.EventDelivered:        st.Delivered,
+		simnet.EventDroppedLoss:      st.DroppedLoss,
+		simnet.EventDroppedCrash:     st.DroppedCrash,
+		simnet.EventDroppedPartition: st.DroppedPart,
+		simnet.EventDroppedDown:      st.DroppedDown,
+	}
+	for kind, w := range want {
+		if counts[kind] != w {
+			t.Errorf("%s: tracer saw %d, stats say %d", kind, counts[kind], w)
+		}
+	}
+
+	// Every accepted message has exactly one outcome: the run is drained
+	// (the runner's stall trigger waits on Network.Drained), so in-flight
+	// is zero and the outcomes partition Sent.
+	if got := st.Sent - st.Delivered - st.DroppedLoss - st.DroppedCrash - st.DroppedPart; got != 0 {
+		t.Errorf("in-flight at quiescence = %d, want 0", got)
+	}
+	// Down-sender discards were never accepted, so they appear in no
+	// other counter and cannot drive InFlight negative.
+	if st.DroppedDown < 0 || st.InFlight() != 0 {
+		t.Errorf("stats inconsistent at quiescence: %+v", st)
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"gossipkit/internal/core"
 	"gossipkit/internal/membership"
+	"gossipkit/internal/obs"
 	"gossipkit/internal/sim"
 	"gossipkit/internal/simnet"
 	"gossipkit/internal/stats"
@@ -69,6 +70,15 @@ type RunConfig struct {
 	// runner's latency instead of letting a fast ticker burn the whole
 	// round budget while the first hop is still airborne.
 	RoundInterval time.Duration
+	// Probe, when non-nil, observes each execution (virtual-time curves,
+	// latency/hops histograms, optional ring tracing; see internal/obs)
+	// and attaches its per-run Metrics snapshot to the RunReport. A probe
+	// is single-goroutine state bound to one run at a time: set it for
+	// single Run calls only — the sweep builds one pooled probe per
+	// worker from SweepConfig.Probe instead. The probe never perturbs the
+	// run (no RNG consumption, no kernel events), so reports are
+	// bit-identical with it on or off.
+	Probe *obs.Probe
 }
 
 func (c RunConfig) netConfig() simnet.Config {
@@ -124,7 +134,7 @@ func ExecutePaper(cfg RunConfig, r *xrand.RNG, inject func(*core.NetRun), arena 
 	if cfg.PartialViewCopies > 0 && p.View == nil {
 		p.View = membership.NewPartialViews(p.N, cfg.PartialViewCopies, r.Split(0x71e75))
 	}
-	return core.ExecuteOnNetworkArena(p, cfg.Net, r, inject, arena)
+	return core.ExecuteOnNetworkProbed(p, cfg.Net, r, inject, arena, cfg.Probe)
 }
 
 // RunReport is the outcome of one scenario execution.
@@ -168,6 +178,11 @@ type RunReport struct {
 	EffectivePrediction float64 `json:"effective_prediction"`
 	// Latency summarizes per-member first-receipt latencies (seconds).
 	Latency LatencySummary `json:"latency"`
+	// Metrics is the run's telemetry snapshot when a probe observed it
+	// (RunConfig.Probe / SweepConfig.Probe); nil otherwise. Excluded from
+	// the JSON encoding so probed and unprobed sweep output stay
+	// byte-identical.
+	Metrics *obs.Metrics `json:"-"`
 }
 
 // LatencySummary is the flattened delivery-latency statistics of one or
@@ -237,6 +252,9 @@ func runWithLatency(s *Scenario, cfg RunConfig, seed uint64, arena *core.NetAren
 	}
 	if pred, ok := ex.Predict(cfg, float64(res.UpAtEnd)/float64(n)); ok {
 		rep.EffectivePrediction = pred
+	}
+	if cfg.Probe != nil {
+		rep.Metrics = cfg.Probe.Metrics()
 	}
 	return rep, res.DeliveryLatency, nil
 }
@@ -315,7 +333,7 @@ func scheduleStall(run *core.NetRun, e *env, st Step, self *int) {
 			lastDelivered, lastChange = d, now
 		}
 		if now.Sub(lastChange) >= window &&
-			(sawProgress || run.Net.Stats().InFlight() == 0) {
+			(sawProgress || run.Net.Drained()) {
 			if stallSatisfied(run, e.n) {
 				return // the spread finished; nothing to trigger
 			}

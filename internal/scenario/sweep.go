@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"gossipkit/internal/core"
+	"gossipkit/internal/obs"
 	"gossipkit/internal/runpool"
 	"gossipkit/internal/simnet"
 	"gossipkit/internal/stats"
@@ -26,6 +27,13 @@ type SweepConfig struct {
 	// independently (each from its own derived seed) and reduced in a
 	// fixed order after the pool drains.
 	Workers int
+	// Probe, when non-nil, observes every run: each worker builds one
+	// pooled obs.Probe from these options (Run.Probe must then be nil —
+	// a single probe cannot be shared across workers), per-run Metrics
+	// ride on the buffered RunReports, and the per-scenario merges —
+	// reduced in cell order, so byte-identical for any worker count —
+	// land in SweepResult.Curves.
+	Probe *obs.Options
 }
 
 // cellSeed derives the seed for scenario si, replication ri. The odd
@@ -88,6 +96,27 @@ type SweepResult struct {
 	Seeds     int       `json:"seeds"`
 	BaseSeed  uint64    `json:"base_seed"`
 	Scenarios []Summary `json:"scenarios"`
+	// Curves holds one merged telemetry aggregate per scenario (parallel
+	// to Scenarios) when the sweep ran under SweepConfig.Probe; nil
+	// otherwise. Excluded from the JSON encoding so probed and unprobed
+	// sweep JSON stay byte-identical; render with CurvesCSV.
+	Curves []*obs.Merged `json:"-"`
+}
+
+// CurvesCSV renders the per-scenario merged virtual-time series (π(t),
+// in-flight, per-kind counters) as one CSV, scenarios labeled in the
+// first column. It errors when the sweep did not run under a probe.
+func (r *SweepResult) CurvesCSV() (string, error) {
+	if len(r.Curves) == 0 {
+		return "", fmt.Errorf("scenario: sweep has no curves; run it with SweepConfig.Probe set")
+	}
+	var b strings.Builder
+	for si, g := range r.Curves {
+		if err := g.WriteCurveCSV(&b, r.Scenarios[si].Scenario, si == 0); err != nil {
+			return "", err
+		}
+	}
+	return b.String(), nil
 }
 
 // Observer streams completed sweep cells: it is called once per cell, in
@@ -125,24 +154,35 @@ func SweepCtx(ctx context.Context, scenarios []*Scenario, cfg SweepConfig, obser
 	reports := make([]RunReport, cells)
 	lats := make([]stats.Running, cells)
 	// One run-state arena per worker: every run on a worker recycles the
-	// same kernel queue, network buffers, and receive flags.
+	// same kernel queue, network buffers, and receive flags. Probes pool
+	// the same way — one per worker, re-Attached each run — and each
+	// run's Metrics snapshot is buffered on its RunReport for the
+	// in-order merge below.
 	arenas := make([]*core.NetArena, workers)
-	var obs func(i int)
+	probes := make([]*obs.Probe, workers)
+	var observeCell func(i int)
 	if observe != nil {
-		obs = func(i int) { observe(i, reports[i]) }
+		observeCell = func(i int) { observe(i, reports[i]) }
 	}
 	err := runpool.Run(ctx, cells, workers, func(w, cell int) error {
 		if arenas[w] == nil {
 			arenas[w] = core.NewNetArena()
 		}
 		si, ri := cell/cfg.Seeds, cell%cfg.Seeds
-		rep, lat, err := runWithLatency(scenarios[si], cfg.Run, cfg.cellSeed(si, ri), arenas[w])
+		run := cfg.Run
+		if cfg.Probe != nil {
+			if probes[w] == nil {
+				probes[w] = obs.New(*cfg.Probe)
+			}
+			run.Probe = probes[w]
+		}
+		rep, lat, err := runWithLatency(scenarios[si], run, cfg.cellSeed(si, ri), arenas[w])
 		if err != nil {
 			return err
 		}
 		reports[cell], lats[cell] = rep, lat
 		return nil
-	}, obs)
+	}, observeCell)
 	if err != nil {
 		return nil, err
 	}
@@ -162,6 +202,16 @@ func SweepCtx(ctx context.Context, scenarios []*Scenario, cfg SweepConfig, obser
 		lo := si * cfg.Seeds
 		out.Scenarios = append(out.Scenarios,
 			summarize(s, reports[lo:lo+cfg.Seeds], lats[lo:lo+cfg.Seeds]))
+		if cfg.Probe != nil {
+			// Merge replications in cell order — the merge is
+			// order-sensitive only in this fixed order, so the curves are
+			// byte-identical for any worker count.
+			g := &obs.Merged{}
+			for ri := 0; ri < cfg.Seeds; ri++ {
+				g.Merge(reports[lo+ri].Metrics)
+			}
+			out.Curves = append(out.Curves, g)
+		}
 	}
 	return out, nil
 }
@@ -209,6 +259,9 @@ func checkSweepShared(run RunConfig) error {
 	}
 	if _, stateful := run.Net.Loss.(*simnet.GilbertElliott); stateful {
 		return fmt.Errorf("scenario: sweep cannot share a stateful Gilbert-Elliott loss model across workers; install it per run with the burst-loss action")
+	}
+	if run.Probe != nil {
+		return fmt.Errorf("scenario: sweep cannot share one RunConfig.Probe across workers; set SweepConfig.Probe and each worker pools its own")
 	}
 	return nil
 }

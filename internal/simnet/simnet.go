@@ -201,6 +201,7 @@ type Network struct {
 	partition func(a, b NodeID) bool
 	stats     Stats
 	tracer    Tracer
+	traceFull bool // tracer needs exact SentAt: disable the slot-free path
 	packTags  bool // n < 2²⁴: (tag, from) pairs fit a slot-free event word
 
 	deliverID sim.HandlerID
@@ -245,6 +246,7 @@ func (nw *Network) Reset(kernel *sim.Kernel, n int, rng *xrand.RNG, cfg Config) 
 	nw.partition = nil
 	nw.stats = Stats{}
 	nw.tracer = cfg.Tracer
+	nw.traceFull = cfg.Tracer != nil
 	if nw.latency == nil {
 		nw.latency = ConstantLatency{}
 	}
@@ -340,7 +342,7 @@ func (nw *Network) send(from, to NodeID, tag int32, payload any) {
 	now := nw.kernel.Now()
 	if !nw.up.Get(int(from)) {
 		nw.stats.DroppedDown++
-		nw.trace(Event{Kind: EventDroppedCrash, From: from, To: to, At: now, SentAt: now})
+		nw.trace(Event{Kind: EventDroppedDown, From: from, To: to, At: now, SentAt: now})
 		return
 	}
 	nw.stats.Sent++
@@ -359,14 +361,15 @@ func (nw *Network) send(from, to NodeID, tag int32, payload any) {
 	if d < 0 {
 		d = 0
 	}
-	// Payload-free messages with no tracer watching — the entire gossip
-	// hot path — need no in-flight slot: the sender id (and, when the
-	// group is small enough to pack, the tag) rides in the event record's
-	// payload word (encoded below zero), halving peak queue memory at
-	// n=10⁷. Everything else parks (from, sentAt, tag, payload) in a
-	// pooled slot.
-	if payload == nil && nw.tracer == nil && (tag == 0 || (nw.packTags && tag < tagLimit)) {
-		nw.kernel.ScheduleAfter(d, nw.deliverID, int32(to), -(int32(from) | tag<<tagShift) - 1)
+	// Payload-free messages with no full tracer watching — the entire
+	// gossip hot path, including runs observed through a lite tracer —
+	// need no in-flight slot: the sender id (and, when the group is small
+	// enough to pack, the tag) rides in the event record's payload word
+	// (encoded below zero), halving peak queue memory at n=10⁷.
+	// Everything else parks (from, sentAt, tag, payload) in a pooled
+	// slot.
+	if payload == nil && !nw.traceFull && (tag == 0 || (nw.packTags && tag < tagLimit)) {
+		nw.kernel.ScheduleAfter(d, nw.deliverID, int32(to), -(int32(from)|tag<<tagShift)-1)
 		return
 	}
 	slot := nw.allocMsg(from, now, tag, payload)
@@ -483,8 +486,21 @@ func SplitPartition(inLeft func(NodeID) bool) func(a, b NodeID) bool {
 	return func(a, b NodeID) bool { return inLeft(a) != inLeft(b) }
 }
 
-// Stats returns a snapshot of the network counters.
+// Stats returns a snapshot of the network counters. While the kernel
+// still has deliveries pending, the snapshot is a moment-in-time partial
+// attribution: Sent counts messages whose delivery-or-drop outcome is not
+// yet decided, so InFlight is positive and the drop counters can still
+// grow. Final attribution — the state reconciliation tests and the
+// scenario summaries rely on — requires quiescence: either the kernel has
+// drained (RunAll returned) or Drained reports true.
 func (nw *Network) Stats() Stats { return nw.stats }
+
+// Drained reports whether the network is quiescent: every accepted
+// message has been delivered or dropped, so Stats is a final attribution
+// and InFlight is zero. Mid-run watchers (the scenario stall trigger)
+// use it to distinguish "the spread died" from "messages still airborne";
+// note it says nothing about pending non-message kernel events.
+func (nw *Network) Drained() bool { return nw.stats.InFlight() == 0 }
 
 func (nw *Network) checkID(id NodeID) {
 	if id < 0 || int(id) >= nw.n {

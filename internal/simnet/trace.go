@@ -21,6 +21,10 @@ const (
 	EventDroppedCrash
 	// EventDroppedPartition: blocked by a partition.
 	EventDroppedPartition
+	// EventDroppedDown: discarded at send time because the sender was
+	// down. Mirrors Stats.DroppedDown: the message was never accepted, so
+	// it appears in no other count.
+	EventDroppedDown
 )
 
 func (k EventKind) String() string {
@@ -35,6 +39,8 @@ func (k EventKind) String() string {
 		return "dropped-crash"
 	case EventDroppedPartition:
 		return "dropped-partition"
+	case EventDroppedDown:
+		return "dropped-down"
 	default:
 		return "unknown"
 	}
@@ -58,8 +64,33 @@ type Event struct {
 // Network.SetTracer; it runs synchronously on the kernel goroutine.
 type Tracer func(Event)
 
-// SetTracer installs (or clears, with nil) the event tracer.
-func (nw *Network) SetTracer(t Tracer) { nw.tracer = t }
+// SetTracer installs (or clears, with nil) the event tracer. A full tracer
+// sees exact SentAt times on every delivery, which costs the slot-free
+// send encoding: every in-flight message parks its metadata in a pooled
+// slot while one is installed. Observers that only need event kinds,
+// endpoints, and occurrence times — counters and time-series sampling —
+// should use SetTracerLite and keep the hot path intact.
+func (nw *Network) SetTracer(t Tracer) {
+	nw.tracer = t
+	nw.traceFull = t != nil
+}
+
+// SetTracerLite installs (or clears, with nil) the event tracer WITHOUT
+// disabling the slot-free send path: payload-free messages keep riding in
+// the event word, so the steady-state send→deliver path still allocates
+// nothing. The price is that slot-free deliveries report SentAt equal to
+// their delivery time (the send time was never parked anywhere), so
+// transit latency is not observable through a lite tracer — kinds,
+// endpoints, and At are exact. The observability probes sample their
+// virtual-time curves through this seam.
+func (nw *Network) SetTracerLite(t Tracer) {
+	nw.tracer = t
+	nw.traceFull = false
+}
+
+// Tracer returns the currently installed tracer (nil when none), so a
+// probe can chain an existing tracer rather than displace it.
+func (nw *Network) Tracer() Tracer { return nw.tracer }
 
 func (nw *Network) trace(e Event) {
 	if nw.tracer != nil {

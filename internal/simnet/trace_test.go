@@ -37,11 +37,80 @@ func TestTracerSeesAllEventKinds(t *testing.T) {
 	if rec.Counts[EventSent] != 3 { // the crashed sender's is not "sent"
 		t.Errorf("sent events = %d", rec.Counts[EventSent])
 	}
-	if rec.Counts[EventDroppedCrash] != 2 { // no-handler drop + crashed sender
+	if rec.Counts[EventDroppedCrash] != 1 { // no-handler drop at delivery
 		t.Errorf("crash drops = %d", rec.Counts[EventDroppedCrash])
+	}
+	if rec.Counts[EventDroppedDown] != 1 { // crashed sender, discarded at send
+		t.Errorf("down drops = %d", rec.Counts[EventDroppedDown])
 	}
 	if rec.Counts[EventDroppedPartition] != 1 {
 		t.Errorf("partition drops = %d", rec.Counts[EventDroppedPartition])
+	}
+	// Per-kind trace counts must reconcile with the Stats counters.
+	st := nw.Stats()
+	if rec.Counts[EventDroppedCrash] != st.DroppedCrash ||
+		rec.Counts[EventDroppedDown] != st.DroppedDown ||
+		rec.Counts[EventDroppedPartition] != st.DroppedPart ||
+		rec.Counts[EventSent] != st.Sent {
+		t.Errorf("trace counts %v do not reconcile with stats %+v", rec.Counts, st)
+	}
+}
+
+func TestLiteTracerKeepsSlotFreeEncoding(t *testing.T) {
+	// A lite tracer must see every event kind with exact At times, while
+	// slot-free deliveries report SentAt == At (the encoding's documented
+	// degradation). A full tracer on the same run sees the true SentAt.
+	run := func(install func(nw *Network, tr Tracer)) (counts map[EventKind]int64, sentAt, at sim.Time) {
+		k := sim.New()
+		nw := New(k, 2, xrand.New(1), Config{Latency: ConstantLatency{D: 7 * time.Millisecond}})
+		counts = map[EventKind]int64{}
+		install(nw, func(e Event) {
+			counts[e.Kind]++
+			if e.Kind == EventDelivered {
+				sentAt, at = e.SentAt, e.At
+			}
+		})
+		nw.Register(1, func(sim.Time, Message) {})
+		nw.SendTag(0, 1, 3)
+		if err := k.RunAll(); err != nil {
+			t.Fatal(err)
+		}
+		return counts, sentAt, at
+	}
+	lite, liteSent, liteAt := run(func(nw *Network, tr Tracer) { nw.SetTracerLite(tr) })
+	full, fullSent, fullAt := run(func(nw *Network, tr Tracer) { nw.SetTracer(tr) })
+	for _, c := range []map[EventKind]int64{lite, full} {
+		if c[EventSent] != 1 || c[EventDelivered] != 1 {
+			t.Fatalf("event counts = %v", c)
+		}
+	}
+	if liteAt != sim.Time(7*time.Millisecond) || fullAt != liteAt {
+		t.Errorf("delivery At: lite %v full %v", liteAt, fullAt)
+	}
+	if liteSent != liteAt {
+		t.Errorf("lite SentAt %v, want delivery time %v (slot-free encoding)", liteSent, liteAt)
+	}
+	if fullSent != 0 {
+		t.Errorf("full SentAt %v, want 0", fullSent)
+	}
+}
+
+func TestDrained(t *testing.T) {
+	k := sim.New()
+	nw := New(k, 2, xrand.New(1), Config{Latency: ConstantLatency{D: time.Millisecond}})
+	nw.Register(1, func(sim.Time, Message) {})
+	if !nw.Drained() {
+		t.Error("fresh network not drained")
+	}
+	nw.Send(0, 1, nil)
+	if nw.Drained() {
+		t.Error("drained with a message in flight")
+	}
+	if err := k.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if !nw.Drained() {
+		t.Error("not drained after RunAll")
 	}
 }
 
@@ -123,6 +192,7 @@ func TestEventKindStrings(t *testing.T) {
 		EventDroppedLoss:      "dropped-loss",
 		EventDroppedCrash:     "dropped-crash",
 		EventDroppedPartition: "dropped-partition",
+		EventDroppedDown:      "dropped-down",
 		EventKind(99):         "unknown",
 	} {
 		if k.String() != want {

@@ -125,6 +125,20 @@ func (h *Histogram) Add(k int) {
 	h.total++
 }
 
+// Reset zeroes the counts in place, keeping the bin layout, so pooled
+// consumers (the observability probes) reuse one histogram across runs.
+func (h *Histogram) Reset() {
+	for i := range h.counts {
+		h.counts[i] = 0
+	}
+	h.total = 0
+}
+
+// Counts returns a copy of the per-bin counts.
+func (h *Histogram) Counts() []int64 {
+	return append([]int64(nil), h.counts...)
+}
+
 // Count returns the count in bin k.
 func (h *Histogram) Count(k int) int64 {
 	if k < 0 || k >= len(h.counts) {
