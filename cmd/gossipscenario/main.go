@@ -165,6 +165,7 @@ func run(ctx context.Context, args []string, sweep bool) error {
 		format   = fs.String("format", "json", "output format: json, csv, ascii")
 		progress = fs.Bool("progress", false, "stream per-cell progress to stderr")
 		curves   = fs.String("curves", "", "also emit merged per-scenario telemetry curves: csv")
+		shards   = fs.Int("shards", 1, "shard kernels per execution (conservative-PDES; 1 = single kernel, 0 = one per core)")
 	)
 	pprof := pprofFlag(fs)
 	if err := fs.Parse(args); err != nil {
@@ -192,11 +193,15 @@ func run(ctx context.Context, args []string, sweep bool) error {
 	if err != nil {
 		return err
 	}
+	if *shards <= 0 {
+		*shards = runtime.GOMAXPROCS(0)
+	}
 	campaign := gossipkit.Campaign{
 		Scenarios: scenarios,
 		Config: gossipkit.ScenarioRunConfig{
 			Params:            gossipkit.Params{N: *n, Fanout: d, AliveRatio: *q},
 			PartialViewCopies: *views,
+			Shards:            *shards,
 		},
 	}
 	cells := len(scenarios) * *seeds

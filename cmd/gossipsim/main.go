@@ -11,6 +11,7 @@
 //	gossipsim -latency 5ms -metrics          # π(t)/in-flight curve CSV on stdout
 //	gossipsim -latency 5ms -trace out.json   # Chrome trace of the network run
 //	gossipsim -pprof localhost:6060 ...      # live net/http/pprof endpoint
+//	gossipsim -n 10000000 -latency 5ms -shards 0 -progress   # sharded kernel, one shard per core
 //
 // Interrupt (Ctrl-C) cancels in-flight sweeps cleanly via context.
 package main
@@ -25,6 +26,7 @@ import (
 	"time"
 
 	"gossipkit"
+	"gossipkit/internal/runpool"
 )
 
 func main() {
@@ -41,6 +43,7 @@ func main() {
 		pprof    = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 		metrics  = flag.Bool("metrics", false, "probe the network execution and print its virtual-time curve CSV")
 		trace    = flag.String("trace", "", "write a Chrome trace of the network execution to this file")
+		shards   = flag.Int("shards", 1, "shard kernels for the network execution (conservative-PDES; 1 = single kernel, 0 = one per core)")
 	)
 	flag.Parse()
 	if *pprof != "" {
@@ -53,7 +56,7 @@ func main() {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	if err := run(ctx, *n, *distKin, *fanout, *q, *runs, *seed, *latency, *loss, *progress, *metrics, *trace); err != nil {
+	if err := run(ctx, *n, *distKin, *fanout, *q, *runs, *seed, *latency, *loss, *progress, *metrics, *trace, *shards); err != nil {
 		if errors.Is(err, gossipkit.ErrCanceled) {
 			fmt.Fprintln(os.Stderr, "gossipsim: interrupted")
 			os.Exit(130)
@@ -63,7 +66,7 @@ func main() {
 	}
 }
 
-func run(ctx context.Context, n int, distKind string, fanout, q float64, runs int, seed uint64, latency time.Duration, loss float64, progress, metrics bool, trace string) error {
+func run(ctx context.Context, n int, distKind string, fanout, q float64, runs int, seed uint64, latency time.Duration, loss float64, progress, metrics bool, trace string, shards int) error {
 	d, err := gossipkit.ParseFanout(distKind, fanout)
 	if err != nil {
 		return err
@@ -108,7 +111,7 @@ func run(ctx context.Context, n int, distKind string, fanout, q float64, runs in
 		fmt.Printf("  executions for 99.9%% group success (Eq. 6): %d\n", tmin)
 	}
 
-	if latency > 0 || loss > 0 || metrics || trace != "" {
+	if latency > 0 || loss > 0 || metrics || trace != "" || shards != 1 {
 		cfg := gossipkit.NetConfig{}
 		if latency > 0 {
 			cfg.Latency = gossipkit.ConstantLatency(latency)
@@ -120,6 +123,18 @@ func run(ctx context.Context, n int, distKind string, fanout, q float64, runs in
 		// (xrand.New(seed+2) consumed directly), so output stays diffable
 		// across releases; the probe observes without touching that stream.
 		opts := []gossipkit.Option{gossipkit.WithRNG(gossipkit.NewRNG(seed + 2))}
+		if shards != 1 {
+			opts = append(opts, gossipkit.WithShards(shards))
+			if progress {
+				// One long sharded execution is invisible to the per-run
+				// observer until it finishes; stream barrier progress
+				// (events fired, virtual time) instead.
+				ep := runpool.NewEventProgress(int64(n)*int64(fanout+1), 0, runpool.EventWriter(os.Stderr))
+				opts = append(opts, gossipkit.WithShardProgress(func(events uint64, now time.Duration) {
+					ep.ObserveEvents(events, now)
+				}))
+			}
+		}
 		if metrics || trace != "" {
 			po := gossipkit.ProbeOptions{}
 			if trace != "" {

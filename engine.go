@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
+	"time"
 
 	"gossipkit/internal/stats"
 )
@@ -151,6 +153,8 @@ type runOptions struct {
 	probe     *ProbeOptions // dissemination telemetry (DES engines only)
 	rng       *RNG          // single-run override: execute on this RNG stream
 	arena     *NetArena     // deprecated-shim arena pass-through (Network only)
+	shards    int           // conservative-PDES shard kernels (Network engine)
+	shardProgress func(events uint64, virtualNow time.Duration)
 }
 
 // Option configures Run and RunMany.
@@ -185,6 +189,37 @@ func WithObserver(fn Observer) Option { return func(o *runOptions) { o.observer 
 // engine is the exception — it still buffers one report per sweep cell
 // internally to build its per-scenario summaries.
 func WithoutReports() Option { return func(o *runOptions) { o.noReports = true } }
+
+// WithShards runs Network executions on the conservative-PDES sharded
+// kernel with n shard kernels: members are partitioned across per-core
+// shards that advance in lookahead windows derived from the latency
+// model's floor (see simnet.LatencyFloorer), exchanging cross-shard
+// messages at window barriers. n <= 0 auto-selects GOMAXPROCS at
+// option-apply time. The default (option absent) is the single-kernel
+// runtime, so existing results stay byte-identical; shards=1 runs the
+// sharded code path degenerately and is byte-identical to the single
+// kernel too. Executions whose latency model has no positive floor fall
+// back to one shard. Each replication still runs on one shard group —
+// WithShards parallelizes within a run (one n=10⁷ execution across
+// cores), WithWorkers across runs; they compose, but oversubscribe the
+// machine if both are wide.
+func WithShards(n int) Option {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	return func(o *runOptions) { o.shards = n }
+}
+
+// WithShardProgress observes every window barrier of a sharded Network
+// execution (WithShards) with the cumulative kernel events fired and the
+// barrier's virtual time — live progress for single long runs, where
+// per-run observers only fire at the very end. Called from the
+// coordinator goroutine of whichever replication is running; with
+// parallel replications (WithRuns + WithWorkers) calls from different
+// runs interleave, so it is most useful on single executions.
+func WithShardProgress(fn func(events uint64, virtualNow time.Duration)) Option {
+	return func(o *runOptions) { o.shardProgress = fn }
+}
 
 // WithRNG makes a single Run execute on the caller's RNG stream instead of
 // deriving one from WithSeed, consuming randomness exactly where the

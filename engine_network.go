@@ -7,6 +7,7 @@ import (
 	"gossipkit/internal/core"
 	"gossipkit/internal/obs"
 	"gossipkit/internal/runpool"
+	"gossipkit/internal/sim"
 	"gossipkit/internal/xrand"
 )
 
@@ -34,6 +35,18 @@ func (s Network) run(ctx context.Context, o *runOptions, emit func(Report)) (any
 		return nil, invalid(err)
 	}
 
+	// execute runs one replication on the selected runtime: the
+	// single-kernel executor by default, the conservative-PDES sharded
+	// kernel under WithShards (>1). Shards=1 keeps the single-kernel path
+	// — the two are byte-identical, and the oracle needs no shard arena.
+	execute := func(r *xrand.RNG, arena *core.NetArena, probe *obs.Probe) (core.NetResult, error) {
+		if o.shards > 1 {
+			return core.ExecuteOnNetworkSharded(s.Params, s.Net, r, nil, arena.Sharded(o.shards), probe,
+				core.ShardOptions{Shards: o.shards, Progress: shardProgress(o)})
+		}
+		return core.ExecuteOnNetworkProbed(s.Params, s.Net, r, nil, arena, probe)
+	}
+
 	if o.rng != nil {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -42,7 +55,7 @@ func (s Network) run(ctx context.Context, o *runOptions, emit func(Report)) (any
 		if o.probe != nil {
 			probe = obs.New(*o.probe)
 		}
-		res, err := core.ExecuteOnNetworkProbed(s.Params, s.Net, o.rng, nil, o.arena, probe)
+		res, err := execute(o.rng, o.arena, probe)
 		if err != nil {
 			return nil, err
 		}
@@ -69,13 +82,23 @@ func (s Network) run(ctx context.Context, o *runOptions, emit func(Report)) (any
 			if o.probe != nil && probes[w] == nil {
 				probes[w] = obs.New(*o.probe)
 			}
-			res, err := core.ExecuteOnNetworkProbed(s.Params, s.Net, root.Split(uint64(run)), nil, arenas[w], probes[w])
+			res, err := execute(root.Split(uint64(run)), arenas[w], probes[w])
 			return probedResult{res, probes[w].Metrics()}, err
 		}, func(run int, r probedResult) { emit(netReport(r.res, r.metrics)) })
 	if err != nil {
 		return nil, err
 	}
 	return nil, nil
+}
+
+// shardProgress adapts the facade's WithShardProgress callback onto the
+// sharded executor's barrier hook; nil when no observer is set.
+func shardProgress(o *runOptions) func(events uint64, now sim.Time) {
+	if o.shardProgress == nil {
+		return nil
+	}
+	fn := o.shardProgress
+	return func(events uint64, now sim.Time) { fn(events, now.Duration()) }
 }
 
 func netReport(res NetResult, m *obs.Metrics) Report {

@@ -1,0 +1,76 @@
+package gossipkit
+
+import (
+	"context"
+	"reflect"
+	"testing"
+	"time"
+
+	"gossipkit/internal/simnet"
+)
+
+func shardedNetSpec() Network {
+	return Network{
+		Params: Params{N: 300, Fanout: Poisson(6), AliveRatio: 0.95, Source: 2},
+		Net: NetConfig{
+			Latency: simnet.UniformLatency{Lo: 2 * time.Millisecond, Hi: 9 * time.Millisecond},
+		},
+	}
+}
+
+// TestWithShardsDeterministicAndPinned: sharded runs are reproducible,
+// compose with WithProbe and WithRuns, and agree with the single-kernel
+// default on the mask-derived alive count.
+func TestWithShardsDeterministicAndPinned(t *testing.T) {
+	spec := shardedNetSpec()
+	base, err := Run(context.Background(), spec, WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Run(context.Background(), spec, WithSeed(5), WithShards(2), WithProbe(ProbeOptions{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(context.Background(), spec, WithSeed(5), WithShards(2), WithProbe(ProbeOptions{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("sharded run not deterministic:\n a %+v\n b %+v", a, b)
+	}
+	ra, rb := a.Reports[0], base.Reports[0]
+	if ra.AliveCount != rb.AliveCount {
+		t.Errorf("sharded AliveCount %d, single-kernel %d — mask not invariant", ra.AliveCount, rb.AliveCount)
+	}
+	if ra.Metrics == nil || ra.Metrics.Totals.Sent == 0 {
+		t.Errorf("sharded probe metrics missing: %+v", ra.Metrics)
+	}
+
+	many, err := RunMany(context.Background(), spec, 4, WithSeed(5), WithShards(2), WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if many.Runs != 4 || many.Reliability.Mean == 0 {
+		t.Errorf("sharded RunMany outcome %+v", many)
+	}
+}
+
+func TestWithShardProgress(t *testing.T) {
+	var calls int
+	var lastEvents uint64
+	var lastNow time.Duration
+	_, err := Run(context.Background(), shardedNetSpec(), WithSeed(3), WithShards(4),
+		WithShardProgress(func(events uint64, now time.Duration) {
+			calls++
+			if events < lastEvents || now < lastNow {
+				t.Fatalf("progress went backwards: events %d->%d now %v->%v", lastEvents, events, lastNow, now)
+			}
+			lastEvents, lastNow = events, now
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls == 0 || lastEvents == 0 {
+		t.Fatalf("shard progress never fired (calls=%d events=%d)", calls, lastEvents)
+	}
+}

@@ -43,18 +43,22 @@ type NetResult struct {
 // inside scheduled events or before the run starts.
 type NetRun struct {
 	// Kernel is the discrete-event driver; hooks schedule future actions
-	// with Kernel.At / Kernel.After.
+	// with Kernel.At / Kernel.After. On a sharded execution this is the
+	// control kernel: its events fire at window barriers with every shard
+	// worker parked, which is exactly when shard state is safely mutable.
 	Kernel *sim.Kernel
-	// Net is the network under execution (crash, restart, partition,
-	// loss and latency swaps).
-	Net *simnet.Network
+	// Net is the network fabric under execution (crash, restart,
+	// partition, loss and latency swaps) — a single *simnet.Network or
+	// the sharded *simnet.ShardedNet, behind one control surface.
+	Net simnet.Fabric
 	// View is the membership view targets are drawn from; scenario churn
 	// mutates it when it is a *membership.PartialViews.
-	View      membership.View
-	mask      *failure.Mask
-	received  *bitset.Bits
-	delivered *int
-	publish   func(id int)
+	View        membership.View
+	mask        *failure.Mask
+	hasReceived func(id int) bool
+	delivered   func() int
+	pending     func() int
+	publish     func(id int)
 }
 
 // NewNetRun assembles the injection facade for a simulation front end
@@ -64,24 +68,38 @@ type NetRun struct {
 // through. received must be the run's first-receipt bitset, delivered a
 // pointer to its delivered-member counter, and publish the protocol's
 // out-of-band publish hook (may be nil for protocols without one).
-func NewNetRun(kernel *sim.Kernel, net *simnet.Network, view membership.View,
+func NewNetRun(kernel *sim.Kernel, net simnet.Fabric, view membership.View,
 	mask *failure.Mask, received *bitset.Bits, delivered *int, publish func(id int)) *NetRun {
 	if publish == nil {
 		publish = func(int) {}
 	}
 	return &NetRun{
-		Kernel: kernel, Net: net, View: view,
-		mask: mask, received: received, delivered: delivered, publish: publish,
+		Kernel: kernel, Net: net, View: view, mask: mask,
+		hasReceived: received.Get,
+		delivered:   func() int { return *delivered },
+		publish:     publish,
 	}
 }
 
 // HasReceived reports whether id has received the multicast so far.
-func (nr *NetRun) HasReceived(id int) bool { return nr.received.Get(id) }
+func (nr *NetRun) HasReceived(id int) bool { return nr.hasReceived(id) }
 
 // Delivered returns the number of members that have received the multicast
 // so far. Stall-triggered scenario steps watch this counter to detect a
 // spread that has stopped making progress.
-func (nr *NetRun) Delivered() int { return *nr.delivered }
+func (nr *NetRun) Delivered() int { return nr.delivered() }
+
+// Pending returns the number of live events still scheduled across the
+// execution — on a sharded run the control kernel, every shard kernel,
+// and the cross-shard buffers together. Recurring scenario steps use it
+// (not Kernel.Pending, which sees only the control kernel) to decide
+// whether the execution is still alive.
+func (nr *NetRun) Pending() int {
+	if nr.pending != nil {
+		return nr.pending()
+	}
+	return nr.Kernel.Pending()
+}
 
 // Restartable reports whether id may be restarted: only members that were
 // alive under the execution's initial failure mask have a registered
@@ -110,6 +128,23 @@ type NetArena struct {
 	mask     *failure.Mask
 	received bitset.Bits
 	targets  []int
+	sharded  *ShardArena
+}
+
+// Sharded leases the arena's pooled sharded-execution state, sized for
+// the given shard count — the seam sweep workers recycle sharded runs
+// through without a second arena parameter. A nil receiver returns nil
+// (ExecuteOnNetworkSharded builds a throwaway arena).
+func (a *NetArena) Sharded(shards int) *ShardArena {
+	if a == nil {
+		return nil
+	}
+	if a.sharded == nil {
+		a.sharded = NewShardArena(shards)
+	} else {
+		a.sharded.ensure(shards)
+	}
+	return a.sharded
 }
 
 // NewNetArena returns an empty arena; buffers grow on first use.
@@ -252,12 +287,12 @@ func ExecuteOnNetworkProbed(p Params, netCfg simnet.Config, r *xrand.RNG, inject
 
 	if inject != nil {
 		inject(&NetRun{
-			Kernel:    kernel,
-			Net:       nw,
-			View:      view,
-			mask:      mask,
-			received:  received,
-			delivered: &res.Delivered,
+			Kernel:      kernel,
+			Net:         nw,
+			View:        view,
+			mask:        mask,
+			hasReceived: received.Get,
+			delivered:   func() int { return res.Delivered },
 			publish: func(id int) {
 				if id < 0 || id >= p.N || !nw.Up(simnet.NodeID(id)) || !mask.Alive(id) {
 					return

@@ -243,6 +243,58 @@ func BenchmarkExecuteOnNetworkTenMillion(b *testing.B) {
 	b.ReportMetric(float64(sent)/b.Elapsed().Seconds(), "msgs/sec")
 }
 
+// BenchmarkExecuteOnNetworkShardedMillion compares the conservative-PDES
+// sharded runtime against the single kernel at n=10⁶. The shards=1
+// sub-benchmark is the overhead claim in README/ROADMAP — the sharded
+// entry point running on one shard must stay within ~5% of
+// BenchmarkExecuteOnNetworkMillion (it executes the identical event
+// stream; the window loop is the only extra cost). Higher shard counts
+// quote the multicore scaling on the host running the benchmark.
+func BenchmarkExecuteOnNetworkShardedMillion(b *testing.B) {
+	counts := []int{1, 2, 4}
+	if p := runtime.GOMAXPROCS(0); p > 4 {
+		counts = append(counts, p)
+	}
+	for _, shards := range counts {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			benchmarkSharded(b, 1_000_000, shards)
+		})
+	}
+}
+
+// BenchmarkExecuteOnNetworkShardedTenMillion is the tentpole headline:
+// n=10⁷ on every core, ~5.4·10⁷ messages per execution across the shard
+// kernels. Compare against BenchmarkExecuteOnNetworkTenMillion (the
+// single-core ceiling, ~84s/op when it was recorded) for the speedup on
+// a given host. Like its single-kernel sibling it is kept out of CI —
+// one iteration needs a few GB of pooled shard state.
+func BenchmarkExecuteOnNetworkShardedTenMillion(b *testing.B) {
+	benchmarkSharded(b, 10_000_000, 0) // 0 = one shard per core
+}
+
+func benchmarkSharded(b *testing.B, n, shards int) {
+	p := Params{N: n, Fanout: dist.NewPoisson(5), AliveRatio: 0.9}
+	cfg := simnet.Config{Latency: simnet.UniformLatency{Lo: time.Millisecond, Hi: 10 * time.Millisecond}}
+	eff := EffectiveShards(shards, n, cfg)
+	arena := NewShardArena(eff)
+	r := xrand.New(1)
+	var sent int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := ExecuteOnNetworkSharded(p, cfg, r, nil, arena, nil, ShardOptions{Shards: shards})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Reliability < 0.95 {
+			b.Fatalf("reliability %.4f at n=%d shards=%d", res.Reliability, n, eff)
+		}
+		sent += res.Net.Sent
+	}
+	b.ReportMetric(float64(sent)/b.Elapsed().Seconds(), "msgs/sec")
+	b.ReportMetric(float64(eff), "shards")
+}
+
 // BenchmarkExecuteOnNetwork is the headline hot-path benchmark: one full
 // event-driven execution per iteration, with the arena recycled the way
 // sweep workers recycle it. The msgs/sec metric is the kernel's sustained

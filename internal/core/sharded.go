@@ -1,0 +1,405 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"gossipkit/internal/bitset"
+	"gossipkit/internal/failure"
+	"gossipkit/internal/obs"
+	"gossipkit/internal/sim"
+	"gossipkit/internal/simnet"
+	"gossipkit/internal/stats"
+	"gossipkit/internal/xrand"
+)
+
+// shardSplit offsets the per-shard RNG split indices on the run's root
+// stream (shard s draws from r.Split(shardSplit+s)); chosen to collide
+// with no other split constant in the tree. Splitting never advances the
+// parent, so the failure mask — drawn from r after the splits — is
+// byte-identical across every shard count.
+const shardSplit = 0x5a7d00
+
+// ShardOptions parameterizes a sharded network execution.
+type ShardOptions struct {
+	// Shards is the shard-kernel count; values below 1 mean
+	// runtime.GOMAXPROCS(0). The executor itself falls back to one shard
+	// when the latency model has no positive floor (no lookahead — see
+	// simnet.LatencyFloorer) or a shared Config.Tracer is installed.
+	Shards int
+	// Progress, if non-nil, observes every window barrier with the
+	// barrier's virtual time and the total kernel events fired so far —
+	// the live-progress source for single long runs. Called from the
+	// coordinator goroutine.
+	Progress func(events uint64, now sim.Time)
+}
+
+// EffectiveShards resolves the shard count opts-style callers should
+// expect ExecuteOnNetworkSharded to use for a run of n members over cfg:
+// GOMAXPROCS for requests below 1, clamped to n, and 1 whenever the
+// configuration cannot shard (no positive latency floor, or a shared
+// tracer).
+func EffectiveShards(requested, n int, cfg simnet.Config) int {
+	s := requested
+	if s < 1 {
+		s = runtime.GOMAXPROCS(0)
+	}
+	if s > n {
+		s = n
+	}
+	if s < 1 {
+		s = 1
+	}
+	if s > 1 && (cfg.Tracer != nil || latencyFloor(cfg.Latency) <= 0) {
+		return 1
+	}
+	return s
+}
+
+// latencyFloor returns the model's guaranteed minimum delay, or 0 when it
+// has none (nil models mean zero latency).
+func latencyFloor(m simnet.LatencyModel) time.Duration {
+	f, ok := m.(simnet.LatencyFloorer)
+	if !ok {
+		return 0
+	}
+	d, ok := f.LatencyFloor()
+	if !ok || d < 0 {
+		return 0
+	}
+	return d
+}
+
+// shardState is one shard's private slice of the run state. Everything
+// here is written by the shard's worker goroutine during windows (and by
+// the coordinator only while workers are parked); received is indexed by
+// (id − base) so no two shards ever share a bitset word. The trailing pad
+// keeps neighboring shards' hot counters off each other's cache lines.
+type shardState struct {
+	received  bitset.Bits
+	targets   []int
+	rng       *xrand.RNG
+	probe     *obs.Probe
+	delivered int
+	msgs      int
+	wasted    int
+	dups      int
+	upAtEnd   int
+	delivUp   int
+	spread    sim.Time
+	lat       stats.Running
+	_         [64]byte
+}
+
+// ShardArena pools the per-run state of sharded executions — the shard
+// and control kernels, the sharded fabric, the failure mask, and every
+// shard's bitsets and buffers — the sharded counterpart of NetArena. One
+// arena serves many runs; it is single-goroutine state between runs (the
+// execution itself fans out to the shard workers).
+type ShardArena struct {
+	shards  int
+	kernels []*sim.Kernel
+	ctl     *sim.Kernel
+	net     *simnet.ShardedNet
+	mask    *failure.Mask
+	states  []shardState
+}
+
+// NewShardArena returns an empty arena for the given shard count;
+// buffers grow on first use.
+func NewShardArena(shards int) *ShardArena {
+	a := &ShardArena{mask: &failure.Mask{}, net: simnet.NewShardedNet()}
+	a.ensure(shards)
+	return a
+}
+
+// ensure sizes the arena for `shards` shard kernels, retaining pooled
+// state when the count is unchanged.
+func (a *ShardArena) ensure(shards int) {
+	if a.shards == shards && a.ctl != nil {
+		return
+	}
+	a.shards = shards
+	for len(a.kernels) < shards {
+		a.kernels = append(a.kernels, sim.New())
+	}
+	a.kernels = a.kernels[:shards]
+	if a.ctl == nil {
+		a.ctl = sim.New()
+	}
+	if cap(a.states) < shards {
+		a.states = make([]shardState, shards)
+	}
+	a.states = a.states[:shards]
+}
+
+// ExecuteOnNetworkSharded runs one execution of the paper's algorithm on
+// the conservative-PDES sharded runtime: members are partitioned into
+// contiguous blocks across per-core shard kernels, shards advance in
+// lookahead windows derived from the latency model's floor, and
+// cross-shard messages cross at window barriers (see sim.ShardGroup and
+// simnet.ShardedNet). The single-kernel ExecuteOnNetworkProbed is the
+// equivalence oracle.
+//
+// Determinism contract:
+//   - shards=1: byte-identical to ExecuteOnNetworkProbed for the same
+//     (p, netCfg, r, inject) — same RNG layout (the run stream is r, the
+//     network stream r.Split(0xfeed)), same event interleaving (the
+//     control kernel is the shard kernel and the run is a plain drain).
+//   - fixed shards>1: byte-identical across repeated runs and across
+//     hosts — shard s draws from r.Split(shardSplit+s), windows are cut
+//     at deterministic virtual times, and barriers flush the per-pair
+//     buffers in a fixed order, so scheduling nondeterminism never
+//     reaches the simulation.
+//   - across shard counts: statistically pinned, not byte-identical —
+//     the failure mask is identical (drawn from r, which splitting never
+//     advances) but fanout and latency draws come from different
+//     streams, so results agree in distribution (the equivalence tests
+//     pin mean reliability across shard counts).
+//
+// The probe, when non-nil, fans out to per-shard child probes and
+// adopts their merged telemetry (hop histograms are unavailable for
+// shards>1: a cross-shard sender's hop count is unknown to the receiving
+// shard). opts.Shards below 1 auto-selects GOMAXPROCS; executions whose
+// latency model has no positive floor fall back to one shard.
+func ExecuteOnNetworkSharded(p Params, netCfg simnet.Config, r *xrand.RNG, inject func(*NetRun), sa *ShardArena, probe *obs.Probe, opts ShardOptions) (NetResult, error) {
+	if err := p.Validate(); err != nil {
+		return NetResult{}, err
+	}
+	shards := EffectiveShards(opts.Shards, p.N, netCfg)
+	if sa == nil {
+		sa = NewShardArena(shards)
+	} else {
+		sa.ensure(shards)
+	}
+	kernels, ctl, sn, mask := sa.kernels, sa.ctl, sa.net, sa.mask
+	if shards == 1 {
+		// One shard: the control kernel is the shard kernel, so control
+		// events interleave with deliveries exactly as on the single
+		// kernel — the anchor of the byte-identical shards=1 contract.
+		ctl = kernels[0]
+	}
+	group := sim.NewShardGroup(kernels, ctl, latencyFloor(netCfg.Latency))
+	block := (p.N + shards - 1) / shards
+
+	// RNG layout. Splits never advance r, so the mask draw below is
+	// independent of the shard count.
+	states := sa.states
+	if shards == 1 {
+		states[0].rng = r
+	} else {
+		for s := range states {
+			states[s].rng = r.Split(shardSplit + uint64(s))
+		}
+	}
+	sn.Prepare(shards, p.N, netCfg)
+	group.Each(func(s int) {
+		// Per-shard state is reset on the shard's own goroutine: the
+		// kernel queue, the network's bitsets and pools, and the local
+		// received bitset are first-touched by the topology that runs
+		// them.
+		st := &states[s]
+		kernels[s].Reset()
+		kernels[s].SetBudget(uint64(p.N) * 10000)
+		sn.ResetShard(s, kernels[s], st.rng.Split(0xfeed))
+		lo, hi := s*block, min((s+1)*block, p.N)
+		st.received.Reset(hi - lo)
+		st.delivered, st.msgs, st.wasted, st.dups = 0, 0, 0, 0
+		st.upAtEnd, st.delivUp = 0, 0
+		st.spread = 0
+		st.lat = stats.Running{}
+	})
+	if shards > 1 {
+		ctl.Reset()
+	}
+	p.drawMaskInto(mask, r)
+	view := p.view()
+
+	if probe != nil {
+		if shards == 1 {
+			states[0].probe = probe
+			probe.Attach(sn.Shard(0), p.N, &states[0].delivered)
+		} else {
+			for s, child := range probe.ShardProbes(shards) {
+				states[s].probe = child
+				child.Attach(sn.Shard(s), p.N, &states[s].delivered)
+			}
+		}
+	} else {
+		for s := range states {
+			states[s].probe = nil
+		}
+	}
+
+	// forward and receive mirror the single-kernel executor line for
+	// line; both run on shard s's goroutine (or with every worker parked).
+	var forward func(s, self int)
+	forward = func(s, self int) {
+		st := &states[s]
+		f := p.Fanout.Sample(st.rng)
+		st.targets = view.SampleTargets(st.targets, self, f, st.rng)
+		st.msgs += len(st.targets)
+		st.probe.ObserveFanout(len(st.targets))
+		for _, v := range st.targets {
+			if !mask.Alive(v) {
+				st.wasted++
+			}
+			sn.Shard(s).Send(simnet.NodeID(self), simnet.NodeID(v), nil)
+		}
+	}
+	receive := func(s, id, from int, now sim.Time) {
+		st := &states[s]
+		st.received.Set(id - s*block)
+		st.delivered++
+		st.lat.Add(now.Seconds())
+		if now > st.spread {
+			st.spread = now
+		}
+		st.probe.ObserveFirstReceipt(id, from, now)
+		forward(s, id)
+	}
+	for s := 0; s < shards; s++ {
+		s := s
+		st := &states[s]
+		base := s * block
+		sn.Shard(s).RegisterAll(func(now sim.Time, msg simnet.Message) {
+			id := int(msg.To)
+			if st.received.Get(id - base) {
+				st.dups++
+				return
+			}
+			receive(s, id, int(msg.From), now)
+		})
+	}
+	group.Each(func(s int) {
+		for id := s * block; id < min((s+1)*block, p.N); id++ {
+			if !mask.Alive(id) {
+				sn.Shard(s).Crash(simnet.NodeID(id))
+			}
+		}
+	})
+
+	if inject != nil {
+		inject(&NetRun{
+			Kernel: ctl,
+			Net:    sn,
+			View:   view,
+			mask:   mask,
+			hasReceived: func(id int) bool {
+				s := id / block
+				return states[s].received.Get(id - s*block)
+			},
+			delivered: func() int {
+				total := 0
+				for s := range states {
+					total += states[s].delivered
+				}
+				return total
+			},
+			pending: func() int {
+				n := ctl.Pending() + sn.Buffered()
+				if shards > 1 {
+					for _, k := range kernels {
+						n += k.Pending()
+					}
+				}
+				return n
+			},
+			publish: func(id int) {
+				if id < 0 || id >= p.N || !sn.Up(simnet.NodeID(id)) || !mask.Alive(id) {
+					return
+				}
+				s := id / block
+				act := func(now sim.Time) {
+					if states[s].received.Get(id - s*block) {
+						forward(s, id) // re-gossip
+						return
+					}
+					receive(s, id, -1, now)
+				}
+				if shards == 1 {
+					act(ctl.Now())
+					return
+				}
+				// The publish must execute on the owning shard's clock:
+				// park it there at the control kernel's current time
+				// (strictly ahead of the shard's clock, which stopped
+				// before the barrier).
+				now := ctl.Now()
+				kernels[s].At(now, func() { act(now) })
+			},
+		})
+	}
+
+	// The source initiates at t=0 (workers not yet running, so seeding
+	// shard-owned state from here is safe), mirroring the single-kernel
+	// bootstrap: no latency sample for the source.
+	if src := p.Source; !states[src/block].received.Get(src - (src/block)*block) {
+		s := src / block
+		states[s].received.Set(src - s*block)
+		states[s].delivered++
+		states[s].probe.ObserveSeed(src)
+		forward(s, src)
+	}
+
+	var runErr error
+	if shards == 1 {
+		runErr = ctl.RunAll()
+	} else {
+		var onBarrier func(now sim.Time, fired uint64)
+		if opts.Progress != nil {
+			onBarrier = func(now sim.Time, fired uint64) { opts.Progress(fired, now) }
+		}
+		runErr = group.Run(sn.Flush, sn.Buffered, onBarrier)
+	}
+	if runErr != nil {
+		return NetResult{}, fmt.Errorf("core: network execution aborted: %w", runErr)
+	}
+	if probe != nil {
+		if shards == 1 {
+			probe.Finish(ctl.Now())
+		} else {
+			for s := range states {
+				states[s].probe.Finish(kernels[s].Now())
+			}
+			probe.AdoptShards()
+		}
+	}
+
+	group.Each(func(s int) {
+		st := &states[s]
+		nw := sn.Shard(s)
+		for id := s * block; id < min((s+1)*block, p.N); id++ {
+			if nw.Up(simnet.NodeID(id)) {
+				st.upAtEnd++
+				if st.received.Get(id - s*block) {
+					st.delivUp++
+				}
+			}
+		}
+	})
+
+	res := NetResult{Result: Result{AliveCount: mask.AliveCount()}}
+	for s := range states {
+		st := &states[s]
+		res.Delivered += st.delivered
+		res.MessagesSent += st.msgs
+		res.WastedOnFailed += st.wasted
+		res.Duplicates += st.dups
+		res.UpAtEnd += st.upAtEnd
+		res.DeliveredUp += st.delivUp
+		res.DeliveryLatency.Merge(st.lat)
+		if d := st.spread.Duration(); d > res.SpreadTime {
+			res.SpreadTime = d
+		}
+	}
+	if res.AliveCount > 0 {
+		res.Reliability = float64(res.Delivered) / float64(res.AliveCount)
+	}
+	if res.UpAtEnd > 0 {
+		res.SurvivorReliability = float64(res.DeliveredUp) / float64(res.UpAtEnd)
+	}
+	res.Net = sn.Stats()
+	return res, nil
+}

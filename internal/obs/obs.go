@@ -99,6 +99,11 @@ type Probe struct {
 
 	end    sim.Time
 	totals simnet.Stats
+
+	// Sharded runs: pooled per-shard child probes and their merged
+	// telemetry (see ShardProbes / AdoptShards in shard.go).
+	children []*Probe
+	adopted  *Metrics
 }
 
 // New returns a probe collecting per opts. Histogram and ring buffers are
@@ -136,6 +141,7 @@ func (p *Probe) Attach(net *simnet.Network, n int, delivered *int) {
 		return
 	}
 	p.net, p.delivered = net, delivered
+	p.adopted = nil
 	p.next = 0
 	p.truncated = false
 	p.end = 0
@@ -354,6 +360,9 @@ type Metrics struct {
 func (p *Probe) Metrics() *Metrics {
 	if p == nil {
 		return nil
+	}
+	if p.adopted != nil {
+		return p.adopted
 	}
 	m := &Metrics{
 		Tick:         p.opts.CurveTick,

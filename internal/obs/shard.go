@@ -1,0 +1,137 @@
+package obs
+
+import "sort"
+
+// ShardProbes leases k child probes for a sharded execution — one per
+// shard kernel, each attached to its shard's network and delivered
+// counter. Children share the parent's options except hop collection,
+// which is disabled for k > 1: a receiving shard cannot know a
+// cross-shard sender's hop count, so hop histograms exist only on
+// single-kernel (and shards=1) runs. Children are pooled on the parent
+// across runs. Call AdoptShards after the run so the parent's Metrics
+// reflects the merged telemetry.
+func (p *Probe) ShardProbes(k int) []*Probe {
+	if p == nil {
+		return nil
+	}
+	for len(p.children) < k {
+		opts := p.opts
+		if k > 1 {
+			opts.HopBins = -1
+		}
+		p.children = append(p.children, New(opts))
+	}
+	p.children = p.children[:k]
+	return p.children
+}
+
+// AdoptShards merges the children's finished telemetry (ShardProbes →
+// per-child Attach/Finish) into one whole-run Metrics that the parent's
+// Metrics method returns until its next Attach.
+func (p *Probe) AdoptShards() {
+	if p == nil {
+		return
+	}
+	parts := make([]*Metrics, len(p.children))
+	for i, c := range p.children {
+		parts[i] = c.Metrics()
+	}
+	p.adopted = MergeShardMetrics(parts)
+}
+
+// MergeShardMetrics merges per-shard Metrics of one sharded execution
+// into the whole-run view: curves are summed elementwise (a shard that
+// drained early holds its final value — its state really does stay flat
+// while other shards run on), totals and histograms are summed, and
+// traces are k-way merged by event time. Cumulative per-shard series are
+// exact under summation because every child samples on the same tick
+// grid from virtual time zero. Returns nil for no parts.
+func MergeShardMetrics(parts []*Metrics) *Metrics {
+	if len(parts) == 0 {
+		return nil
+	}
+	m := &Metrics{Tick: parts[0].Tick}
+	maxLen := 0
+	for _, part := range parts {
+		if part.End > m.End {
+			m.End = part.End
+		}
+		m.Truncated = m.Truncated || part.Truncated
+		if n := len(part.Infected); n > maxLen {
+			maxLen = n
+		}
+		m.Totals.Sent += part.Totals.Sent
+		m.Totals.Delivered += part.Totals.Delivered
+		m.Totals.DroppedLoss += part.Totals.DroppedLoss
+		m.Totals.DroppedCrash += part.Totals.DroppedCrash
+		m.Totals.DroppedDown += part.Totals.DroppedDown
+		m.Totals.DroppedPart += part.Totals.DroppedPart
+		m.TraceDropped += part.TraceDropped
+	}
+	series := func(pick func(*Metrics) []int64) []int64 {
+		return sumShardSeries(parts, maxLen, pick)
+	}
+	m.Infected = series(func(p *Metrics) []int64 { return p.Infected })
+	m.InFlight = series(func(p *Metrics) []int64 { return p.InFlight })
+	m.Sent = series(func(p *Metrics) []int64 { return p.Sent })
+	m.Delivered = series(func(p *Metrics) []int64 { return p.Delivered })
+	m.DroppedLoss = series(func(p *Metrics) []int64 { return p.DroppedLoss })
+	m.DroppedCrash = series(func(p *Metrics) []int64 { return p.DroppedCrash })
+	m.DroppedDown = series(func(p *Metrics) []int64 { return p.DroppedDown })
+	m.DroppedPart = series(func(p *Metrics) []int64 { return p.DroppedPart })
+	m.Latency = sumShardHists(parts, func(p *Metrics) HistSnapshot { return p.Latency })
+	m.Hops = sumShardHists(parts, func(p *Metrics) HistSnapshot { return p.Hops })
+	m.Fanout = sumShardHists(parts, func(p *Metrics) HistSnapshot { return p.Fanout })
+	for _, part := range parts {
+		m.Trace = append(m.Trace, part.Trace...)
+	}
+	if m.Trace != nil {
+		sort.SliceStable(m.Trace, func(i, j int) bool { return m.Trace[i].At < m.Trace[j].At })
+	}
+	return m
+}
+
+// sumShardSeries sums one series across shards, padding shorter shards
+// with their final value (empty shards contribute zero).
+func sumShardSeries(parts []*Metrics, maxLen int, pick func(*Metrics) []int64) []int64 {
+	if maxLen == 0 {
+		return nil
+	}
+	out := make([]int64, maxLen)
+	for _, part := range parts {
+		s := pick(part)
+		for i := 0; i < maxLen; i++ {
+			switch {
+			case i < len(s):
+				out[i] += s[i]
+			case len(s) > 0:
+				out[i] += s[len(s)-1]
+			}
+		}
+	}
+	return out
+}
+
+// sumShardHists sums one histogram across shards; shards with the
+// collector disabled (nil Counts) are skipped, and the merged histogram
+// is nil-Counts when every shard's was.
+func sumShardHists(parts []*Metrics, pick func(*Metrics) HistSnapshot) HistSnapshot {
+	var out HistSnapshot
+	for _, part := range parts {
+		h := pick(part)
+		if h.Counts == nil {
+			continue
+		}
+		if out.Counts == nil {
+			out.BinWidth = h.BinWidth
+			out.Counts = make([]int64, len(h.Counts))
+		}
+		for i := range h.Counts {
+			if i < len(out.Counts) {
+				out.Counts[i] += h.Counts[i]
+			}
+		}
+		out.Total += h.Total
+	}
+	return out
+}

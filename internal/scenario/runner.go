@@ -61,6 +61,14 @@ type RunConfig struct {
 	// Executor selects the protocol under the campaign; nil runs the
 	// paper's algorithm (Params). The comparison grid sets it per row.
 	Executor Executor
+	// Shards selects the execution runtime for the default (paper)
+	// executor: values above 1 run the conservative-PDES sharded kernel
+	// (core.ExecuteOnNetworkSharded) with that many shard kernels, 0 and 1
+	// run the single-kernel oracle — so existing configs and sweep JSON
+	// goldens are byte-identical by default. The sharded runtime falls
+	// back to one shard (still the sharded code path) when the latency
+	// model has no positive floor. Protocol executors ignore it.
+	Shards int
 	// RoundInterval paces the round ticks of round-driven protocol
 	// executors (the paper's algorithm is purely event-driven and ignores
 	// it). Zero defaults per protocols.DESConfig: the latency model's
@@ -133,6 +141,10 @@ func ExecutePaper(cfg RunConfig, r *xrand.RNG, inject func(*core.NetRun), arena 
 	}
 	if cfg.PartialViewCopies > 0 && p.View == nil {
 		p.View = membership.NewPartialViews(p.N, cfg.PartialViewCopies, r.Split(0x71e75))
+	}
+	if cfg.Shards > 1 {
+		return core.ExecuteOnNetworkSharded(p, cfg.Net, r, inject, arena.Sharded(cfg.Shards), cfg.Probe,
+			core.ShardOptions{Shards: cfg.Shards})
 	}
 	return core.ExecuteOnNetworkProbed(p, cfg.Net, r, inject, arena, cfg.Probe)
 }
@@ -290,7 +302,7 @@ func schedule(run *core.NetRun, e *env, steps []Step) {
 				if next > sim.Time(st.Until) {
 					return // recurrence window closed
 				}
-			} else if run.Kernel.Pending() <= self {
+			} else if run.Pending() <= self {
 				return // only campaign bookkeeping left; let the run drain
 			}
 			self++
@@ -340,7 +352,7 @@ func scheduleStall(run *core.NetRun, e *env, st Step, self *int) {
 			st.Action.apply(e)
 			return // fires at most once per run
 		}
-		if run.Kernel.Pending() <= *self && stallSatisfied(run, e.n) {
+		if run.Pending() <= *self && stallSatisfied(run, e.n) {
 			return // run is done except for bookkeeping; stop watching
 		}
 		*self++

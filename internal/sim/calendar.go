@@ -184,14 +184,26 @@ func (c *CalendarQueue) insert(rec record) {
 	abs := c.absBucket(rec.at)
 	if abs == c.curAbs {
 		// Keep descending fire order: bubble the record from the tail
-		// past everything that fires after it.
-		c.cur = append(c.cur, rec)
-		i := len(c.cur) - 1
-		for i > 0 && c.cur[i-1].before(rec) {
-			c.cur[i] = c.cur[i-1]
-			i--
+		// past everything that fires after it. The bubble is capped —
+		// a record that outranks most of the scratch would make bulk
+		// same-bucket insertion quadratic (a sharded barrier flush under
+		// constant latency lands a whole wave on one timestamp, every
+		// new seq firing after all its ties), so past maxBubble steps
+		// the scratch goes back to its segments and the record is
+		// appended; ready() re-sorts the bucket once instead.
+		const maxBubble = 64
+		if n := len(c.cur); n >= maxBubble && c.cur[n-maxBubble].before(rec) {
+			c.flushCur()
+			c.appendRec(abs&c.mask, rec)
+		} else {
+			c.cur = append(c.cur, rec)
+			i := len(c.cur) - 1
+			for i > 0 && c.cur[i-1].before(rec) {
+				c.cur[i] = c.cur[i-1]
+				i--
+			}
+			c.cur[i] = rec
 		}
-		c.cur[i] = rec
 	} else {
 		if c.curAbs >= 0 && abs < c.curAbs {
 			c.flushCur()

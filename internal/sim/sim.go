@@ -247,6 +247,18 @@ func (k *Kernel) Cancel(e *Event) bool {
 // Pending returns the number of queued events, not counting canceled ones.
 func (k *Kernel) Pending() int { return k.live }
 
+// NextEventTime returns the timestamp of the earliest live pending event,
+// or false if none is queued. The sharded runtime's window computation
+// polls every shard kernel with it at each barrier.
+func (k *Kernel) NextEventTime() (Time, bool) {
+	k.dropCanceled()
+	rec, ok := k.qpeek()
+	if !ok {
+		return 0, false
+	}
+	return rec.at, true
+}
+
 // Step fires the earliest pending event and returns true, or returns false
 // if no live event is queued.
 func (k *Kernel) Step() bool {

@@ -110,3 +110,65 @@ func TestReviewCalendarOverflowOnly(t *testing.T) {
 		t.Fatalf("calendar not empty: %d", cal.len())
 	}
 }
+
+// TestReviewCalendarBulkSameTimeInsertIntoDrainedBucket pins the capped
+// bubble in CalendarQueue.insert: when the cursor has already gathered a
+// bucket into the sorted scratch and a bulk of records lands on that same
+// bucket — the sharded barrier-flush pattern under constant latency,
+// where a whole wave shares one timestamp and every new seq fires after
+// all its ties — insertion must stay near-linear (the scratch is
+// returned to its segments past maxBubble steps and re-sorted once) and
+// the fire order must remain exactly the reference heap's (at, seq)
+// order.
+func TestReviewCalendarBulkSameTimeInsertIntoDrainedBucket(t *testing.T) {
+	k := New()
+	ref := &oldKernel{}
+	var got, want []int32
+	h := k.RegisterHandler(func(now Time, node, payload int32) {
+		got = append(got, node)
+	})
+	k.SetBoundedDelayHint(5*time.Millisecond, 4096)
+	if k.QueueKind() != "calendar" {
+		t.Fatalf("queue kind %q, want calendar", k.QueueKind())
+	}
+
+	wave := Time(10 * time.Millisecond)
+	id := int32(0)
+	sched := func(at Time) {
+		n := id
+		id++
+		k.Schedule(at, h, n, 0)
+		ref.at(at, func() { want = append(want, n) })
+	}
+	for i := 0; i < 200; i++ {
+		sched(wave)
+	}
+	// Load the wave's bucket into the drain scratch: Run peeks past an
+	// empty horizon, which gathers and sorts the earliest bucket.
+	if err := k.Run(Time(5 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	ref.run(Time(5 * time.Millisecond))
+	// Bulk insert into the gathered bucket: same timestamp (ties firing
+	// after everything buffered — the quadratic case before the cap),
+	// plus stragglers just before and after the wave.
+	for i := 0; i < 400; i++ {
+		sched(wave)
+		if i%50 == 0 {
+			sched(wave - Time(i+1))
+			sched(wave + Time(i+1))
+		}
+	}
+	if err := k.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	ref.run(End)
+	if len(got) != len(want) || len(got) != int(id) {
+		t.Fatalf("fired %d events, reference %d, scheduled %d", len(got), len(want), id)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("fire order diverged at %d: got node %d, reference %d", i, got[i], want[i])
+		}
+	}
+}

@@ -45,9 +45,32 @@ type LatencyBounder interface {
 	LatencyBound() (time.Duration, bool)
 }
 
+// LatencyFloorer is optionally implemented by latency models whose draws
+// never fall below a known minimum. A positive floor is the lookahead
+// window of the conservative-PDES sharded runtime: events less than the
+// floor apart on different shards cannot influence each other, so shard
+// kernels may advance that far in parallel. Models without a positive
+// floor keep executions on the single kernel (the sharded runtime falls
+// back rather than guessing).
+type LatencyFloorer interface {
+	// LatencyFloor returns the minimum delay the model can draw, and
+	// whether such a floor exists.
+	LatencyFloor() (time.Duration, bool)
+}
+
 // LossModel decides whether a message is dropped in transit.
 type LossModel interface {
 	Drop(r *xrand.RNG, from, to NodeID) bool
+}
+
+// LossCloner is optionally implemented by loss models carrying mutable
+// state (e.g. *GilbertElliott's burst state). The sharded fabric clones
+// such a model per shard so concurrent draws neither race nor entangle
+// the shards' RNG-independent streams; stateless models are shared.
+type LossCloner interface {
+	// CloneLoss returns an independent copy starting from the model's
+	// current state.
+	CloneLoss() LossModel
 }
 
 // ---------------------------------------------------------------------------
@@ -61,6 +84,9 @@ func (c ConstantLatency) Latency(*xrand.RNG, NodeID, NodeID) time.Duration { ret
 
 // LatencyBound implements LatencyBounder.
 func (c ConstantLatency) LatencyBound() (time.Duration, bool) { return c.D, true }
+
+// LatencyFloor implements LatencyFloorer.
+func (c ConstantLatency) LatencyFloor() (time.Duration, bool) { return c.D, true }
 
 // UniformLatency draws delays uniformly from [Lo, Hi].
 type UniformLatency struct{ Lo, Hi time.Duration }
@@ -81,6 +107,9 @@ func (u UniformLatency) LatencyBound() (time.Duration, bool) {
 	return u.Hi, true
 }
 
+// LatencyFloor implements LatencyFloorer.
+func (u UniformLatency) LatencyFloor() (time.Duration, bool) { return u.Lo, true }
+
 // ExponentialLatency draws delays from Exp(mean) shifted by Floor, a common
 // WAN model (propagation floor plus queueing tail).
 type ExponentialLatency struct {
@@ -92,6 +121,9 @@ type ExponentialLatency struct {
 func (e ExponentialLatency) Latency(r *xrand.RNG, _, _ NodeID) time.Duration {
 	return e.Floor + time.Duration(r.ExpFloat64()*float64(e.Mean))
 }
+
+// LatencyFloor implements LatencyFloorer.
+func (e ExponentialLatency) LatencyFloor() (time.Duration, bool) { return e.Floor, true }
 
 // ---------------------------------------------------------------------------
 // Loss models
@@ -127,6 +159,13 @@ func NewGilbertElliott(pG2B, pB2G, pGood, pBad float64) *GilbertElliott {
 		}
 	}
 	return &GilbertElliott{PG2B: pG2B, PB2G: pB2G, PGood: pGood, PBad: pBad}
+}
+
+// CloneLoss implements LossCloner: the copy starts from g's current
+// channel state and evolves independently.
+func (g *GilbertElliott) CloneLoss() LossModel {
+	c := *g
+	return &c
 }
 
 // Drop implements LossModel.
@@ -207,6 +246,11 @@ type Network struct {
 	deliverID sim.HandlerID
 	inflight  []inflight
 	freeMsg   []int32
+
+	// route, when installed, intercepts payload-free sends whose
+	// destination lives on another shard (see SetRoute). The single-kernel
+	// hot path pays one nil check for the seam.
+	route func(from, to NodeID, tag int32, sentAt, at sim.Time) bool
 }
 
 // New returns a network of n nodes driven by kernel, with randomness from
@@ -247,6 +291,7 @@ func (nw *Network) Reset(kernel *sim.Kernel, n int, rng *xrand.RNG, cfg Config) 
 	nw.stats = Stats{}
 	nw.tracer = cfg.Tracer
 	nw.traceFull = cfg.Tracer != nil
+	nw.route = nil
 	if nw.latency == nil {
 		nw.latency = ConstantLatency{}
 	}
@@ -361,6 +406,14 @@ func (nw *Network) send(from, to NodeID, tag int32, payload any) {
 	if d < 0 {
 		d = 0
 	}
+	// A routed (cross-shard) destination: all send-time concerns — sender
+	// liveness, Sent count, partition and loss draws, the latency draw —
+	// have already been decided here with this shard's RNG; the hook takes
+	// over delivery scheduling on the owning shard. Only payload-free
+	// messages route (the sharded fabric carries no payloads).
+	if nw.route != nil && payload == nil && nw.route(from, to, tag, now, now.Add(d)) {
+		return
+	}
 	// Payload-free messages with no full tracer watching — the entire
 	// gossip hot path, including runs observed through a lite tracer —
 	// need no in-flight slot: the sender id (and, when the group is small
@@ -374,6 +427,39 @@ func (nw *Network) send(from, to NodeID, tag int32, payload any) {
 	}
 	slot := nw.allocMsg(from, now, tag, payload)
 	nw.kernel.ScheduleAfter(d, nw.deliverID, int32(to), slot)
+}
+
+// SetRoute installs (or clears, with nil) the cross-shard routing hook:
+// send consults it after every send-time decision (liveness, Sent count,
+// partition, loss, latency draw) for payload-free messages, passing the
+// send time and the drawn delivery time; returning true means the hook
+// accepted the message for delivery on another shard and this network
+// schedules nothing. Install only on sharded fabrics — the hot path cost
+// when unset is a single nil check.
+func (nw *Network) SetRoute(route func(from, to NodeID, tag int32, sentAt, at sim.Time) bool) {
+	nw.route = route
+}
+
+// ScheduleArrival schedules delivery of a payload-free message on this
+// network's kernel at absolute time at — the entry the sharded fabric
+// hands cross-shard messages to their destination shard through at window
+// barriers. Send-time accounting (Sent count, loss/partition draws, send
+// trace) already happened on the sender's shard; delivery-time outcomes
+// (destination crash, delivery-time partition, handler dispatch) are
+// decided here as for any local message. Arrivals before the kernel's
+// current time are clamped to it.
+func (nw *Network) ScheduleArrival(from, to NodeID, tag int32, sentAt, at sim.Time) {
+	nw.checkID(from)
+	nw.checkID(to)
+	if now := nw.kernel.Now(); at < now {
+		at = now
+	}
+	if !nw.traceFull && (tag == 0 || (nw.packTags && tag < tagLimit)) {
+		nw.kernel.Schedule(at, nw.deliverID, int32(to), -(int32(from)|tag<<tagShift)-1)
+		return
+	}
+	slot := nw.allocMsg(from, sentAt, tag, nil)
+	nw.kernel.Schedule(at, nw.deliverID, int32(to), slot)
 }
 
 // allocMsg parks a message's payload in a pooled slot and returns its index.
@@ -478,6 +564,25 @@ func (nw *Network) SetLatency(l LatencyModel) {
 		l = ConstantLatency{}
 	}
 	nw.latency = l
+}
+
+// Fabric is the network-control surface shared by a single *Network and
+// the sharded fabric (*ShardedNet): everything fault-injection hooks and
+// executors drive mid-run — liveness, partitions, model swaps, counter
+// snapshots — without caring how many kernels carry the traffic. All
+// methods must be called with the execution quiescent or parked at a
+// window barrier (the kernel goroutine for a single network, the control
+// context for a sharded one).
+type Fabric interface {
+	N() int
+	Up(id NodeID) bool
+	Crash(id NodeID)
+	Restart(id NodeID)
+	SetPartition(blocked func(a, b NodeID) bool)
+	SetLoss(l LossModel)
+	SetLatency(l LatencyModel)
+	Stats() Stats
+	Drained() bool
 }
 
 // SplitPartition partitions the nodes into two sides by a membership

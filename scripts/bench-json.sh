@@ -1,0 +1,65 @@
+#!/bin/sh
+# bench-json.sh — run the four headline benchmarks and emit BENCH_<date>.json
+# so the perf trajectory is machine-readable across PRs.
+#
+# Headline set (internal/core):
+#   ExecuteOnNetworkMillion             single kernel, probes off (alloc guard)
+#   ExecuteOnNetworkMillionProbed       single kernel, probes on (telemetry cost)
+#   ExecuteOnNetworkShardedMillion/shards=1   sharded entry point, one shard
+#                                             (the <=5% overhead claim)
+#   ExecuteOnNetwork/n=100000           the sweep-sized hot path
+#
+# Each record carries ns/op, msgs/s, and allocs/op parsed from `go test
+# -bench` output — awk only, no external JSON tooling. The n=10⁷ benchmarks
+# stay out (multi-GB, minutes-long); on a 1-vCPU CI runner the single-shard
+# numbers are the meaningful ones and the multicore sharded sub-benchmarks
+# can be added to BENCH regexp below when run on real hardware.
+#
+# Usage: scripts/bench-json.sh [outfile]        (default BENCH_<YYYY-MM-DD>.json)
+#        BENCHTIME=3x scripts/bench-json.sh     (more stable numbers)
+set -eu
+cd "$(dirname "$0")/.."
+
+out=${1:-BENCH_$(date +%Y-%m-%d).json}
+benchtime=${BENCHTIME:-1x}
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+# No pipe: under plain sh a `go test | tee` failure would be masked by
+# tee's exit status, and the Million benchmark doubles as the alloc guard.
+go test ./internal/core -run XXX \
+    -bench 'ExecuteOnNetworkMillion(Probed)?$|ExecuteOnNetworkShardedMillion/shards=1$|ExecuteOnNetwork/n=100000$' \
+    -benchtime "$benchtime" > "$raw"
+cat "$raw"
+
+awk -v date="$(date +%Y-%m-%d)" -v benchtime="$benchtime" '
+/^goos:/   { goos = $2 }
+/^goarch:/ { goarch = $2 }
+/^cpu:/    { sub(/^cpu: */, ""); cpu = $0 }
+/^Benchmark/ {
+    name = $1; sub(/-[0-9]+$/, "", name); sub(/^Benchmark/, "", name)
+    iters = $2
+    ns = ""; msgs = ""; allocs = ""
+    for (i = 3; i < NF; i++) {
+        if ($(i + 1) == "ns/op")     ns = $i
+        if ($(i + 1) == "msgs/sec")  msgs = $i
+        if ($(i + 1) == "allocs/op") allocs = $i
+    }
+    n++
+    rec[n] = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_op\": %s, \"msgs_per_sec\": %s, \"allocs_op\": %s}",
+                     name, iters, ns == "" ? "null" : ns,
+                     msgs == "" ? "null" : msgs, allocs == "" ? "null" : allocs)
+}
+END {
+    printf "{\n"
+    printf "  \"date\": \"%s\",\n", date
+    printf "  \"benchtime\": \"%s\",\n", benchtime
+    printf "  \"goos\": \"%s\",\n", goos
+    printf "  \"goarch\": \"%s\",\n", goarch
+    printf "  \"cpu\": \"%s\",\n", cpu
+    printf "  \"benchmarks\": [\n"
+    for (i = 1; i <= n; i++) printf "%s%s\n", rec[i], i < n ? "," : ""
+    printf "  ]\n}\n"
+}' "$raw" > "$out"
+
+echo "bench-json: wrote $out"

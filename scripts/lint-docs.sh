@@ -25,6 +25,21 @@ for dir in cmd/*/; do
         fail=1
     fi
 done
+# ARCHITECTURE.md must keep the "Parallel kernel" section in sync with the
+# sharded runtime: the section heading plus its load-bearing anchors (the
+# entry point, the fallback resolver, and the determinism contract). A
+# rename in code without the matching doc update fails here.
+for anchor in \
+    "## Parallel kernel" \
+    "ExecuteOnNetworkSharded" \
+    "EffectiveShards" \
+    "Determinism contract" \
+    "LatencyFloorer"; do
+    if ! grep -qs "$anchor" ARCHITECTURE.md; then
+        echo "docs-lint: ARCHITECTURE.md lost its Parallel kernel anchor: '$anchor'" >&2
+        fail=1
+    fi
+done
 if [ "$fail" -ne 0 ]; then
     echo "docs-lint: add the missing package/command comments (doc.go preferred for packages)" >&2
     exit 1
