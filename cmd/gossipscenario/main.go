@@ -14,6 +14,8 @@
 //	gossipscenario run -scenario crash-wave -curves csv    # sampled π(t)/in-flight series
 //	gossipscenario grid -qs 0.6,0.8,1.0 -fanouts 3,5,8 -format csv
 //	gossipscenario compare -scenarios crash-wave,burst-loss,partition-heal -seeds 5 -format ascii
+//	gossipscenario run -scenario crash-wave -topology kout:8     # gossip over a k-out overlay
+//	gossipscenario compare -topologies uniform,kout:8,wan:4 -seeds 5   # (protocol x scenario x topology) grid
 //
 // Every subcommand takes -pprof ADDR to serve net/http/pprof while it runs.
 //
@@ -98,6 +100,7 @@ flags (run/sweep):
   -progress             stream per-cell progress to stderr
   -pprof ADDR           serve net/http/pprof on ADDR while running (all subcommands)
   -curves FMT           also emit merged per-scenario telemetry curves; FMT: csv (run/sweep)
+  -topology SPEC        gossip overlay: uniform, kout[:K], ba[:K], wan:ZONES[:K] (run/sweep)
 
 flags (grid only):
   -qs LIST              comma-separated nonfailed ratios, e.g. 0.6,0.8,1.0
@@ -108,6 +111,8 @@ flags (compare only):
   -protocols LIST       comma-separated rows: paper, pbcast, lpbcast, anti-entropy,
                         rdg, lrg, flooding (default: all seven)
   -rounds INT           round budget for the round-based baselines (default 10)
+  -topologies LIST      comma-separated overlays; non-empty grows the grid a
+                        topology axis, e.g. uniform,kout:8,wan:4
 `)
 }
 
@@ -166,6 +171,7 @@ func run(ctx context.Context, args []string, sweep bool) error {
 		progress = fs.Bool("progress", false, "stream per-cell progress to stderr")
 		curves   = fs.String("curves", "", "also emit merged per-scenario telemetry curves: csv")
 		shards   = fs.Int("shards", 1, "shard kernels per execution (conservative-PDES; 1 = single kernel, 0 = one per core)")
+		topoFlag = fs.String("topology", "uniform", "gossip overlay: uniform, kout[:K], ba[:K], wan:ZONES[:K]")
 	)
 	pprof := pprofFlag(fs)
 	if err := fs.Parse(args); err != nil {
@@ -193,6 +199,10 @@ func run(ctx context.Context, args []string, sweep bool) error {
 	if err != nil {
 		return err
 	}
+	topo, err := gossipkit.ParseTopology(*topoFlag)
+	if err != nil {
+		return err
+	}
 	if *shards <= 0 {
 		*shards = runtime.GOMAXPROCS(0)
 	}
@@ -202,6 +212,7 @@ func run(ctx context.Context, args []string, sweep bool) error {
 			Params:            gossipkit.Params{N: *n, Fanout: d, AliveRatio: *q},
 			PartialViewCopies: *views,
 			Shards:            *shards,
+			Topology:          topo,
 		},
 	}
 	cells := len(scenarios) * *seeds
@@ -360,6 +371,7 @@ func compare(ctx context.Context, args []string) error {
 		workers   = fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 		format    = fs.String("format", "csv", "output format: csv, json, ascii")
 		progress  = fs.Bool("progress", false, "stream per-cell progress to stderr")
+		topoList  = fs.String("topologies", "", "comma-separated overlay topologies; non-empty grows a third grid axis (e.g. uniform,kout:8,wan:4)")
 	)
 	pprof := pprofFlag(fs)
 	if err := fs.Parse(args); err != nil {
@@ -382,6 +394,15 @@ func compare(ctx context.Context, args []string) error {
 			Params:            gossipkit.Params{N: *n, Fanout: d, AliveRatio: *q},
 			PartialViewCopies: *views,
 		},
+	}
+	if *topoList != "" {
+		for _, t := range strings.Split(*topoList, ",") {
+			topo, err := gossipkit.ParseTopology(strings.TrimSpace(t))
+			if err != nil {
+				return err
+			}
+			spec.Topologies = append(spec.Topologies, topo)
+		}
 	}
 	rows := strings.Split("paper,pbcast,lpbcast,anti-entropy,rdg,lrg,flooding", ",")
 	if *protoList != "" {
@@ -410,7 +431,8 @@ func compare(ctx context.Context, args []string) error {
 		}
 		spec.Protocols = append(spec.Protocols, p)
 	}
-	cells := (len(spec.Protocols) + b2i(spec.Paper)) * len(scenarios) * *seeds
+	topos := max(len(spec.Topologies), 1)
+	cells := topos * (len(spec.Protocols) + b2i(spec.Paper)) * len(scenarios) * *seeds
 
 	start := time.Now()
 	out, err := gossipkit.RunMany(ctx, spec, *seeds,
@@ -421,8 +443,8 @@ func compare(ctx context.Context, args []string) error {
 	}
 	result := out.Aggregate.(*gossipkit.ScenarioCompareResult)
 	elapsed := time.Since(start)
-	fmt.Fprintf(os.Stderr, "ran %d protocols x %d scenarios x %d seeds = %d executions in %v (%.1f runs/sec)\n",
-		len(result.Protocols), len(scenarios), *seeds, cells,
+	fmt.Fprintf(os.Stderr, "ran %d protocols x %d scenarios x %d topologies x %d seeds = %d executions in %v (%.1f runs/sec)\n",
+		len(result.Protocols), len(scenarios), topos, *seeds, cells,
 		elapsed.Round(time.Millisecond), float64(cells)/elapsed.Seconds())
 
 	switch *format {

@@ -12,6 +12,8 @@
 //	gossipsim -latency 5ms -trace out.json   # Chrome trace of the network run
 //	gossipsim -pprof localhost:6060 ...      # live net/http/pprof endpoint
 //	gossipsim -n 10000000 -latency 5ms -shards 0 -progress   # sharded kernel, one shard per core
+//	gossipsim -n 10000 -topology kout:8          # gossip over a k-out overlay
+//	gossipsim -n 10000 -topology wan:4           # 4 WAN zones + zone-pair latency matrix
 //
 // Interrupt (Ctrl-C) cancels in-flight sweeps cleanly via context.
 package main
@@ -44,8 +46,14 @@ func main() {
 		metrics  = flag.Bool("metrics", false, "probe the network execution and print its virtual-time curve CSV")
 		trace    = flag.String("trace", "", "write a Chrome trace of the network execution to this file")
 		shards   = flag.Int("shards", 1, "shard kernels for the network execution (conservative-PDES; 1 = single kernel, 0 = one per core)")
+		topoFlag = flag.String("topology", "uniform", "gossip overlay: uniform, kout[:K], ba[:K], wan:ZONES[:K]")
 	)
 	flag.Parse()
+	topo, err := gossipkit.ParseTopology(*topoFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gossipsim:", err)
+		os.Exit(1)
+	}
 	if *pprof != "" {
 		addr, err := gossipkit.StartPprof(*pprof)
 		if err != nil {
@@ -56,7 +64,7 @@ func main() {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	if err := run(ctx, *n, *distKin, *fanout, *q, *runs, *seed, *latency, *loss, *progress, *metrics, *trace, *shards); err != nil {
+	if err := run(ctx, *n, *distKin, *fanout, *q, *runs, *seed, *latency, *loss, *progress, *metrics, *trace, *shards, topo); err != nil {
 		if errors.Is(err, gossipkit.ErrCanceled) {
 			fmt.Fprintln(os.Stderr, "gossipsim: interrupted")
 			os.Exit(130)
@@ -66,7 +74,7 @@ func main() {
 	}
 }
 
-func run(ctx context.Context, n int, distKind string, fanout, q float64, runs int, seed uint64, latency time.Duration, loss float64, progress, metrics bool, trace string, shards int) error {
+func run(ctx context.Context, n int, distKind string, fanout, q float64, runs int, seed uint64, latency time.Duration, loss float64, progress, metrics bool, trace string, shards int, topo gossipkit.Topology) error {
 	d, err := gossipkit.ParseFanout(distKind, fanout)
 	if err != nil {
 		return err
@@ -85,12 +93,15 @@ func run(ctx context.Context, n int, distKind string, fanout, q float64, runs in
 	}
 	pred := an.Aggregate.(gossipkit.Prediction)
 	fmt.Printf("Gossip(n=%d, P=%s, q=%.3f)\n", n, d.Name(), q)
+	if !topo.IsUniform() {
+		fmt.Printf("  overlay topology          : %s (giant component below is the topology-corrected prediction)\n", topo)
+	}
 	fmt.Printf("  critical ratio q_c        : %.4f (q %s q_c)\n",
 		pred.CriticalRatio, map[bool]string{true: ">", false: "<="}[pred.Supercritical])
 	fmt.Printf("  model reliability R(q,P)  : %.4f\n", pred.Reliability)
 
 	giantOut, err := gossipkit.RunMany(ctx, gossipkit.MonteCarlo{Params: p, Metric: gossipkit.GiantComponent},
-		runs, gossipkit.WithSeed(seed), gossipkit.WithObserver(observe))
+		runs, gossipkit.WithSeed(seed), gossipkit.WithObserver(observe), gossipkit.WithTopology(topo))
 	if err != nil {
 		return err
 	}
@@ -99,7 +110,7 @@ func run(ctx context.Context, n int, distKind string, fanout, q float64, runs in
 		giant.Mean, giant.CI95, giant.Runs)
 
 	reachOut, err := gossipkit.RunMany(ctx, gossipkit.MonteCarlo{Params: p, Metric: gossipkit.SourceReach},
-		runs, gossipkit.WithSeed(seed+1), gossipkit.WithObserver(observe))
+		runs, gossipkit.WithSeed(seed+1), gossipkit.WithObserver(observe), gossipkit.WithTopology(topo))
 	if err != nil {
 		return err
 	}
@@ -111,10 +122,12 @@ func run(ctx context.Context, n int, distKind string, fanout, q float64, runs in
 		fmt.Printf("  executions for 99.9%% group success (Eq. 6): %d\n", tmin)
 	}
 
-	if latency > 0 || loss > 0 || metrics || trace != "" || shards != 1 {
+	if latency > 0 || loss > 0 || metrics || trace != "" || shards != 1 || !topo.IsUniform() {
 		cfg := gossipkit.NetConfig{}
 		if latency > 0 {
 			cfg.Latency = gossipkit.ConstantLatency(latency)
+		} else if topo.Kind == gossipkit.TopologyWAN {
+			cfg.Latency = gossipkit.WANLatency(n, topo.Zones, time.Millisecond, 10*time.Millisecond)
 		}
 		if loss > 0 {
 			cfg.Loss = gossipkit.BernoulliLoss(loss)
@@ -122,7 +135,7 @@ func run(ctx context.Context, n int, distKind string, fanout, q float64, runs in
 		// WithRNG keeps this on the exact stream the pre-engine CLI used
 		// (xrand.New(seed+2) consumed directly), so output stays diffable
 		// across releases; the probe observes without touching that stream.
-		opts := []gossipkit.Option{gossipkit.WithRNG(gossipkit.NewRNG(seed + 2))}
+		opts := []gossipkit.Option{gossipkit.WithRNG(gossipkit.NewRNG(seed + 2)), gossipkit.WithTopology(topo)}
 		if shards != 1 {
 			opts = append(opts, gossipkit.WithShards(shards))
 			if progress {

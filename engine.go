@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"gossipkit/internal/stats"
+	"gossipkit/internal/topology"
 )
 
 // Sentinel errors every engine wraps, so callers dispatch with errors.Is
@@ -144,16 +145,17 @@ type Outcome struct {
 
 // runOptions carries the resolved Run/RunMany options.
 type runOptions struct {
-	seed      uint64
-	runs      int
-	many      bool // replication-sweep semantics (RunMany / WithRuns)
-	workers   int
-	observer  Observer
-	noReports bool
-	probe     *ProbeOptions // dissemination telemetry (DES engines only)
-	rng       *RNG          // single-run override: execute on this RNG stream
-	arena     *NetArena     // deprecated-shim arena pass-through (Network only)
-	shards    int           // conservative-PDES shard kernels (Network engine)
+	seed          uint64
+	runs          int
+	many          bool // replication-sweep semantics (RunMany / WithRuns)
+	workers       int
+	observer      Observer
+	noReports     bool
+	probe         *ProbeOptions // dissemination telemetry (DES engines only)
+	rng           *RNG          // single-run override: execute on this RNG stream
+	arena         *NetArena     // deprecated-shim arena pass-through (Network only)
+	shards        int           // conservative-PDES shard kernels (Network engine)
+	topology      topology.Spec // gossip overlay (zero value = uniform full view)
 	shardProgress func(events uint64, virtualNow time.Duration)
 }
 
@@ -219,6 +221,37 @@ func WithShards(n int) Option {
 // runs interleave, so it is most useful on single executions.
 func WithShardProgress(fn func(events uint64, virtualNow time.Duration)) Option {
 	return func(o *runOptions) { o.shardProgress = fn }
+}
+
+// WithTopology gossips over a generated overlay instead of the uniform
+// full view: target selection draws from per-member neighbor sets (k-out
+// regular, Barabási–Albert scale-free, or WAN zone clusters — see
+// ParseTopology and the topology constructors). Each overlay is generated
+// deterministically from the run's RNG stream, so results stay
+// seed-reproducible and worker/shard-count-invariant; the zero (uniform)
+// spec is byte-identical to not setting the option at all.
+//
+// Honored by the Network, MonteCarlo, Campaign, Compare, and protocol
+// baseline engines. The Analytic and Success engines reject non-uniform
+// topologies: Eq. 11 assumes uniform selection — use MonteCarlo (giant
+// component) for overlay reliability, or read the corrected prediction
+// off scenario reports. Campaign and Compare alternatively take the
+// topology on ScenarioRunConfig.Topology; setting both to different
+// specs is an error.
+func WithTopology(t Topology) Option { return func(o *runOptions) { o.topology = t } }
+
+// mergeTopology folds a WithTopology option into a scenario run config
+// (the Campaign and Compare engines), rejecting a conflict with an
+// explicitly-set Config.Topology.
+func mergeTopology(cfg *ScenarioRunConfig, o *runOptions) error {
+	if o.topology.IsUniform() {
+		return nil
+	}
+	if !cfg.Topology.IsUniform() && cfg.Topology != o.topology {
+		return fmt.Errorf("%w: WithTopology(%s) conflicts with Config.Topology %s", ErrInvalidParams, o.topology, cfg.Topology)
+	}
+	cfg.Topology = o.topology
+	return nil
 }
 
 // WithRNG makes a single Run execute on the caller's RNG stream instead of

@@ -26,6 +26,9 @@ func (s Analytic) run(ctx context.Context, o *runOptions, emit func(Report)) (an
 	if o.rng != nil {
 		return nil, fmt.Errorf("%w: the analytic engine consumes no randomness; drop WithRNG", ErrInvalidParams)
 	}
+	if !o.topology.IsUniform() {
+		return nil, fmt.Errorf("%w: Eq. 11 assumes uniform target selection; use MonteCarlo with WithTopology for overlay reliability", ErrInvalidParams)
+	}
 	pred, err := core.Predict(s.Params)
 	if err != nil {
 		return nil, invalid(err)

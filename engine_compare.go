@@ -32,6 +32,13 @@ type Compare struct {
 	// Config parameterizes each execution: the network substrate every
 	// protocol crosses and — for the paper row — the gossip model params.
 	Config ScenarioRunConfig
+	// Topologies, when non-empty, grows the grid a third axis: every
+	// (protocol, scenario) pair runs once per listed overlay topology,
+	// with identical per-cell seeds across topology rows so topology is
+	// the only variable. Empty keeps the two-axis grid on
+	// Config.Topology (byte-identical output to before the axis
+	// existed).
+	Topologies []Topology
 }
 
 // Name implements Engine.
@@ -68,6 +75,12 @@ func (s Compare) run(ctx context.Context, o *runOptions, emit func(Report)) (any
 	if !o.many {
 		return nil, fmt.Errorf("%w: Compare is a grid sweep; use RunMany (or WithRuns) to set the seeds per cell", ErrInvalidParams)
 	}
+	if err := mergeTopology(&s.Config, o); err != nil {
+		return nil, err
+	}
+	if len(s.Topologies) > 0 && !s.Config.Topology.IsUniform() {
+		return nil, fmt.Errorf("%w: set either Compare.Topologies (grid axis) or Config.Topology (one overlay for every cell), not both", ErrInvalidParams)
+	}
 	if err := scenario.CheckShared(s.Config); err != nil {
 		return nil, invalid(err)
 	}
@@ -84,7 +97,7 @@ func (s Compare) run(ctx context.Context, o *runOptions, emit func(Report)) (any
 	}
 
 	cfg := scenario.CompareConfig{
-		Run: s.Config, Executors: executors,
+		Run: s.Config, Executors: executors, Topologies: s.Topologies,
 		Seeds: o.runs, BaseSeed: o.seed, Workers: o.workers,
 	}
 	res, err := scenario.CompareCtx(ctx, s.Scenarios, cfg,

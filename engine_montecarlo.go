@@ -5,6 +5,8 @@ import (
 	"fmt"
 
 	"gossipkit/internal/core"
+	"gossipkit/internal/topology"
+	"gossipkit/internal/xrand"
 )
 
 // Metric selects what a MonteCarlo replication measures.
@@ -58,6 +60,28 @@ func (s MonteCarlo) run(ctx context.Context, o *runOptions, emit func(Report)) (
 	case GiantComponent, SourceReach:
 	default:
 		return nil, fmt.Errorf("%w: unknown Monte-Carlo metric %v", ErrInvalidParams, s.Metric)
+	}
+	if err := o.topology.Validate(s.Params.N); err != nil {
+		return nil, invalid(err)
+	}
+	if !o.topology.IsUniform() {
+		if s.Params.View != nil {
+			return nil, fmt.Errorf("%w: WithTopology conflicts with a caller-set Params.View", ErrInvalidParams)
+		}
+		// Quenched overlay disorder: one overlay is generated from the base
+		// seed (or, under WithRNG, a non-consuming split of the caller's
+		// stream) and shared read-only across replications, while the
+		// failure mask and gossip graph are re-drawn per run. That is the
+		// estimand the scenario runner's corrected prediction measures.
+		src := o.rng
+		if src == nil {
+			src = xrand.New(o.seed)
+		}
+		ov, err := o.topology.Build(s.Params.N, src.Split(topology.Split))
+		if err != nil {
+			return nil, invalid(err)
+		}
+		s.Params.View = ov
 	}
 
 	if o.rng != nil {

@@ -2,12 +2,14 @@ package gossipkit
 
 import (
 	"context"
+	"fmt"
 	"time"
 
 	"gossipkit/internal/core"
 	"gossipkit/internal/obs"
 	"gossipkit/internal/runpool"
 	"gossipkit/internal/sim"
+	"gossipkit/internal/topology"
 	"gossipkit/internal/xrand"
 )
 
@@ -34,17 +36,33 @@ func (s Network) run(ctx context.Context, o *runOptions, emit func(Report)) (any
 	if err := s.Params.Validate(); err != nil {
 		return nil, invalid(err)
 	}
+	if err := o.topology.Validate(s.Params.N); err != nil {
+		return nil, invalid(err)
+	}
+	if !o.topology.IsUniform() && s.Params.View != nil {
+		return nil, fmt.Errorf("%w: WithTopology conflicts with a caller-set Params.View", ErrInvalidParams)
+	}
 
 	// execute runs one replication on the selected runtime: the
 	// single-kernel executor by default, the conservative-PDES sharded
 	// kernel under WithShards (>1). Shards=1 keeps the single-kernel path
 	// — the two are byte-identical, and the oracle needs no shard arena.
+	// A non-uniform WithTopology overlay is generated per replication from
+	// a non-consuming split of the run's stream, so the uniform spec stays
+	// byte-identical to not setting the option and the overlay is the same
+	// for every shard count.
 	execute := func(r *xrand.RNG, arena *core.NetArena, probe *obs.Probe) (core.NetResult, error) {
+		p := s.Params
+		if ov, err := o.topology.Build(p.N, r.Split(topology.Split)); err != nil {
+			return core.NetResult{}, err
+		} else if ov != nil {
+			p.View = ov
+		}
 		if o.shards > 1 {
-			return core.ExecuteOnNetworkSharded(s.Params, s.Net, r, nil, arena.Sharded(o.shards), probe,
+			return core.ExecuteOnNetworkSharded(p, s.Net, r, nil, arena.Sharded(o.shards), probe,
 				core.ShardOptions{Shards: o.shards, Progress: shardProgress(o)})
 		}
-		return core.ExecuteOnNetworkProbed(s.Params, s.Net, r, nil, arena, probe)
+		return core.ExecuteOnNetworkProbed(p, s.Net, r, nil, arena, probe)
 	}
 
 	if o.rng != nil {

@@ -276,6 +276,14 @@ func protocolSweep(ctx context.Context, o *runOptions, emit func(Report), spec P
 	if err := spec.Validate(); err != nil {
 		return nil, invalid(err)
 	}
+	// WithTopology threads through to the DES substrate: the runtime
+	// generates the overlay per run from a non-consuming split, so the
+	// uniform spec keeps the legacy RNG streams byte-identical.
+	cfg.Topology = o.topology
+	n, _ := protocols.Shape(spec)
+	if err := o.topology.Validate(n); err != nil {
+		return nil, invalid(err)
+	}
 	if o.rng != nil {
 		if err := ctx.Err(); err != nil {
 			return nil, err

@@ -61,6 +61,9 @@ func (s Campaign) run(ctx context.Context, o *runOptions, emit func(Report)) (an
 	if o.rng != nil {
 		return nil, fmt.Errorf("%w: the scenario engine derives RNG streams from seeds; use WithSeed", ErrInvalidParams)
 	}
+	if err := mergeTopology(&s.Config, o); err != nil {
+		return nil, err
+	}
 	for _, q := range s.Qs {
 		if q < 0 || q > 1 || q != q {
 			return nil, fmt.Errorf("%w: grid alive ratio %g outside [0,1]", ErrInvalidParams, q)

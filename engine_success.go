@@ -39,6 +39,9 @@ func (s Success) run(ctx context.Context, o *runOptions, emit func(Report)) (any
 	if o.rng != nil {
 		return nil, fmt.Errorf("%w: the success engine derives RNG streams from seeds; use WithSeed", ErrInvalidParams)
 	}
+	if !o.topology.IsUniform() {
+		return nil, fmt.Errorf("%w: the success protocol runs on the uniform model; use MonteCarlo or Network with WithTopology for overlay reliability", ErrInvalidParams)
+	}
 	out, err := core.RunSuccessCtx(ctx, p, o.seed, o.workers, func(sim int, ss SuccessSim) {
 		emit(Report{Reliability: ss.MeanReliability, Detail: ss})
 	})

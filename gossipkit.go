@@ -56,6 +56,7 @@ import (
 	"gossipkit/internal/scenario"
 	"gossipkit/internal/simnet"
 	"gossipkit/internal/stats"
+	"gossipkit/internal/topology"
 	"gossipkit/internal/xrand"
 )
 
@@ -180,6 +181,70 @@ func FullView(n int) membership.View { return membership.NewFullView(n) }
 // (c+1)·ln(n) entries.
 func PartialViews(n, c int, r *RNG) *membership.PartialViews {
 	return membership.NewPartialViews(n, c, r)
+}
+
+// ---------------------------------------------------------------------------
+// Topology: generated gossip overlays
+
+// Topology selects the overlay gossip targets are drawn from. The zero
+// value is the paper's uniform full view; non-uniform kinds restrict each
+// member to a generated neighbor set (see WithTopology). Build one with
+// the constructors below or ParseTopology.
+type Topology = topology.Spec
+
+// TopologyKind enumerates the overlay families.
+type TopologyKind = topology.Kind
+
+// Overlay kinds.
+const (
+	// TopologyUniform draws targets uniformly from the full membership
+	// (the paper's assumption; the zero value).
+	TopologyUniform = topology.Uniform
+	// TopologyKOut gives every member k distinct random out-neighbors.
+	TopologyKOut = topology.KOut
+	// TopologyScaleFree grows a Barabási–Albert preferential-attachment
+	// overlay (undirected, m arcs per joining member).
+	TopologyScaleFree = topology.ScaleFree
+	// TopologyWAN clusters members into zones: k intra-zone neighbors
+	// plus one inter-zone bridge per member.
+	TopologyWAN = topology.WAN
+)
+
+// KOutTopology is the k-out regular overlay: every member gossips to a
+// fixed set of k distinct random neighbors. k <= 0 defaults to ⌈log₂ n⌉.
+func KOutTopology(k int) Topology { return Topology{Kind: TopologyKOut, K: k} }
+
+// ScaleFreeTopology is the Barabási–Albert preferential-attachment
+// overlay with m arcs per joining member (degree distribution follows a
+// power law, so a few hubs carry most arcs). m <= 0 defaults to ⌈log₂ n⌉.
+func ScaleFreeTopology(m int) Topology { return Topology{Kind: TopologyScaleFree, K: m} }
+
+// WANTopology clusters the membership into zones of contiguous ids:
+// every member gets k intra-zone neighbors plus one random inter-zone
+// bridge. Pair it with WANLatency for heterogeneous inter-zone delays.
+// k <= 0 defaults to ⌈log₂ n⌉.
+func WANTopology(zones, k int) Topology {
+	return Topology{Kind: TopologyWAN, Zones: zones, K: k}
+}
+
+// ParseTopology builds a topology spec from untrusted input (CLI flags,
+// config files): "uniform", "kout[:K]", "ba[:M]", or "wan:ZONES[:K]".
+// Errors wrap ErrInvalidParams.
+func ParseTopology(s string) (Topology, error) {
+	t, err := topology.Parse(s)
+	if err != nil {
+		return Topology{}, fmt.Errorf("%w: %v", ErrInvalidParams, err)
+	}
+	return t, nil
+}
+
+// WANLatency is the zone-pair latency matrix WAN topologies gossip over:
+// intra-zone messages take [local, 2·local], and each hop of ring
+// distance between zones adds step to the band. The scenario runner
+// installs it automatically for WAN topologies when no latency model is
+// set; set it explicitly on NetConfig.Latency for the Network engine.
+func WANLatency(n, zones int, local, step time.Duration) simnet.LatencyModel {
+	return topology.NewZoneLatency(n, zones, local, step)
 }
 
 // NetConfig configures the simulated network substrate for

@@ -37,9 +37,11 @@ func (g *Digraph) N() int { return len(g.adj) }
 // Arcs returns the number of directed arcs.
 func (g *Digraph) Arcs() int { return g.arcs }
 
-// AddArc adds the arc u→v. Parallel arcs are permitted (gossip may pick the
-// same target twice when sampling is with replacement; our samplers don't,
-// but generated multigraphs from the configuration model can).
+// AddArc adds the arc u→v. Parallel arcs and self-loops are permitted at
+// this level: ConfigurationModel generates multigraphs that need them.
+// GossipGraph and the topology overlay generators never produce either —
+// their samplers draw distinct non-self targets — so their degree counts
+// are exact (see TestGossipGraphExactDegrees).
 func (g *Digraph) AddArc(u, v int) {
 	g.adj[u] = append(g.adj[u], int32(v))
 	g.arcs++
@@ -257,6 +259,13 @@ func UndirectedComponents(g *Digraph, active []bool) ComponentStats {
 // nodes, producing the arc set the gossip *would* use. Restricting to alive
 // nodes and following arcs from the source then reproduces the actual
 // spread; this factorization lets one graph be reused across analyses.
+//
+// Degree semantics (pinned by TestGossipGraphExactDegrees): targets come
+// from xrand.SampleExcluding, which samples without replacement and
+// remaps around u, so node u's out-neighborhood contains no duplicates
+// and never u itself, and OutDegree(u) is exactly min(f_u, n−1). Overlay
+// degree counts derived from this graph are therefore exact — no
+// deduplication pass is needed.
 func GossipGraph(n int, p dist.Distribution, r *xrand.RNG) *Digraph {
 	g := NewDigraph(n)
 	buf := make([]int, 0, 16)

@@ -432,3 +432,45 @@ func BenchmarkUndirectedComponents(b *testing.B) {
 		_ = UndirectedComponents(g, nil)
 	}
 }
+
+// TestGossipGraphExactDegrees pins GossipGraph's degree semantics: targets
+// come from SampleExcluding (without replacement, remapped around u), so
+// node u's out-neighborhood has no duplicates, never contains u, and
+// OutDegree(u) is exactly min(f_u, n−1) for the fanout draw f_u — no
+// dedup pass needed by any consumer. The fanout draws are replayed on an
+// identical stream to recover each f_u.
+func TestGossipGraphExactDegrees(t *testing.T) {
+	for _, n := range []int{2, 5, 50, 400} {
+		for seed := uint64(0); seed < 25; seed++ {
+			p := dist.NewPoisson(4.0)
+			g := GossipGraph(n, p, xrand.New(seed))
+
+			// Replay the generator's stream to recover the f_u sequence:
+			// GossipGraph draws Sample then SampleExcluding per node, in
+			// node order, on the one stream.
+			replay := xrand.New(seed)
+			buf := make([]int, 0, 16)
+			for u := 0; u < n; u++ {
+				f := p.Sample(replay)
+				buf = replay.SampleExcluding(buf, n, f, u)
+				if want := min(f, n-1); g.OutDegree(u) != want {
+					t.Fatalf("n=%d seed=%d: OutDegree(%d) = %d, want min(f=%d, n-1) = %d",
+						n, seed, u, g.OutDegree(u), f, want)
+				}
+				seen := make(map[int32]bool)
+				for _, v := range g.Out(u) {
+					if int(v) == u {
+						t.Fatalf("n=%d seed=%d: node %d targets itself", n, seed, u)
+					}
+					if v < 0 || int(v) >= n {
+						t.Fatalf("n=%d seed=%d: node %d targets out-of-range %d", n, seed, u, v)
+					}
+					if seen[v] {
+						t.Fatalf("n=%d seed=%d: node %d targets %d twice", n, seed, u, v)
+					}
+					seen[v] = true
+				}
+			}
+		}
+	}
+}

@@ -97,8 +97,20 @@ func (m *floodingMachine) tick(rt *Runtime, round int) bool {
 	return false // event-driven from here: every first receipt re-blasts
 }
 
-// blast forwards to every other member, the flooding rule.
+// blast forwards to every other member — or, on a topology overlay, to
+// every live overlay neighbor (flooding over a constrained graph).
 func (m *floodingMachine) blast(rt *Runtime, u int) {
+	if ov := rt.overlay(); ov != nil {
+		for _, vv := range ov.Neighbors(u) {
+			v := int(vv)
+			rt.res.MessagesSent++
+			if !rt.Mask.Alive(v) {
+				rt.res.WastedOnFailed++
+			}
+			rt.Net.SendTag(simnet.NodeID(u), simnet.NodeID(v), tagGossip)
+		}
+		return
+	}
 	rt.res.MessagesSent += m.p.N - 1
 	for v := 0; v < m.p.N; v++ {
 		if v == u {
@@ -185,9 +197,9 @@ func (m *aeMachine) tick(rt *Runtime, round int) bool {
 		if !rt.upAlive(id) {
 			continue
 		}
-		peer := id
-		for peer == id {
-			peer = rt.RNG.Intn(m.p.N)
+		peer, ok := rt.pickPeer(id)
+		if !ok {
+			continue // overlay neighborhood emptied by removals
 		}
 		// Contact accounting matches the legacy loop: pull and push-pull
 		// imply a reply, charged here whether or not one materializes.
@@ -232,9 +244,9 @@ func (m *aeMachine) publish(rt *Runtime, id int) {
 		return
 	}
 	// Re-gossip: one immediate hot contact to a random peer.
-	peer := id
-	for peer == id {
-		peer = rt.RNG.Intn(m.p.N)
+	peer, ok := rt.pickPeer(id)
+	if !ok {
+		return
 	}
 	rt.res.MessagesSent += m.msgCost
 	rt.Net.SendTag(simnet.NodeID(id), simnet.NodeID(peer), tagAEReqHot)
@@ -256,15 +268,23 @@ func (p LpbcastParams) newMachine() machine { return &lpMachine{p: p} }
 
 type lpMachine struct {
 	p        LpbcastParams
-	views    *membership.PartialViews
+	view     membership.View
 	members  []lpbcastMember
 	perEvent []int
 }
 
 func (m *lpMachine) init(rt *Runtime) {
-	m.views = membership.NewPartialViews(m.p.N, m.p.ViewCopies, rt.RNG)
-	m.views.Shuffle(5, 3, rt.RNG)
-	rt.view = m.views
+	if ov := rt.overlay(); ov != nil {
+		// A topology overlay supplants the protocol's own SCAMP views:
+		// lpbcast's bounded partial views are exactly the structure the
+		// overlay generalizes.
+		m.view = ov
+	} else {
+		views := membership.NewPartialViews(m.p.N, m.p.ViewCopies, rt.RNG)
+		views.Shuffle(5, 3, rt.RNG)
+		rt.view = views
+		m.view = views
+	}
 	rt.Mask.FillExact(m.p.N, m.p.AliveRatio, m.p.Source, rt.RNG)
 	m.members = make([]lpbcastMember, m.p.N)
 	for i := range m.members {
@@ -316,7 +336,7 @@ func (m *lpMachine) forward(rt *Runtime, id int) {
 	if len(mb.buffer) == 0 {
 		return
 	}
-	rt.targets = m.views.SampleTargets(rt.targets, id, m.p.Fanout, rt.RNG)
+	rt.targets = m.view.SampleTargets(rt.targets, id, m.p.Fanout, rt.RNG)
 	payload := append([]int32(nil), mb.buffer...)
 	for _, t := range rt.targets {
 		rt.res.MessagesSent++
@@ -375,7 +395,7 @@ func (p RDGParams) newMachine() machine { return &rdgMachine{p: p} }
 
 type rdgMachine struct {
 	p              RDGParams
-	views          *membership.PartialViews
+	view           membership.View
 	aware          []bool  // knows the packet id
 	provider       []int32 // who advertised the id to us
 	snapshot       []bool  // payload possession at the latest recovery tick
@@ -385,9 +405,14 @@ type rdgMachine struct {
 }
 
 func (m *rdgMachine) init(rt *Runtime) {
-	m.views = membership.NewPartialViews(m.p.N, m.p.ViewCopies, rt.RNG)
-	m.views.Shuffle(5, 3, rt.RNG)
-	rt.view = m.views
+	if ov := rt.overlay(); ov != nil {
+		m.view = ov
+	} else {
+		views := membership.NewPartialViews(m.p.N, m.p.ViewCopies, rt.RNG)
+		views.Shuffle(5, 3, rt.RNG)
+		rt.view = views
+		m.view = views
+	}
 	rt.Mask.FillExact(m.p.N, m.p.AliveRatio, m.p.Source, rt.RNG)
 	m.aware = make([]bool, m.p.N)
 	m.provider = make([]int32, m.p.N)
@@ -407,7 +432,7 @@ func (m *rdgMachine) tick(rt *Runtime, round int) bool {
 			if !rt.upAlive(id) || !m.aware[id] {
 				continue
 			}
-			rt.targets = m.views.SampleTargets(rt.targets, id, m.p.Fanout, rt.RNG)
+			rt.targets = m.view.SampleTargets(rt.targets, id, m.p.Fanout, rt.RNG)
 			for _, t := range rt.targets {
 				withPayload := rt.recv.Get(id) && (m.p.PayloadProb == 0 || rt.RNG.Bool(m.p.PayloadProb))
 				rt.res.MessagesSent++
@@ -441,7 +466,7 @@ func (m *rdgMachine) tick(rt *Runtime, round int) bool {
 		}
 		target := int(m.provider[id])
 		if target < 0 || !rt.Mask.Alive(target) || !m.snapshot[target] {
-			rt.targets = m.views.SampleTargets(rt.targets, id, 1, rt.RNG)
+			rt.targets = m.view.SampleTargets(rt.targets, id, 1, rt.RNG)
 			if len(rt.targets) != 1 {
 				continue
 			}
@@ -491,7 +516,7 @@ func (m *rdgMachine) publish(rt *Runtime, id int) {
 		return
 	}
 	// Re-gossip: one push wave from id.
-	rt.targets = m.views.SampleTargets(rt.targets, id, m.p.Fanout, rt.RNG)
+	rt.targets = m.view.SampleTargets(rt.targets, id, m.p.Fanout, rt.RNG)
 	for _, t := range rt.targets {
 		rt.res.MessagesSent++
 		rt.Net.SendTag(simnet.NodeID(id), simnet.NodeID(t), tagGossip)
@@ -524,17 +549,25 @@ func (p LRGParams) newMachine() machine { return &lrgMachine{p: p} }
 
 type lrgMachine struct {
 	p         LRGParams
-	overlay   *graph.Digraph
-	snapshot  []bool // payload possession at the latest repair tick
+	out       func(int) []int32 // the fixed gossip graph's out-neighbors
+	snapshot  []bool            // payload possession at the latest repair tick
 	prevNacks int
 }
 
 func (m *lrgMachine) init(rt *Runtime) {
-	degrees := make([]int, m.p.N)
-	for i := range degrees {
-		degrees[i] = m.p.Degree
+	if ov := rt.overlay(); ov != nil {
+		// LRG already gossips over a fixed random graph; a topology
+		// overlay simply substitutes its own graph for the configuration
+		// model (removals shrink the live neighbor lists in place).
+		m.out = ov.Neighbors
+	} else {
+		degrees := make([]int, m.p.N)
+		for i := range degrees {
+			degrees[i] = m.p.Degree
+		}
+		g := graph.ConfigurationModel(degrees, rt.RNG)
+		m.out = g.Out
 	}
-	m.overlay = graph.ConfigurationModel(degrees, rt.RNG)
 	rt.Mask.FillExact(m.p.N, m.p.AliveRatio, m.p.Source, rt.RNG)
 	m.snapshot = make([]bool, m.p.N)
 	rt.seedSource()
@@ -542,7 +575,7 @@ func (m *lrgMachine) init(rt *Runtime) {
 
 // flood pushes m probabilistically to every overlay neighbor of u.
 func (m *lrgMachine) flood(rt *Runtime, u int) {
-	for _, v := range m.overlay.Out(u) {
+	for _, v := range m.out(u) {
 		if !rt.RNG.Bool(m.p.GossipProb) {
 			continue
 		}
@@ -574,7 +607,7 @@ func (m *lrgMachine) tick(rt *Runtime, round int) bool {
 		if !rt.upAlive(v) || rt.recv.Get(v) {
 			continue
 		}
-		for _, u := range m.overlay.Out(v) {
+		for _, u := range m.out(v) {
 			if m.snapshot[u] {
 				rt.res.MessagesSent++ // the NACK
 				rt.Net.SendTag(simnet.NodeID(v), simnet.NodeID(u), tagNack)

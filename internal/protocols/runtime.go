@@ -11,6 +11,7 @@ import (
 	"gossipkit/internal/obs"
 	"gossipkit/internal/sim"
 	"gossipkit/internal/simnet"
+	"gossipkit/internal/topology"
 	"gossipkit/internal/xrand"
 )
 
@@ -51,6 +52,15 @@ type DESConfig struct {
 	// bit-identical with it on or off; nil is the zero-overhead off
 	// state. Snapshot Probe.Metrics() after the run.
 	Probe *obs.Probe
+	// Topology selects the gossip overlay the protocol picks targets
+	// from (internal/topology). The zero value is the uniform
+	// full-membership selection every legacy loop assumes, and leaves all
+	// protocol RNG streams byte-identical. A non-uniform spec builds an
+	// Overlay per run from a non-consuming split of the run RNG and
+	// routes every target draw — pbcast/lpbcast/RDG fanout waves,
+	// anti-entropy peer picks, LRG's fixed graph, flooding's blast —
+	// through its neighbor sets.
+	Topology topology.Spec
 }
 
 func (c DESConfig) interval() time.Duration {
@@ -158,11 +168,21 @@ func RunOnDES(spec Spec, cfg DESConfig, r *xrand.RNG, inject func(*core.NetRun),
 	}
 	n := spec.size()
 	st := arena.Lease(n, cfg.Net, r.Split(0xfeed))
+	// The topology split is non-consuming, so the uniform (nil-overlay)
+	// path leaves every protocol decision stream byte-identical to the
+	// legacy-pinned behavior.
+	ov, err := cfg.Topology.Build(n, r.Split(topology.Split))
+	if err != nil {
+		return DESOutcome{}, fmt.Errorf("protocols: %s: %w", spec.Protocol(), err)
+	}
 	rt := &Runtime{
 		Kernel: st.Kernel, Net: st.Net, RNG: r, Mask: st.Mask,
 		n: n, source: spec.start(), interval: cfg.interval(),
 		m: spec.newMachine(), recv: st.Received, targets: arena.Targets(),
 		probe: cfg.Probe, round: -1,
+	}
+	if ov != nil {
+		rt.view = ov
 	}
 	defer func() { arena.SetTargets(rt.targets) }()
 	rt.Kernel.SetBudget(uint64(n) * 10000)
@@ -256,9 +276,11 @@ func (rt *Runtime) upAlive(id int) bool {
 }
 
 // fanoutBlast sends one uniform-fanout gossip wave from `from`, with the
-// same sampling and accounting as the legacy pbcast round loop.
+// same sampling and accounting as the legacy pbcast round loop. When a
+// topology overlay is installed, targets come from `from`'s neighbor set
+// instead of the full membership.
 func (rt *Runtime) fanoutBlast(from, fanout int) {
-	rt.targets = rt.RNG.SampleExcluding(rt.targets, rt.n, fanout, from)
+	rt.targets = rt.sampleTargets(from, fanout)
 	rt.res.MessagesSent += len(rt.targets)
 	rt.probe.ObserveFanout(len(rt.targets))
 	for _, v := range rt.targets {
@@ -267,6 +289,42 @@ func (rt *Runtime) fanoutBlast(from, fanout int) {
 		}
 		rt.Net.SendTag(simnet.NodeID(from), simnet.NodeID(v), tagGossip)
 	}
+}
+
+// overlay returns the topology overlay the run gossips over, nil when
+// selection is uniform (or the view is a protocol's own SCAMP views).
+func (rt *Runtime) overlay() *topology.Overlay {
+	ov, _ := rt.view.(*topology.Overlay)
+	return ov
+}
+
+// sampleTargets draws up to fanout distinct targets for from: from the
+// overlay's live neighbor set when a topology is installed, else
+// uniformly from the full membership — consuming exactly the legacy
+// loop's RNG stream on the uniform path.
+func (rt *Runtime) sampleTargets(from, fanout int) []int {
+	if ov := rt.overlay(); ov != nil {
+		return ov.SampleTargets(rt.targets, from, fanout, rt.RNG)
+	}
+	return rt.RNG.SampleExcluding(rt.targets, rt.n, fanout, from)
+}
+
+// pickPeer draws one gossip peer for id: a live overlay neighbor when a
+// topology is installed (ok=false when id has none left), else uniform
+// over the other n−1 members via the legacy rejection loop.
+func (rt *Runtime) pickPeer(id int) (int, bool) {
+	if ov := rt.overlay(); ov != nil {
+		rt.targets = ov.SampleTargets(rt.targets, id, 1, rt.RNG)
+		if len(rt.targets) == 0 {
+			return 0, false
+		}
+		return rt.targets[0], true
+	}
+	peer := id
+	for peer == id {
+		peer = rt.RNG.Intn(rt.n)
+	}
+	return peer, true
 }
 
 // baseResult flattens the runtime's shared bookkeeping into the common

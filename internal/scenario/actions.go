@@ -6,6 +6,7 @@ import (
 	"gossipkit/internal/core"
 	"gossipkit/internal/membership"
 	"gossipkit/internal/simnet"
+	"gossipkit/internal/topology"
 	"gossipkit/internal/xrand"
 )
 
@@ -79,6 +80,7 @@ func (a Action) apply(e *env) {
 	switch a.Op {
 	case OpCrash:
 		for _, id := range e.pickUp(a.Frac, 0) {
+			e.retire(id)
 			e.run.Net.Crash(simnet.NodeID(id))
 			e.crashed++
 		}
@@ -88,6 +90,7 @@ func (a Action) apply(e *env) {
 			if id == e.source || !e.run.Net.Up(simnet.NodeID(id)) {
 				continue
 			}
+			e.retire(id)
 			e.run.Net.Crash(simnet.NodeID(id))
 			e.crashed++
 		}
@@ -102,6 +105,9 @@ func (a Action) apply(e *env) {
 			}
 		}
 		for _, i := range e.pickFrom(len(down), countFor(a.Frac, len(down))) {
+			if ov, ok := e.run.View.(*topology.Overlay); ok {
+				ov.Restore(down[i])
+			}
 			e.run.Net.Restart(simnet.NodeID(down[i]))
 			e.restarted++
 		}
@@ -126,6 +132,7 @@ func (a Action) apply(e *env) {
 			if pv != nil {
 				e.arcsDonated += pv.Unsubscribe(id, e.rng)
 			}
+			e.retire(id)
 			e.run.Net.Crash(simnet.NodeID(id))
 			e.departed++
 		}
@@ -144,6 +151,16 @@ func (a Action) apply(e *env) {
 		for _, i := range e.pickFrom(len(infected), min(a.Count, len(infected))) {
 			e.run.Publish(infected[i])
 		}
+	}
+}
+
+// retire drops id from the gossip overlay's neighbor sets when the run
+// gossips over one (crashed and churned members vanish from neighbor
+// sets; OpRestart's Restore is the inverse). Actions run on the control
+// kernel at window barriers, where overlay mutation is safe.
+func (e *env) retire(id int) {
+	if ov, ok := e.run.View.(*topology.Overlay); ok {
+		ov.Remove(id)
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"gossipkit/internal/protocols"
 	"gossipkit/internal/runpool"
 	"gossipkit/internal/stats"
+	"gossipkit/internal/topology"
 	"gossipkit/internal/xrand"
 )
 
@@ -44,7 +45,8 @@ func (e protocolExecutor) Protocol() string { return e.spec.Protocol() }
 func (e protocolExecutor) Shape(RunConfig) (int, int) { return protocols.Shape(e.spec) }
 
 func (e protocolExecutor) Execute(cfg RunConfig, r *xrand.RNG, inject func(*core.NetRun), arena *core.NetArena) (core.NetResult, error) {
-	des := protocols.DESConfig{Net: cfg.Net, RoundInterval: cfg.RoundInterval, Probe: cfg.Probe}
+	des := protocols.DESConfig{Net: cfg.Net, RoundInterval: cfg.RoundInterval, Probe: cfg.Probe,
+		Topology: cfg.Topology}
 	out, err := protocols.RunOnDES(e.spec, des, r, inject, arena)
 	return out.NetResult, err
 }
@@ -71,6 +73,15 @@ type CompareConfig struct {
 	// Workers bounds the worker pool; <= 0 means GOMAXPROCS. The result
 	// is identical for any worker count.
 	Workers int
+	// Topologies, when non-empty, adds a topology axis: every
+	// (protocol, scenario) pair runs once per overlay spec, labeled in
+	// CompareCell.Topology and as a `topology` CSV column (plus the
+	// giant-component-corrected prediction column). Empty keeps the
+	// two-axis grid and its CSV byte-identical. Like the protocol row,
+	// the topology row does NOT perturb cell seeds, so every
+	// (protocol, topology) pair faces byte-identical campaign
+	// randomness.
+	Topologies []topology.Spec
 }
 
 // cellSeed derives the seed for scenario si, replication ri — delegating
@@ -81,20 +92,27 @@ func (c CompareConfig) cellSeed(si, ri int) uint64 {
 	return SweepConfig{BaseSeed: c.BaseSeed}.cellSeed(si, ri)
 }
 
-// CompareCell is the aggregate of one (protocol, scenario) grid point.
+// CompareCell is the aggregate of one (protocol, scenario) grid point —
+// or, with a topology axis, one (topology, protocol, scenario) point.
 type CompareCell struct {
 	Protocol string `json:"protocol"`
+	// Topology labels the overlay row on three-axis grids; empty on
+	// two-axis grids, keeping their JSON byte-identical.
+	Topology string `json:"topology,omitempty"`
 	Summary
 }
 
 // CompareResult is the aggregated outcome of a comparison grid, in
-// (protocol, scenario) order.
+// (topology, protocol, scenario) order (the topology axis is outermost
+// and absent on two-axis grids).
 type CompareResult struct {
-	Seeds     int           `json:"seeds"`
-	BaseSeed  uint64        `json:"base_seed"`
-	Protocols []string      `json:"protocols"`
-	Scenarios []string      `json:"scenarios"`
-	Cells     []CompareCell `json:"cells"`
+	Seeds     int      `json:"seeds"`
+	BaseSeed  uint64   `json:"base_seed"`
+	Protocols []string `json:"protocols"`
+	Scenarios []string `json:"scenarios"`
+	// Topologies labels the overlay axis; empty for two-axis grids.
+	Topologies []string      `json:"topologies,omitempty"`
+	Cells      []CompareCell `json:"cells"`
 }
 
 // Compare runs every scenario against every executor for cfg.Seeds seeded
@@ -110,7 +128,8 @@ func Compare(scenarios []*Scenario, cfg CompareConfig) (*CompareResult, error) {
 // (scenarios, cfg) for any cfg.Workers: cells are data-independent and
 // reduced in grid order after the pool drains. Context cancellation aborts
 // promptly with ctx.Err(); observe, when non-nil, streams per-cell reports
-// in deterministic cell order (cell = (pi·|scenarios|+si)·Seeds+ri).
+// in deterministic cell order (cell = ((ti·|executors|+pi)·|scenarios|+si)·
+// Seeds+ri, with ti always 0 on two-axis grids).
 func CompareCtx(ctx context.Context, scenarios []*Scenario, cfg CompareConfig, observe Observer) (*CompareResult, error) {
 	if len(scenarios) == 0 {
 		return nil, fmt.Errorf("scenario: comparison grid has no scenarios")
@@ -121,14 +140,22 @@ func CompareCtx(ctx context.Context, scenarios []*Scenario, cfg CompareConfig, o
 	if err := checkSweepShared(cfg.Run); err != nil {
 		return nil, err
 	}
+	// A nil Topologies axis is one implicit row carrying the run config's
+	// own topology (usually uniform), so the two-axis grid is the
+	// three-axis grid with a single unlabeled topology row.
+	topos := cfg.Topologies
+	labeled := len(topos) > 0
+	if !labeled {
+		topos = []topology.Spec{cfg.Run.Topology}
+	}
 	if cfg.Seeds < 1 {
 		cfg.Seeds = 1
 	}
 	rows := len(cfg.Executors)
-	cells := rows * len(scenarios) * cfg.Seeds
+	cells := len(topos) * rows * len(scenarios) * cfg.Seeds
 	workers := runpool.Count(cfg.Workers, cells)
 
-	// Flattened cell index: (pi*len(scenarios)+si)*Seeds+ri.
+	// Flattened cell index: ((ti*rows+pi)*len(scenarios)+si)*Seeds+ri.
 	reports := make([]RunReport, cells)
 	lats := make([]stats.Running, cells)
 	arenas := make([]*core.NetArena, workers)
@@ -142,9 +169,11 @@ func CompareCtx(ctx context.Context, scenarios []*Scenario, cfg CompareConfig, o
 		}
 		ri := cell % cfg.Seeds
 		si := cell / cfg.Seeds % len(scenarios)
-		pi := cell / cfg.Seeds / len(scenarios)
+		pi := cell / cfg.Seeds / len(scenarios) % rows
+		ti := cell / cfg.Seeds / len(scenarios) / rows
 		run := cfg.Run
 		run.Executor = cfg.Executors[pi]
+		run.Topology = topos[ti]
 		rep, lat, err := runWithLatency(scenarios[si], run, cfg.cellSeed(si, ri), arenas[w])
 		if err != nil {
 			return err
@@ -163,48 +192,90 @@ func CompareCtx(ctx context.Context, scenarios []*Scenario, cfg CompareConfig, o
 	for _, s := range scenarios {
 		out.Scenarios = append(out.Scenarios, s.Name)
 	}
-	for pi, ex := range cfg.Executors {
-		for si, s := range scenarios {
-			lo := (pi*len(scenarios) + si) * cfg.Seeds
-			out.Cells = append(out.Cells, CompareCell{
-				Protocol: ex.Protocol(),
-				Summary:  summarize(s, reports[lo:lo+cfg.Seeds], lats[lo:lo+cfg.Seeds]),
-			})
+	if labeled {
+		for _, t := range topos {
+			out.Topologies = append(out.Topologies, t.String())
+		}
+	}
+	for ti, t := range topos {
+		for pi, ex := range cfg.Executors {
+			for si, s := range scenarios {
+				lo := ((ti*rows+pi)*len(scenarios) + si) * cfg.Seeds
+				cell := CompareCell{
+					Protocol: ex.Protocol(),
+					Summary:  summarize(s, reports[lo:lo+cfg.Seeds], lats[lo:lo+cfg.Seeds]),
+				}
+				if labeled {
+					cell.Topology = t.String()
+				}
+				out.Cells = append(out.Cells, cell)
+			}
 		}
 	}
 	return out, nil
 }
 
 // CSV renders the full comparison grid, one row per (protocol, scenario)
-// cell, fields CSV-escaped.
+// cell, fields CSV-escaped. Two-axis grids keep the historical header
+// byte-identical; grids with a topology axis gain a `topology` column
+// and the giant-component-corrected prediction column.
 func (r *CompareResult) CSV() string {
 	var b strings.Builder
-	b.WriteString("protocol,scenario,runs,reliability,reliability_stddev,survivor_reliability,spread_ms,mean_messages,mean_up_at_end,static_prediction,effective_prediction\n")
+	if len(r.Topologies) == 0 {
+		b.WriteString("protocol,scenario,runs,reliability,reliability_stddev,survivor_reliability,spread_ms,mean_messages,mean_up_at_end,static_prediction,effective_prediction\n")
+		for _, c := range r.Cells {
+			fmt.Fprintf(&b, "%s,%s,%d,%.6f,%.6f,%.6f,%.3f,%.1f,%.1f,%.6f,%.6f\n",
+				csvField(c.Protocol), csvField(c.Scenario), c.Runs,
+				c.Reliability.Mean, c.Reliability.StdDev, c.SurvivorReliability.Mean,
+				c.SpreadMs.Mean, c.MeanMessages, c.MeanUpAtEnd,
+				c.StaticPrediction, c.EffectivePrediction)
+		}
+		return b.String()
+	}
+	b.WriteString("protocol,scenario,topology,runs,reliability,reliability_stddev,survivor_reliability,spread_ms,mean_messages,mean_up_at_end,static_prediction,effective_prediction,corrected_prediction\n")
 	for _, c := range r.Cells {
-		fmt.Fprintf(&b, "%s,%s,%d,%.6f,%.6f,%.6f,%.3f,%.1f,%.1f,%.6f,%.6f\n",
-			csvField(c.Protocol), csvField(c.Scenario), c.Runs,
+		fmt.Fprintf(&b, "%s,%s,%s,%d,%.6f,%.6f,%.6f,%.3f,%.1f,%.1f,%.6f,%.6f,%.6f\n",
+			csvField(c.Protocol), csvField(c.Scenario), csvField(c.Topology), c.Runs,
 			c.Reliability.Mean, c.Reliability.StdDev, c.SurvivorReliability.Mean,
 			c.SpreadMs.Mean, c.MeanMessages, c.MeanUpAtEnd,
-			c.StaticPrediction, c.EffectivePrediction)
+			c.StaticPrediction, c.EffectivePrediction, c.CorrectedPrediction)
 	}
 	return b.String()
 }
 
 // Table renders the grid as an aligned ASCII matrix: one line per
-// protocol × scenario, grouped by scenario, survivor reliability and spread
-// side by side.
+// protocol × scenario (× topology when that axis is present), grouped by
+// scenario, survivor reliability and spread side by side.
 func (r *CompareResult) Table() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "comparison: %d protocols x %d scenarios, %d seeds\n",
-		len(r.Protocols), len(r.Scenarios), r.Seeds)
-	fmt.Fprintf(&b, "%-18s %-18s %10s %10s %9s %12s\n",
-		"scenario", "protocol", "rel", "survivors", "spread", "messages")
+	if len(r.Topologies) == 0 {
+		fmt.Fprintf(&b, "comparison: %d protocols x %d scenarios, %d seeds\n",
+			len(r.Protocols), len(r.Scenarios), r.Seeds)
+		fmt.Fprintf(&b, "%-18s %-18s %10s %10s %9s %12s\n",
+			"scenario", "protocol", "rel", "survivors", "spread", "messages")
+		for si, sc := range r.Scenarios {
+			for pi, pr := range r.Protocols {
+				c := r.Cells[pi*len(r.Scenarios)+si]
+				fmt.Fprintf(&b, "%-18s %-18s %10.4f %10.4f %7.1fms %12.1f\n",
+					sc, pr, c.Reliability.Mean, c.SurvivorReliability.Mean,
+					c.SpreadMs.Mean, c.MeanMessages)
+			}
+		}
+		return b.String()
+	}
+	fmt.Fprintf(&b, "comparison: %d protocols x %d scenarios x %d topologies, %d seeds\n",
+		len(r.Protocols), len(r.Scenarios), len(r.Topologies), r.Seeds)
+	fmt.Fprintf(&b, "%-18s %-18s %-12s %10s %10s %9s %12s %10s\n",
+		"scenario", "protocol", "topology", "rel", "survivors", "spread", "messages", "corrected")
+	np, ns := len(r.Protocols), len(r.Scenarios)
 	for si, sc := range r.Scenarios {
-		for pi, pr := range r.Protocols {
-			c := r.Cells[pi*len(r.Scenarios)+si]
-			fmt.Fprintf(&b, "%-18s %-18s %10.4f %10.4f %7.1fms %12.1f\n",
-				sc, pr, c.Reliability.Mean, c.SurvivorReliability.Mean,
-				c.SpreadMs.Mean, c.MeanMessages)
+		for ti, tp := range r.Topologies {
+			for pi, pr := range r.Protocols {
+				c := r.Cells[(ti*np+pi)*ns+si]
+				fmt.Fprintf(&b, "%-18s %-18s %-12s %10.4f %10.4f %7.1fms %12.1f %10.4f\n",
+					sc, pr, tp, c.Reliability.Mean, c.SurvivorReliability.Mean,
+					c.SpreadMs.Mean, c.MeanMessages, c.CorrectedPrediction)
+			}
 		}
 	}
 	return b.String()

@@ -8,6 +8,7 @@ import (
 	"gossipkit/internal/dist"
 	"gossipkit/internal/obs"
 	"gossipkit/internal/simnet"
+	"gossipkit/internal/topology"
 )
 
 // TestDropAttributionReconciles: under a partition-heal campaign with a
@@ -77,6 +78,74 @@ func TestDropAttributionReconciles(t *testing.T) {
 	}
 	// Down-sender discards were never accepted, so they appear in no
 	// other counter and cannot drive InFlight negative.
+	if st.DroppedDown < 0 || st.InFlight() != 0 {
+		t.Errorf("stats inconsistent at quiescence: %+v", st)
+	}
+}
+
+// TestDropAttributionReconcilesOnWANTopology runs the same reconciliation
+// on a clustered WAN overlay under a zone-failure campaign: an entire zone
+// crashes mid-spread (so inter-zone bridge traffic dies in flight on the
+// high-latency arcs ZoneLatency stretches out), part of it restarts, and a
+// flash crowd republishes into the damage. Tracer counts, Stats, and the
+// probe's Totals must agree kind for kind, and Sent − Delivered − drops
+// must be zero at quiescence — drop attribution owes nothing to the
+// uniform full-view assumption.
+func TestDropAttributionReconcilesOnWANTopology(t *testing.T) {
+	ms := func(d int) time.Duration { return time.Duration(d) * time.Millisecond }
+	s := New("zone-failure",
+		"one WAN zone fail-stops mid-spread, partially restarts, and a flash crowd republishes").
+		At(ms(4), CrashZone(0.25, 0.50)).
+		At(ms(30), RestartFraction(0.5)).
+		At(ms(35), FlashCrowd(5))
+
+	counts := map[simnet.EventKind]int64{}
+	probe := obs.New(obs.Options{})
+	topo, err := topology.Parse("wan:4:5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := RunConfig{
+		Params:   core.Params{N: 400, Fanout: dist.NewPoisson(5), AliveRatio: 1},
+		Topology: topo,
+		Net:      simnet.Config{Tracer: func(e simnet.Event) { counts[e.Kind]++ }},
+		Probe:    probe,
+	}
+	rep, err := Run(s, cfg, 2008)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Metrics == nil {
+		t.Fatal("probed run has no metrics")
+	}
+	st := rep.Metrics.Totals
+
+	// The zone crash must catch bridge traffic in flight: WAN inter-zone
+	// latency is tens of milliseconds, so messages into the dying zone
+	// attribute as crash drops.
+	if st.DroppedCrash == 0 {
+		t.Error("no crash drops — the zone failure missed all in-flight traffic")
+	}
+	if st.Sent == 0 || st.Delivered == 0 {
+		t.Fatalf("degenerate run: %+v", st)
+	}
+
+	want := map[simnet.EventKind]int64{
+		simnet.EventSent:             st.Sent,
+		simnet.EventDelivered:        st.Delivered,
+		simnet.EventDroppedLoss:      st.DroppedLoss,
+		simnet.EventDroppedCrash:     st.DroppedCrash,
+		simnet.EventDroppedPartition: st.DroppedPart,
+		simnet.EventDroppedDown:      st.DroppedDown,
+	}
+	for kind, w := range want {
+		if counts[kind] != w {
+			t.Errorf("%s: tracer saw %d, stats say %d", kind, counts[kind], w)
+		}
+	}
+	if got := st.Sent - st.Delivered - st.DroppedLoss - st.DroppedCrash - st.DroppedPart; got != 0 {
+		t.Errorf("in-flight at quiescence = %d, want 0", got)
+	}
 	if st.DroppedDown < 0 || st.InFlight() != 0 {
 		t.Errorf("stats inconsistent at quiescence: %+v", st)
 	}

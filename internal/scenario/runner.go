@@ -10,6 +10,7 @@ import (
 	"gossipkit/internal/sim"
 	"gossipkit/internal/simnet"
 	"gossipkit/internal/stats"
+	"gossipkit/internal/topology"
 	"gossipkit/internal/xrand"
 )
 
@@ -87,12 +88,33 @@ type RunConfig struct {
 	// run (no RNG consumption, no kernel events), so reports are
 	// bit-identical with it on or off.
 	Probe *obs.Probe
+	// Topology selects the gossip overlay (internal/topology): the zero
+	// value is the paper's uniform selection and leaves every code path
+	// and golden byte-identical. A non-uniform spec builds a fresh
+	// Overlay per run from a non-consuming split of the run RNG
+	// (topology.Split) — deterministic in (spec, seed) for any worker or
+	// shard count — and installs it as the membership view, so crashed
+	// and churned members vanish from neighbor sets via the overlay's
+	// Remove hook. A WAN spec with a nil Net.Latency also installs the
+	// default per-zone-pair ZoneLatency matrix. Ignored when Params.View
+	// is already set. Being a plain value, it composes with sweeps
+	// (CheckShared) where a shared Params.View would not.
+	Topology topology.Spec
 }
 
-func (c RunConfig) netConfig() simnet.Config {
+func (c RunConfig) netConfig(n int) simnet.Config {
 	cfg := c.Net
 	if cfg.Latency == nil {
-		cfg.Latency = simnet.UniformLatency{Lo: time.Millisecond, Hi: 20 * time.Millisecond}
+		if c.Topology.Kind == topology.WAN {
+			// Heterogeneous WAN delays over the overlay's zone layout:
+			// LAN-fast 1–2ms inside a zone, +10ms of floor per zone of
+			// ring distance across. Deterministic (no RNG), so the value
+			// is shared safely across sweep workers and shard kernels.
+			cfg.Latency = topology.NewZoneLatency(n, c.Topology.Zones,
+				time.Millisecond, 10*time.Millisecond)
+		} else {
+			cfg.Latency = simnet.UniformLatency{Lo: time.Millisecond, Hi: 20 * time.Millisecond}
+		}
 	}
 	return cfg
 }
@@ -138,6 +160,17 @@ func ExecutePaper(cfg RunConfig, r *xrand.RNG, inject func(*core.NetRun), arena 
 	p := cfg.Params
 	if err := p.Validate(); err != nil {
 		return core.NetResult{}, err
+	}
+	if p.View == nil {
+		// The split is non-consuming, so the uniform (nil-overlay) path
+		// leaves every downstream random stream byte-identical.
+		ov, err := cfg.Topology.Build(p.N, r.Split(topology.Split))
+		if err != nil {
+			return core.NetResult{}, err
+		}
+		if ov != nil {
+			p.View = ov
+		}
 	}
 	if cfg.PartialViewCopies > 0 && p.View == nil {
 		p.View = membership.NewPartialViews(p.N, cfg.PartialViewCopies, r.Split(0x71e75))
@@ -188,6 +221,16 @@ type RunReport struct {
 	// fraction q_eff = UpAtEnd/n: the best the static model can do with
 	// hindsight about how many members the campaign removed.
 	EffectivePrediction float64 `json:"effective_prediction"`
+	// CorrectedPrediction extends Eq. 11 with the giant-component
+	// correction on topology runs: the reachable fraction of the
+	// alive-restricted gossip digraph over the run's overlay at q_eff
+	// (core.ComponentReliability — the same machinery the MonteCarlo
+	// engine's component estimator uses). Eq. 11 assumes uniform
+	// selection; on a constrained overlay the giant out-component, not
+	// the branching process, bounds the spread. Zero (and omitted from
+	// JSON) for uniform-topology runs, so existing goldens are
+	// unchanged.
+	CorrectedPrediction float64 `json:"corrected_prediction,omitempty"`
 	// Latency summarizes per-member first-receipt latencies (seconds).
 	Latency LatencySummary `json:"latency"`
 	// Metrics is the run's telemetry snapshot when a probe observed it
@@ -225,7 +268,14 @@ func runWithLatency(s *Scenario, cfg RunConfig, seed uint64, arena *core.NetAren
 	n, source := ex.Shape(cfg)
 	root := xrand.New(seed)
 	actionRNG := root.Split(0x5ce9a810)
-	cfg.Net = cfg.netConfig()
+	// Split the topology and component-probe streams before the executor
+	// consumes root: topoRNG then replays exactly the stream the executor
+	// builds its overlay from, so the corrected prediction sees the same
+	// arcs the run gossiped over. Splits are non-consuming, so the
+	// uniform path is byte-identical to pre-topology behavior.
+	topoRNG := root.Split(topology.Split)
+	compRNG := root.Split(0x6ca12)
+	cfg.Net = cfg.netConfig(n)
 
 	var e *env
 	res, err := ex.Execute(cfg, root, func(run *core.NetRun) {
@@ -264,11 +314,38 @@ func runWithLatency(s *Scenario, cfg RunConfig, seed uint64, arena *core.NetAren
 	}
 	if pred, ok := ex.Predict(cfg, float64(res.UpAtEnd)/float64(n)); ok {
 		rep.EffectivePrediction = pred
+		if !cfg.Topology.IsUniform() && cfg.Params.View == nil {
+			if cp, err := correctedPrediction(cfg, float64(res.UpAtEnd)/float64(n), topoRNG, compRNG); err == nil {
+				rep.CorrectedPrediction = cp
+			}
+		}
 	}
 	if cfg.Probe != nil {
 		rep.Metrics = cfg.Probe.Metrics()
 	}
 	return rep, res.DeliveryLatency, nil
+}
+
+// correctedPrediction extends Eq. 11 with the giant-component correction
+// for a topology run: it rebuilds the run's pristine overlay from the
+// same RNG split the executor used (same arcs) and measures the fraction
+// of alive members the source reaches through the alive-restricted
+// gossip digraph at nonfailed ratio q (core.ComponentReliability — one
+// component draw per run; sweeps average it across seeds like every
+// other per-run statistic).
+func correctedPrediction(cfg RunConfig, q float64, topoRNG, compRNG *xrand.RNG) (float64, error) {
+	p := cfg.Params
+	ov, err := cfg.Topology.Build(p.N, topoRNG)
+	if err != nil || ov == nil {
+		return 0, err
+	}
+	p.View = ov
+	p.AliveRatio = q
+	comp, err := core.ComponentReliability(p, compRNG)
+	if err != nil {
+		return 0, err
+	}
+	return comp.Reliability, nil
 }
 
 // schedule installs the scenario's steps on the run's kernel. One-shot

@@ -66,6 +66,12 @@ type Summary struct {
 	// EffectivePrediction is the mean of Eq. 11 at each run's end-of-run
 	// up fraction.
 	EffectivePrediction float64 `json:"effective_prediction"`
+	// CorrectedPrediction is the mean giant-component-corrected Eq. 11
+	// prediction over the runs' overlays at their end-of-run up
+	// fractions (RunReport.CorrectedPrediction). Zero — and omitted from
+	// JSON — on uniform-topology sweeps, keeping their goldens
+	// byte-identical.
+	CorrectedPrediction float64 `json:"corrected_prediction,omitempty"`
 	// StaticGap and EffectiveGap are measured-minus-predicted
 	// reliability: where the static-q model breaks, StaticGap is large
 	// while EffectiveGap shrinks (the model is fine, the q it was fed
@@ -218,7 +224,7 @@ func SweepCtx(ctx context.Context, scenarios []*Scenario, cfg SweepConfig, obser
 
 // summarize aggregates one scenario's seeded replications into a Summary.
 func summarize(s *Scenario, reports []RunReport, lats []stats.Running) Summary {
-	var rel, srel, spread, msgs, up, eff stats.Running
+	var rel, srel, spread, msgs, up, eff, corr stats.Running
 	var lat stats.Running
 	sum := Summary{Scenario: s.Name, Description: s.Description}
 	for ri, rep := range reports {
@@ -228,6 +234,7 @@ func summarize(s *Scenario, reports []RunReport, lats []stats.Running) Summary {
 		msgs.Add(float64(rep.MessagesSent))
 		up.Add(float64(rep.UpAtEnd))
 		eff.Add(rep.EffectivePrediction)
+		corr.Add(rep.CorrectedPrediction)
 		lat.Merge(lats[ri])
 		sum.StaticPrediction = rep.StaticPrediction
 	}
@@ -239,6 +246,7 @@ func summarize(s *Scenario, reports []RunReport, lats []stats.Running) Summary {
 	sum.MeanUpAtEnd = up.Mean()
 	sum.Latency = LatencySummary{N: lat.N(), MeanMs: lat.Mean() * 1e3, MaxMs: lat.Max() * 1e3}
 	sum.EffectivePrediction = eff.Mean()
+	sum.CorrectedPrediction = corr.Mean()
 	sum.StaticGap = rel.Mean() - sum.StaticPrediction
 	sum.EffectiveGap = srel.Mean() - sum.EffectivePrediction
 	return sum

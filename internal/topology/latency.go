@@ -1,0 +1,97 @@
+package topology
+
+import (
+	"time"
+
+	"gossipkit/internal/simnet"
+	"gossipkit/internal/xrand"
+)
+
+// ZoneLatency is a per-zone-pair latency matrix over the WAN overlay's
+// contiguous zone layout: a message from zone i to zone j draws
+// uniformly from [Lo[i·Z+j], Hi[i·Z+j]]. It is a stateless value — all
+// fields are read-only after construction — so it is safe to share
+// across shard kernels and sweep workers, implements LatencyBounder
+// (calendar-queue eligible) and LatencyFloorer (a positive floor keeps
+// the conservative-PDES lookahead, and therefore sharding, viable).
+type ZoneLatency struct {
+	N     int             // group size (for the contiguous zone map)
+	Zones int             // zone count Z
+	Lo    []time.Duration // Z×Z row-major pair floors
+	Hi    []time.Duration // Z×Z row-major pair ceilings
+}
+
+// NewZoneLatency builds the default distance-based matrix for n members
+// in zones clusters: intra-zone pairs draw from [local, 2·local] and a
+// pair of zones at ring distance d (the shorter way around the zone
+// ring) draws from [local+d·step, 2·(local+d·step)] — LAN-fast inside a
+// cluster, progressively slower across the WAN. The matrix is built
+// deterministically (no RNG), so one value serves every run of a sweep.
+func NewZoneLatency(n, zones int, local, step time.Duration) ZoneLatency {
+	if zones < 1 {
+		zones = 1
+	}
+	zl := ZoneLatency{
+		N:     n,
+		Zones: zones,
+		Lo:    make([]time.Duration, zones*zones),
+		Hi:    make([]time.Duration, zones*zones),
+	}
+	for i := 0; i < zones; i++ {
+		for j := 0; j < zones; j++ {
+			d := i - j
+			if d < 0 {
+				d = -d
+			}
+			if ring := zones - d; ring < d {
+				d = ring
+			}
+			lo := local + time.Duration(d)*step
+			zl.Lo[i*zones+j] = lo
+			zl.Hi[i*zones+j] = 2 * lo
+		}
+	}
+	return zl
+}
+
+func (z ZoneLatency) zone(id simnet.NodeID) int {
+	if z.Zones <= 1 || z.N <= 0 {
+		return 0
+	}
+	return ((int(id)+1)*z.Zones - 1) / z.N
+}
+
+// Latency implements simnet.LatencyModel.
+func (z ZoneLatency) Latency(r *xrand.RNG, from, to simnet.NodeID) time.Duration {
+	i := z.zone(from)*z.Zones + z.zone(to)
+	lo, hi := z.Lo[i], z.Hi[i]
+	if hi <= lo {
+		return lo
+	}
+	return lo + time.Duration(r.Uint64n(uint64(hi-lo)+1))
+}
+
+// LatencyBound implements simnet.LatencyBounder.
+func (z ZoneLatency) LatencyBound() (time.Duration, bool) {
+	var max time.Duration
+	for _, h := range z.Hi {
+		if h > max {
+			max = h
+		}
+	}
+	return max, len(z.Hi) > 0
+}
+
+// LatencyFloor implements simnet.LatencyFloorer.
+func (z ZoneLatency) LatencyFloor() (time.Duration, bool) {
+	if len(z.Lo) == 0 {
+		return 0, false
+	}
+	min := z.Lo[0]
+	for _, l := range z.Lo[1:] {
+		if l < min {
+			min = l
+		}
+	}
+	return min, true
+}

@@ -1,0 +1,241 @@
+// Package topology generates gossip overlay networks — per-member
+// neighbor sets that replace the paper's uniform-selection assumption.
+//
+// The paper (and all six related-work baselines) draw gossip targets
+// uniformly at random from the full membership. Hu & Jehl ("Reliable
+// Probabilistic Gossip over Large-Scale Random Topologies") show
+// reliability depends strongly on the overlay, and Malkhi et al.
+// ("Secure Multicast in a WAN") motivate hierarchical clusters with
+// heterogeneous inter-zone latency. This package provides the overlay
+// seam: a Spec names a topology family (k-out regular, Barabási–Albert
+// scale-free, WAN clusters), Build materializes it as an Overlay that
+// implements membership.View, and every layer that routes selection
+// through View.SampleTargets — the uniform executor, the DES NetRun,
+// and the protocol baselines — picks from the neighbor set instead.
+//
+// Determinism contract: overlays are generated from a non-consuming
+// Split of the run RNG (see Split), so building one never perturbs the
+// mask/fanout/latency streams — a run with Spec{} (uniform) is
+// byte-identical to a run with no topology at all, and a fixed
+// (topology, seed) pair yields the same overlay for any worker or
+// shard count. SampleTargets is strictly read-only, so one Overlay is
+// safe to share across concurrently sampling shard kernels; all
+// mutation lives in Remove/Restore, which the scenario runner invokes
+// only at window barriers.
+package topology
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"gossipkit/internal/xrand"
+)
+
+// Split is the RNG split index overlays are generated from:
+// Build-style call sites use r.Split(topology.Split), which derives an
+// independent stream without advancing r. Distinct from the network
+// (0xfeed), shard (0x5a7d00), SCAMP-view (0x71e75), and scenario-action
+// (0x5ce9a810) split constants.
+const Split = 0x7090
+
+// Kind names a topology family.
+type Kind int
+
+const (
+	// Uniform is the paper's assumption: targets drawn uniformly from
+	// the full membership. The zero value, so Spec{} means "no overlay".
+	Uniform Kind = iota
+	// KOut gives every member k distinct out-neighbors drawn uniformly
+	// (a random k-out regular digraph).
+	KOut
+	// ScaleFree grows a Barabási–Albert preferential-attachment graph:
+	// each arriving member links to K existing members with probability
+	// proportional to their degree. Undirected (arcs in both ways).
+	ScaleFree
+	// WAN partitions the membership into contiguous zones (clusters):
+	// K-out within each zone plus one bridge arc per member into a
+	// random other zone. Pair it with ZoneLatency for heterogeneous
+	// inter-zone delays.
+	WAN
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Uniform:
+		return "uniform"
+	case KOut:
+		return "kout"
+	case ScaleFree:
+		return "ba"
+	case WAN:
+		return "wan"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Spec declares a topology. The zero value is the uniform (full-view)
+// topology. Spec is a plain value — safe to share across sweep workers;
+// each run builds its own Overlay from its own RNG split.
+type Spec struct {
+	// Kind selects the family.
+	Kind Kind `json:"kind"`
+	// K is the per-member degree parameter: out-degree for KOut,
+	// attachment count for ScaleFree, intra-zone out-degree for WAN.
+	// 0 means ⌈log₂ n⌉, resolved at Build time.
+	K int `json:"k,omitempty"`
+	// Zones is the cluster count for WAN (≥ 2).
+	Zones int `json:"zones,omitempty"`
+}
+
+// IsUniform reports whether s is the uniform (no-overlay) topology.
+func (s Spec) IsUniform() bool { return s.Kind == Uniform }
+
+// String renders s in the form Parse accepts.
+func (s Spec) String() string {
+	switch s.Kind {
+	case Uniform:
+		return "uniform"
+	case KOut:
+		if s.K == 0 {
+			return "kout"
+		}
+		return fmt.Sprintf("kout:%d", s.K)
+	case ScaleFree:
+		if s.K == 0 {
+			return "ba"
+		}
+		return fmt.Sprintf("ba:%d", s.K)
+	case WAN:
+		if s.K == 0 {
+			return fmt.Sprintf("wan:%d", s.Zones)
+		}
+		return fmt.Sprintf("wan:%d:%d", s.Zones, s.K)
+	default:
+		return s.Kind.String()
+	}
+}
+
+// Parse builds a Spec from untrusted input (CLI flags, config files):
+//
+//	uniform | kout[:K] | ba[:K] | wan:ZONES[:K]
+//
+// An omitted K means ⌈log₂ n⌉ at Build time.
+func Parse(s string) (Spec, error) {
+	parts := strings.Split(s, ":")
+	bad := func() (Spec, error) {
+		return Spec{}, fmt.Errorf("topology: cannot parse %q (want uniform, kout[:K], ba[:K], or wan:ZONES[:K])", s)
+	}
+	num := func(p string) (int, bool) {
+		v, err := strconv.Atoi(p)
+		return v, err == nil && v > 0
+	}
+	switch parts[0] {
+	case "uniform", "":
+		if len(parts) > 1 {
+			return bad()
+		}
+		return Spec{}, nil
+	case "kout", "ba":
+		sp := Spec{Kind: KOut}
+		if parts[0] == "ba" {
+			sp.Kind = ScaleFree
+		}
+		if len(parts) == 1 {
+			return sp, nil
+		}
+		if len(parts) != 2 {
+			return bad()
+		}
+		k, ok := num(parts[1])
+		if !ok {
+			return bad()
+		}
+		sp.K = k
+		return sp, nil
+	case "wan":
+		if len(parts) < 2 || len(parts) > 3 {
+			return bad()
+		}
+		z, ok := num(parts[1])
+		if !ok || z < 2 {
+			return bad()
+		}
+		sp := Spec{Kind: WAN, Zones: z}
+		if len(parts) == 3 {
+			k, ok := num(parts[2])
+			if !ok {
+				return bad()
+			}
+			sp.K = k
+		}
+		return sp, nil
+	default:
+		return bad()
+	}
+}
+
+// Validate checks s against a group of n members.
+func (s Spec) Validate(n int) error {
+	if s.K < 0 {
+		return fmt.Errorf("topology: negative degree %d", s.K)
+	}
+	switch s.Kind {
+	case Uniform:
+		return nil
+	case KOut, ScaleFree:
+		return nil
+	case WAN:
+		if s.Zones < 2 {
+			return fmt.Errorf("topology: wan needs >= 2 zones, got %d", s.Zones)
+		}
+		if s.Zones > n {
+			return fmt.Errorf("topology: %d zones exceed group size %d", s.Zones, n)
+		}
+		return nil
+	default:
+		return fmt.Errorf("topology: unknown kind %v", s.Kind)
+	}
+}
+
+// resolveK returns the effective degree parameter: K, or ⌈log₂ n⌉ when
+// K is 0 (the classic connectivity threshold for random k-out graphs).
+func (s Spec) resolveK(n int) int {
+	if s.K > 0 {
+		return s.K
+	}
+	if n < 2 {
+		return 1
+	}
+	return int(math.Ceil(math.Log2(float64(n))))
+}
+
+// Build materializes the overlay for n members, consuming randomness
+// only from r. Callers pass a dedicated split of the run RNG
+// (r.Split(topology.Split)) so generation never perturbs the run's own
+// streams. Build returns nil for the uniform topology: the caller keeps
+// the full-view path untouched, preserving byte-identical goldens.
+func (s Spec) Build(n int, r *xrand.RNG) (*Overlay, error) {
+	if err := s.Validate(n); err != nil {
+		return nil, err
+	}
+	if s.Kind == Uniform {
+		return nil, nil
+	}
+	if n < 2 {
+		return nil, fmt.Errorf("topology: group size %d too small", n)
+	}
+	k := s.resolveK(n)
+	switch s.Kind {
+	case KOut:
+		return generateKOut(n, k, r), nil
+	case ScaleFree:
+		return generateBarabasiAlbert(n, k, r), nil
+	case WAN:
+		return generateWAN(n, s.Zones, k, r), nil
+	default:
+		return nil, fmt.Errorf("topology: unknown kind %v", s.Kind)
+	}
+}

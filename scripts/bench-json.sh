@@ -8,6 +8,8 @@
 #   ExecuteOnNetworkShardedMillion/shards=1   sharded entry point, one shard
 #                                             (the <=5% overhead claim)
 #   ExecuteOnNetwork/n=100000           the sweep-sized hot path
+#   ExecuteOnNetworkTopology/*          n=10^5 uniform vs k-out overlay
+#                                       (the <=10% overlay-lookup budget)
 #
 # Each record carries ns/op, msgs/s, and allocs/op parsed from `go test
 # -bench` output — awk only, no external JSON tooling. The n=10⁷ benchmarks
@@ -28,7 +30,7 @@ trap 'rm -f "$raw"' EXIT
 # No pipe: under plain sh a `go test | tee` failure would be masked by
 # tee's exit status, and the Million benchmark doubles as the alloc guard.
 go test ./internal/core -run XXX \
-    -bench 'ExecuteOnNetworkMillion(Probed)?$|ExecuteOnNetworkShardedMillion/shards=1$|ExecuteOnNetwork/n=100000$' \
+    -bench 'ExecuteOnNetworkMillion(Probed)?$|ExecuteOnNetworkShardedMillion/shards=1$|ExecuteOnNetwork/n=100000$|ExecuteOnNetworkTopology/' \
     -benchtime "$benchtime" > "$raw"
 cat "$raw"
 

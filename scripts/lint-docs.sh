@@ -40,6 +40,20 @@ for anchor in \
         fail=1
     fi
 done
+# Likewise the "Topology" section and its load-bearing anchors: the view
+# seam, the replay split, the corrected prediction, and the WAN latency
+# matrix. Renaming any of these in code without the doc update fails here.
+for anchor in \
+    "## Topology" \
+    "SampleTargets" \
+    "topology.Split" \
+    "ComponentReliability" \
+    "ZoneLatency"; do
+    if ! grep -qs "$anchor" ARCHITECTURE.md; then
+        echo "docs-lint: ARCHITECTURE.md lost its Topology anchor: '$anchor'" >&2
+        fail=1
+    fi
+done
 if [ "$fail" -ne 0 ]; then
     echo "docs-lint: add the missing package/command comments (doc.go preferred for packages)" >&2
     exit 1
