@@ -1,0 +1,243 @@
+// Command gossipstream sweeps a streaming gossip workload across offered
+// publish rates and emits the saturation knee curve as CSV: per-message
+// reliability, delivery-latency percentiles, and eviction-loss
+// attribution at each rate. Below the knee bounded buffers absorb the
+// load and reliability holds; above it eviction losses take over.
+//
+// Usage:
+//
+//	gossipstream -n 256 -rates 100:3200:6 -runs 5 > knee.csv
+//	gossipstream -n 256 -rate 800 -eviction lpbcast -discipline push
+//	gossipstream -rates 200,400,800,1600 -buffer 8 -curves curves.csv
+//	gossipstream -n 1024 -rate 2000 -shards 0      # sharded kernel, one shard per core
+//	gossipstream -n 512 -rate 500 -topology kout:8 # stream over a k-out overlay
+//
+// Interrupt (Ctrl-C) cancels a sweep cleanly via context.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"time"
+
+	"gossipkit"
+)
+
+const kneeHeader = "rate,runs,published,skipped,mean_reliability,reliability_stddev,min_reliability,full_frac,evicted,expired,dropped,messages_sent,p50_ms,p90_ms,p99_ms\n"
+
+func main() {
+	var (
+		n          = flag.Int("n", 256, "group size")
+		rate       = flag.Float64("rate", 0, "single offered rate in msgs/s (alternative to -rates)")
+		rates      = flag.String("rates", "", "rate sweep: comma list (100,200,400) or LO:HI:STEPS (geometric)")
+		duration   = flag.Duration("duration", 500*time.Millisecond, "publish window")
+		distKind   = flag.String("dist", "fixed", "fanout distribution: poisson, fixed, geometric, uniform")
+		fanout     = flag.Float64("fanout", 3, "mean fanout")
+		q          = flag.Float64("q", 1, "nonfailed member ratio")
+		buffer     = flag.Int("buffer", 16, "per-member rumor buffer capacity")
+		eviction   = flag.String("eviction", "fifo", "buffer eviction policy: fifo, random, age, lpbcast")
+		discipline = flag.String("discipline", "push", "propagation discipline: eager, push, pushpull, flood")
+		active     = flag.Int("active", 8, "active window in round ticks")
+		interval   = flag.Duration("interval", 0, "round interval (0 derives it from the latency bound)")
+		sources    = flag.Int("sources", 0, "distinct publishers (0 = every member)")
+		runs       = flag.Int("runs", 3, "seeded replications per rate")
+		seed       = flag.Uint64("seed", 42, "random seed")
+		latLo      = flag.Duration("latency-lo", time.Millisecond, "uniform latency lower bound")
+		latHi      = flag.Duration("latency-hi", 5*time.Millisecond, "uniform latency upper bound")
+		loss       = flag.Float64("loss", 0, "message loss probability")
+		shards     = flag.Int("shards", 1, "shard kernels per execution (conservative-PDES; 1 = single kernel, 0 = one per core)")
+		topoFlag   = flag.String("topology", "uniform", "gossip overlay: uniform, kout[:K], ba[:K], wan:ZONES[:K]")
+		curves     = flag.String("curves", "", "write merged streaming telemetry curves (occupancy, active, evictions) to this CSV file")
+		progress   = flag.Bool("progress", false, "stream per-run progress to stderr")
+	)
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, options{
+		n: *n, rate: *rate, rates: *rates, duration: *duration,
+		distKind: *distKind, fanout: *fanout, q: *q,
+		buffer: *buffer, eviction: *eviction, discipline: *discipline,
+		active: *active, interval: *interval, sources: *sources,
+		runs: *runs, seed: *seed, latLo: *latLo, latHi: *latHi, loss: *loss,
+		shards: *shards, topoFlag: *topoFlag, curves: *curves, progress: *progress,
+	}); err != nil {
+		if errors.Is(err, gossipkit.ErrCanceled) {
+			fmt.Fprintln(os.Stderr, "gossipstream: interrupted")
+			os.Exit(130)
+		}
+		fmt.Fprintln(os.Stderr, "gossipstream:", err)
+		os.Exit(1)
+	}
+}
+
+type options struct {
+	n                    int
+	rate                 float64
+	rates                string
+	duration             time.Duration
+	distKind             string
+	fanout, q            float64
+	buffer               int
+	eviction, discipline string
+	active               int
+	interval             time.Duration
+	sources, runs        int
+	seed                 uint64
+	latLo, latHi         time.Duration
+	loss                 float64
+	shards               int
+	topoFlag, curves     string
+	progress             bool
+}
+
+func run(ctx context.Context, o options) error {
+	d, err := gossipkit.ParseFanout(o.distKind, o.fanout)
+	if err != nil {
+		return err
+	}
+	ev, err := gossipkit.ParseEviction(o.eviction)
+	if err != nil {
+		return err
+	}
+	disc, err := gossipkit.ParseDiscipline(o.discipline)
+	if err != nil {
+		return err
+	}
+	topo, err := gossipkit.ParseTopology(o.topoFlag)
+	if err != nil {
+		return err
+	}
+	sweep, err := parseRates(o.rate, o.rates)
+	if err != nil {
+		return err
+	}
+
+	net := gossipkit.NetConfig{Latency: gossipkit.UniformLatency(o.latLo, o.latHi)}
+	if o.loss > 0 {
+		net.Loss = gossipkit.BernoulliLoss(o.loss)
+	}
+
+	var curvesFile *os.File
+	if o.curves != "" {
+		if curvesFile, err = os.Create(o.curves); err != nil {
+			return err
+		}
+		defer curvesFile.Close()
+	}
+
+	fmt.Print(kneeHeader)
+	for ri, rate := range sweep {
+		cfg := gossipkit.StreamConfig{
+			N: o.n, Rate: rate, Duration: o.duration,
+			Sources: o.sources, Fanout: d, AliveRatio: o.q,
+			BufferCap: o.buffer, Eviction: ev, Discipline: disc,
+			ActiveRounds: o.active, RoundInterval: o.interval,
+		}
+		opts := []gossipkit.Option{
+			gossipkit.WithSeed(o.seed), gossipkit.WithTopology(topo),
+			gossipkit.WithProbe(gossipkit.ProbeOptions{}),
+		}
+		if o.shards != 1 {
+			opts = append(opts, gossipkit.WithShards(o.shards))
+		}
+		if o.progress {
+			opts = append(opts, gossipkit.WithObserver(func(r gossipkit.Report) {
+				fmt.Fprintf(os.Stderr, "  rate %.0f run %d/%d reliability %.4f\n",
+					rate, r.Run+1, o.runs, r.Reliability)
+			}))
+		}
+		out, err := gossipkit.RunMany(ctx, gossipkit.Stream{Config: cfg, Net: net}, o.runs, opts...)
+		if err != nil {
+			return err
+		}
+
+		var published, skipped, full, minRel float64
+		var evicted, expired, dropped, sent int64
+		minRel = 1
+		for _, rep := range out.Reports {
+			res := rep.Detail.(gossipkit.StreamResult)
+			published += float64(res.Published)
+			skipped += float64(res.Skipped)
+			full += float64(res.FullyDelivered)
+			evicted += res.Ledger.Evicted
+			expired += res.Ledger.Expired
+			dropped += res.Ledger.Sends - res.Ledger.Receipts
+			sent += res.MessagesSent
+			if res.MinReliability < minRel {
+				minRel = res.MinReliability
+			}
+		}
+		runsF := float64(out.Runs)
+		fullFrac := 0.0
+		if published > 0 {
+			fullFrac = full / published
+		}
+		lat := out.Stream.Latency
+		fmt.Printf("%g,%d,%.1f,%.1f,%.6f,%.6f,%.6f,%.4f,%.1f,%.1f,%.1f,%.0f,%.3f,%.3f,%.3f\n",
+			rate, out.Runs, published/runsF, skipped/runsF,
+			out.Reliability.Mean, out.Reliability.StdDev, minRel, fullFrac,
+			float64(evicted)/runsF, float64(expired)/runsF, float64(dropped)/runsF,
+			float64(sent)/runsF,
+			ms(lat.Quantile(0.50)), ms(lat.Quantile(0.90)), ms(lat.Quantile(0.99)))
+
+		if curvesFile != nil {
+			label := fmt.Sprintf("rate=%g", rate)
+			if err := gossipkit.WriteStreamCurveCSV(curvesFile, out.Stream, label, ri == 0); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// parseRates resolves the sweep: a single -rate, a comma list, or a
+// geometric LO:HI:STEPS ladder.
+func parseRates(single float64, spec string) ([]float64, error) {
+	if spec == "" {
+		if single <= 0 {
+			return nil, fmt.Errorf("need -rate or -rates")
+		}
+		return []float64{single}, nil
+	}
+	if strings.Contains(spec, ":") {
+		parts := strings.Split(spec, ":")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("rates spec %q: want LO:HI:STEPS", spec)
+		}
+		lo, err1 := strconv.ParseFloat(parts[0], 64)
+		hi, err2 := strconv.ParseFloat(parts[1], 64)
+		steps, err3 := strconv.Atoi(parts[2])
+		if err1 != nil || err2 != nil || err3 != nil || lo <= 0 || hi < lo || steps < 1 {
+			return nil, fmt.Errorf("rates spec %q: want LO:HI:STEPS with 0 < LO <= HI, STEPS >= 1", spec)
+		}
+		if steps == 1 {
+			return []float64{lo}, nil
+		}
+		ladder := make([]float64, steps)
+		ratio := hi / lo
+		for i := range ladder {
+			v := lo * math.Pow(ratio, float64(i)/float64(steps-1))
+			ladder[i] = math.Round(v*1000) / 1000 // drop float-ladder noise
+		}
+		return ladder, nil
+	}
+	var rates []float64
+	for _, f := range strings.Split(spec, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("rates spec %q: bad rate %q", spec, f)
+		}
+		rates = append(rates, v)
+	}
+	return rates, nil
+}

@@ -84,6 +84,9 @@ type Report struct {
 	// Metrics is this run's telemetry snapshot when the execution ran
 	// under WithProbe on a discrete-event engine; nil otherwise.
 	Metrics *RunMetrics
+	// Stream is this run's streaming telemetry snapshot when the
+	// execution ran under WithProbe on the Stream engine; nil otherwise.
+	Stream *StreamRunMetrics
 	// Detail is the engine's native result for this run.
 	Detail any
 }
@@ -134,6 +137,10 @@ type Outcome struct {
 	// otherwise. The merge happens in run order, so it is byte-identical
 	// for any WithWorkers count.
 	Metrics *MergedMetrics
+	// Stream merges streaming telemetry across replications when the
+	// execution ran under WithProbe on the Stream engine; nil otherwise.
+	// Merged in run order like Metrics.
+	Stream *MergedStreamMetrics
 	// Aggregate is the engine's native aggregate, when it has one:
 	// Prediction (Analytic), Estimate or ComponentEstimate (MonteCarlo),
 	// SuccessOutcome (Success), *ScenarioSweepResult or
@@ -319,8 +326,10 @@ func execute(ctx context.Context, spec Engine, o *runOptions) (*Outcome, error) 
 	emitted := 0
 	var rel, msgs, spread stats.Running
 	var merged *MergedMetrics
+	var streamMerged *MergedStreamMetrics
 	if o.probe != nil {
 		merged = &MergedMetrics{}
+		streamMerged = &MergedStreamMetrics{}
 	}
 	emit := func(r Report) {
 		r.Engine = out.Engine
@@ -335,6 +344,7 @@ func execute(ctx context.Context, spec Engine, o *runOptions) (*Outcome, error) 
 		// Reports arrive in run order, so this merge — like every other
 		// reduction here — is byte-identical for any worker count.
 		merged.Merge(r.Metrics)
+		streamMerged.Merge(r.Stream)
 		if o.observer != nil {
 			o.observer(r)
 		}
@@ -356,6 +366,9 @@ func execute(ctx context.Context, spec Engine, o *runOptions) (*Outcome, error) 
 	out.SpreadMs = momentsOf(spread)
 	if merged != nil && merged.Runs > 0 {
 		out.Metrics = merged
+	}
+	if streamMerged != nil && streamMerged.Runs > 0 {
+		out.Stream = streamMerged
 	}
 	out.Aggregate = agg
 	return out, nil

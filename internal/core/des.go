@@ -81,6 +81,25 @@ func NewNetRun(kernel *sim.Kernel, net simnet.Fabric, view membership.View,
 	}
 }
 
+// NewNetRunFuncs is NewNetRun for front ends whose receipt state is not a
+// single bitset — the streaming engine's per-message delivery matrix, for
+// example — so the predicates are supplied directly. pending may be nil
+// (NetRun falls back to Kernel.Pending); publish may be nil (a no-op).
+func NewNetRunFuncs(kernel *sim.Kernel, net simnet.Fabric, view membership.View,
+	mask *failure.Mask, hasReceived func(id int) bool, delivered func() int,
+	pending func() int, publish func(id int)) *NetRun {
+	if publish == nil {
+		publish = func(int) {}
+	}
+	return &NetRun{
+		Kernel: kernel, Net: net, View: view, mask: mask,
+		hasReceived: hasReceived,
+		delivered:   delivered,
+		pending:     pending,
+		publish:     publish,
+	}
+}
+
 // HasReceived reports whether id has received the multicast so far.
 func (nr *NetRun) HasReceived(id int) bool { return nr.hasReceived(id) }
 
@@ -129,6 +148,7 @@ type NetArena struct {
 	received bitset.Bits
 	targets  []int
 	sharded  *ShardArena
+	msgBits  *MessageBits // per-message delivery matrix (streaming runs)
 }
 
 // Sharded leases the arena's pooled sharded-execution state, sized for

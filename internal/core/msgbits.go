@@ -1,0 +1,116 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+
+	"gossipkit/internal/failure"
+	"gossipkit/internal/sim"
+	"gossipkit/internal/simnet"
+)
+
+// MessageBits is a pooled matrix of per-message delivery bitsets: row m
+// holds one bit per member recording whether that member has received
+// message m. It is the multi-message generalization of the single
+// first-receipt bitset in RunState — streaming workloads (internal/stream)
+// dedup every (message, member) pair through it — stored as one flat
+// word array so a warm arena redraws the whole matrix without allocating.
+// Rows are word-aligned: two rows never share a word, so per-shard
+// matrices over disjoint member blocks are safe to write concurrently.
+type MessageBits struct {
+	words  []uint64
+	stride int // words per message row
+	msgs   int
+	width  int // bits per row (member count or shard-block width)
+}
+
+// Reset sizes the matrix to msgs rows of width bits, all zero, reusing the
+// word storage when capacity allows.
+func (b *MessageBits) Reset(msgs, width int) {
+	if msgs < 0 || width < 0 {
+		panic(fmt.Sprintf("core: negative message-bits shape %d×%d", msgs, width))
+	}
+	b.stride = (width + 63) / 64
+	b.msgs = msgs
+	b.width = width
+	w := msgs * b.stride
+	if cap(b.words) >= w {
+		b.words = b.words[:w]
+		clear(b.words)
+	} else {
+		b.words = make([]uint64, w)
+	}
+}
+
+// Msgs returns the number of rows (messages).
+func (b *MessageBits) Msgs() int { return b.msgs }
+
+// Get reports whether member id has received message m.
+func (b *MessageBits) Get(m, id int) bool {
+	return b.words[m*b.stride+int(uint(id)>>6)]&(1<<(uint(id)&63)) != 0
+}
+
+// Set records that member id has received message m.
+func (b *MessageBits) Set(m, id int) {
+	b.words[m*b.stride+int(uint(id)>>6)] |= 1 << (uint(id) & 63)
+}
+
+// CountRow returns the number of members that received message m.
+func (b *MessageBits) CountRow(m int) int {
+	c := 0
+	for _, w := range b.words[m*b.stride : (m+1)*b.stride] {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// MessageBits leases the arena's pooled per-message delivery matrix, sized
+// to msgs rows of width bits and cleared. Like every lease it is valid
+// until the next call; the streaming executor redraws it per run with zero
+// warm-state allocations.
+func (a *NetArena) MessageBits(msgs, width int) *MessageBits {
+	if a.msgBits == nil {
+		a.msgBits = &MessageBits{}
+	}
+	a.msgBits.Reset(msgs, width)
+	return a.msgBits
+}
+
+// ShardRunState is the sharded counterpart of RunState: the pooled shard
+// and control kernels, the sharded fabric, and the failure mask of one
+// sharded execution, leased to simulation front ends other than this
+// package's own executor (the streaming engine runs its sharded path
+// through it). The caller owns per-shard reset — kernels are handed out
+// as-is so each shard's worker goroutine can Reset its own (first-touch
+// locality), exactly as ExecuteOnNetworkSharded does internally.
+type ShardRunState struct {
+	Kernels []*sim.Kernel
+	Control *sim.Kernel
+	Net     *simnet.ShardedNet
+	Mask    *failure.Mask
+}
+
+// LeaseSharded sizes the arena for `shards` shard kernels and hands out
+// its pooled sharded run state. With one shard the control kernel is the
+// shard kernel, mirroring the byte-identical shards=1 contract of the
+// core executor.
+func (a *ShardArena) LeaseSharded(shards int) ShardRunState {
+	a.ensure(shards)
+	ctl := a.ctl
+	if shards == 1 {
+		ctl = a.kernels[0]
+	}
+	return ShardRunState{Kernels: a.kernels, Control: ctl, Net: a.net, Mask: a.mask}
+}
+
+// ShardMessageBits leases shard s's pooled per-message delivery matrix for
+// a sharded streaming run: msgs rows of width bits (the shard's member
+// block), cleared. Call it from shard s's own goroutine during setup so
+// the matrix is first-touched by the worker that will write it.
+func (a *ShardArena) ShardMessageBits(s, msgs, width int) *MessageBits {
+	if a.msgBits[s] == nil {
+		a.msgBits[s] = &MessageBits{}
+	}
+	a.msgBits[s].Reset(msgs, width)
+	return a.msgBits[s]
+}

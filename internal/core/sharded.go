@@ -57,6 +57,11 @@ func EffectiveShards(requested, n int, cfg simnet.Config) int {
 	return s
 }
 
+// LatencyFloor returns the model's guaranteed minimum delay, or 0 when it
+// has none — the lookahead a conservative-PDES front end windows a sharded
+// run with. Exported for sibling DES front ends (the streaming engine).
+func LatencyFloor(m simnet.LatencyModel) time.Duration { return latencyFloor(m) }
+
 // latencyFloor returns the model's guaranteed minimum delay, or 0 when it
 // has none (nil models mean zero latency).
 func latencyFloor(m simnet.LatencyModel) time.Duration {
@@ -104,6 +109,7 @@ type ShardArena struct {
 	net     *simnet.ShardedNet
 	mask    *failure.Mask
 	states  []shardState
+	msgBits []*MessageBits // per-shard delivery matrices (streaming runs)
 }
 
 // NewShardArena returns an empty arena for the given shard count;
@@ -132,6 +138,10 @@ func (a *ShardArena) ensure(shards int) {
 		a.states = make([]shardState, shards)
 	}
 	a.states = a.states[:shards]
+	for len(a.msgBits) < shards {
+		a.msgBits = append(a.msgBits, nil)
+	}
+	a.msgBits = a.msgBits[:shards]
 }
 
 // ExecuteOnNetworkSharded runs one execution of the paper's algorithm on

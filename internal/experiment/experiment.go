@@ -168,6 +168,7 @@ func All() []Experiment {
 		{ID: "ablation-protocol-comparison", Paper: "extension (A9)", Description: "Reliability vs message cost across protocol families", Run: AblationProtocolComparison},
 		{ID: "scenario-grid", Paper: "extension (S1)", Description: "Bundled time-varying fault campaigns vs the static-q model (internal/scenario)", Run: ScenarioGrid},
 		{ID: "curves-overlay", Paper: "extension (S2)", Description: "Probed π(t) curves under crash-wave and burst-loss vs the static-q round recurrence (Eq. 11 inputs)", Run: CurvesOverlay},
+		{ID: "stream-round-interval", Paper: "extension (S3)", Description: "Streaming reliability degradation as the round interval shrinks below the latency bound, at three offered loads (internal/stream)", Run: StreamRoundInterval},
 	}
 }
 

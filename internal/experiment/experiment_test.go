@@ -248,6 +248,47 @@ func TestCurvesOverlay(t *testing.T) {
 	}
 }
 
+func TestStreamRoundInterval(t *testing.T) {
+	f, err := StreamRoundInterval(testCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Series) != 3 {
+		t.Fatalf("series = %d, want one per offered load", len(f.Series))
+	}
+	if len(f.Notes) == 0 {
+		t.Error("no notes")
+	}
+	for _, s := range f.Series {
+		if len(s.X) != 7 {
+			t.Fatalf("%s: %d ratios, want 7", s.Name, len(s.X))
+		}
+		// The x-axis is interval/bound; find reliability at the shortest
+		// interval and at the latency bound itself.
+		var atShort, atBound float64
+		for i, x := range s.X {
+			switch x {
+			case s.X[0]:
+				atShort = s.Y[i]
+			case 1.0:
+				atBound = s.Y[i]
+			}
+		}
+		// Shrinking the round interval below the latency bound truncates
+		// the active window before the spread completes: reliability at
+		// the shortest interval must sit visibly below the at-bound value.
+		if atShort > atBound-0.05 {
+			t.Errorf("%s: reliability %.4f at ratio %.1f not below %.4f at the bound",
+				s.Name, atShort, s.X[0], atBound)
+		}
+		for _, y := range s.Y {
+			if y < 0 || y > 1 {
+				t.Fatalf("%s: reliability %g outside [0,1]", s.Name, y)
+			}
+		}
+	}
+}
+
 func TestAblationReachVsGiantOrdering(t *testing.T) {
 	f, err := AblationReachVsGiant(Config{Seed: 3, Scale: 0.2})
 	if err != nil {

@@ -222,6 +222,7 @@ func (sn *ShardedNet) Stats() Stats {
 		total.DroppedCrash += s.DroppedCrash
 		total.DroppedDown += s.DroppedDown
 		total.DroppedPart += s.DroppedPart
+		total.BoxedSends += s.BoxedSends
 	}
 	return total
 }

@@ -194,6 +194,17 @@ type Stats struct {
 	DroppedCrash int64 // destination was crashed (or had no handler) at delivery
 	DroppedDown  int64 // discarded at send time: the sender was down (never in Sent)
 	DroppedPart  int64 // blocked by a partition
+	// BoxedSends counts payload-free messages that fell off the slot-free
+	// event-word encoding into a pooled in-flight slot: the tag did not fit
+	// below tagLimit, the group was too large to pack (n ≥ 2²⁴), or a full
+	// tracer was watching. Boxed sends stay allocation-free in the steady
+	// state (slots are recycled) but double the queue's memory traffic, so
+	// streaming workloads whose message ids exceed the packed-tag band watch
+	// this counter instead of discovering the shift in an alloc profile.
+	// It is bookkeeping about Sent messages, not an outcome: boxed sends
+	// are already included in Sent and resolve into Delivered or a drop
+	// counter like any other.
+	BoxedSends int64
 }
 
 // InFlight returns the number of accepted messages still in transit: sent
@@ -374,6 +385,14 @@ func (nw *Network) Send(from, to NodeID, payload any) {
 // kind, delivered as Message.Tag. Protocols with several message types
 // (data push, digest, NACK, pull reply) stay on the slot-free zero-
 // allocation path this way instead of boxing a payload per message.
+//
+// The slot-free encoding holds only while the (tag, from) pair fits the
+// event word: tag < tagLimit (128) and n < 2²⁴. Outside that band — tags
+// used as streaming message ids easily exceed it — the message transparently
+// parks in a pooled in-flight slot instead: same delivery semantics, same
+// zero steady-state allocations, but an extra 24 bytes of queue state per
+// airborne message. Stats.BoxedSends counts exactly these fallbacks so the
+// shift is observable rather than silent.
 func (nw *Network) SendTag(from, to NodeID, tag int32) {
 	if tag < 0 {
 		panic(fmt.Sprintf("simnet: negative message tag %d", tag))
@@ -425,6 +444,9 @@ func (nw *Network) send(from, to NodeID, tag int32, payload any) {
 		nw.kernel.ScheduleAfter(d, nw.deliverID, int32(to), -(int32(from)|tag<<tagShift)-1)
 		return
 	}
+	if payload == nil {
+		nw.stats.BoxedSends++
+	}
 	slot := nw.allocMsg(from, now, tag, payload)
 	nw.kernel.ScheduleAfter(d, nw.deliverID, int32(to), slot)
 }
@@ -458,6 +480,10 @@ func (nw *Network) ScheduleArrival(from, to NodeID, tag int32, sentAt, at sim.Ti
 		nw.kernel.Schedule(at, nw.deliverID, int32(to), -(int32(from)|tag<<tagShift)-1)
 		return
 	}
+	// A cross-shard message skipped send()'s packing branch on its source
+	// shard (the route hook intercepted it first), so the boxing decision —
+	// and the BoxedSends count — happens here on the destination shard.
+	nw.stats.BoxedSends++
 	slot := nw.allocMsg(from, sentAt, tag, nil)
 	nw.kernel.Schedule(at, nw.deliverID, int32(to), slot)
 }

@@ -1,0 +1,134 @@
+package stream
+
+import "gossipkit/internal/xrand"
+
+// entry is one buffered rumor copy: the message id, a per-worker
+// insertion sequence number (FIFO order and tiebreaks), and the duplicate
+// receipts observed while buffered (the lpbcast eviction signal).
+type entry struct {
+	msg  int32
+	seq  uint32
+	dups int32
+}
+
+// buffers is one worker's flat rumor-buffer storage: row l (a block-local
+// member index) occupies entries[l·cap : (l+1)·cap] with lens[l] live
+// entries. Rows are compacted in place on expiry and replaced in place on
+// eviction, so a warm arena redraws the whole structure without
+// allocating.
+type buffers struct {
+	capacity int
+	entries  []entry
+	lens     []int32
+}
+
+// reset sizes the storage for n members of `capacity` entries each, all
+// empty, reusing backing arrays when capacity allows.
+func (b *buffers) reset(n, capacity int) {
+	b.capacity = capacity
+	need := n * capacity
+	if cap(b.entries) >= need {
+		b.entries = b.entries[:need]
+	} else {
+		b.entries = make([]entry, need)
+	}
+	if cap(b.lens) >= n {
+		b.lens = b.lens[:n]
+		clear(b.lens)
+	} else {
+		b.lens = make([]int32, n)
+	}
+}
+
+// len returns member l's live entry count.
+func (b *buffers) len(l int) int { return int(b.lens[l]) }
+
+// row returns member l's live entries (aliasing the storage).
+func (b *buffers) row(l int) []entry {
+	base := l * b.capacity
+	return b.entries[base : base+int(b.lens[l])]
+}
+
+// find returns the row index of message m in member l's buffer, or -1.
+func (b *buffers) find(l int, m int32) int {
+	for i, e := range b.row(l) {
+		if e.msg == m {
+			return i
+		}
+	}
+	return -1
+}
+
+// bump increments the duplicate count of member l's row entry i.
+func (b *buffers) bump(l, i int) { b.entries[l*b.capacity+i].dups++ }
+
+// insert admits message m (insertion sequence seq) into member l's
+// buffer. A non-full buffer appends; a full one replaces the policy's
+// victim in place and reports its message id. pubRound indexes publish
+// rounds by message id (the age signal). Only EvictRandom draws from rng.
+func (b *buffers) insert(l int, m int32, seq uint32, policy EvictionPolicy, pubRound []int32, rng *xrand.RNG) (victim int32, evicted bool) {
+	base := l * b.capacity
+	n := int(b.lens[l])
+	if n < b.capacity {
+		b.entries[base+n] = entry{msg: m, seq: seq}
+		b.lens[l]++
+		return 0, false
+	}
+	row := b.entries[base : base+n]
+	v := 0
+	switch policy {
+	case EvictFIFO:
+		for i := 1; i < n; i++ {
+			if row[i].seq < row[v].seq {
+				v = i
+			}
+		}
+	case EvictRandom:
+		v = rng.Intn(n)
+	case EvictAge:
+		for i := 1; i < n; i++ {
+			ri, rv := pubRound[row[i].msg], pubRound[row[v].msg]
+			if ri < rv || (ri == rv && row[i].seq < row[v].seq) {
+				v = i
+			}
+		}
+	case EvictLpbcast:
+		for i := 1; i < n; i++ {
+			switch {
+			case row[i].dups != row[v].dups:
+				if row[i].dups > row[v].dups {
+					v = i
+				}
+			case pubRound[row[i].msg] != pubRound[row[v].msg]:
+				if pubRound[row[i].msg] < pubRound[row[v].msg] {
+					v = i
+				}
+			case row[i].seq < row[v].seq:
+				v = i
+			}
+		}
+	}
+	victim = row[v].msg
+	row[v] = entry{msg: m, seq: seq}
+	return victim, true
+}
+
+// expireRow compacts member l's buffer, dropping entries whose active
+// window has closed at the given round (round ≥ pubRound+active), and
+// returns the number dropped. Compaction is stable, preserving insertion
+// order among survivors.
+func (b *buffers) expireRow(l int, round, active int32, pubRound []int32) int {
+	base := l * b.capacity
+	n := int(b.lens[l])
+	k := 0
+	for i := 0; i < n; i++ {
+		e := b.entries[base+i]
+		if round >= pubRound[e.msg]+active {
+			continue
+		}
+		b.entries[base+k] = e
+		k++
+	}
+	b.lens[l] = int32(k)
+	return n - k
+}

@@ -1,0 +1,199 @@
+package stream
+
+import (
+	"fmt"
+	"sort"
+
+	"gossipkit/internal/core"
+	"gossipkit/internal/membership"
+	"gossipkit/internal/obs"
+	"gossipkit/internal/sim"
+	"gossipkit/internal/simnet"
+	"gossipkit/internal/xrand"
+)
+
+// Run executes one streaming run on a single kernel.
+func Run(cfg Config, netCfg simnet.Config, r *xrand.RNG) (Result, error) {
+	return RunProbed(cfg, netCfg, r, nil, nil, nil)
+}
+
+// RunProbed is Run with the full seam set: inject (non-nil) receives the
+// core.NetRun injection facade before the clock starts, so scenario
+// campaigns drive crash waves and burst loss while the stream is live;
+// arena (non-nil) recycles run state across runs; probe (non-nil)
+// collects streaming telemetry. Results are byte-identical whatever the
+// arena or probe state.
+//
+// RNG layout: the publish schedule comes from r.Split(publishSplit) and
+// the network stream from r.Split(netSplit) — splits never advance r —
+// then the failure mask consumes r and the run continues on r. The same
+// layout anchors the sharded executor's shards=1 equivalence.
+func RunProbed(cfg Config, netCfg simnet.Config, r *xrand.RNG,
+	inject func(*core.NetRun), arena *Arena, probe *obs.StreamProbe) (Result, error) {
+	cfg, err := cfg.normalize()
+	if err != nil {
+		return Result{}, err
+	}
+	if arena == nil {
+		arena = NewArena()
+	}
+	sh := arena.schedule(cfg, cfg.interval(netCfg), r)
+	st := arena.net.Lease(cfg.N, netCfg, r.Split(netSplit))
+	st.Kernel.SetBudget(budget(cfg, sh))
+	sh.mask = st.Mask
+	sh.mask.FillBernoulli(cfg.N, cfg.AliveRatio, 0, r)
+	sh.view = cfg.View
+	if sh.view == nil {
+		sh.view = membership.NewFullView(cfg.N)
+	}
+
+	w := arena.worker(0)
+	bits := arena.net.MessageBits(sh.M, cfg.N)
+	w.reset(0, 0, cfg.N, st.Net, r, sh, bits, probe, arena.publishLists(sh, 1, cfg.N)[0])
+	probe.Attach(st.Net, &w.occ, &w.act)
+	st.Net.RegisterAll(func(now sim.Time, msg simnet.Message) { w.onMessage(now, msg) })
+	for id := 0; id < cfg.N; id++ {
+		if !sh.mask.Alive(id) {
+			st.Net.Crash(simnet.NodeID(id))
+		}
+	}
+	w.armPublishes(st.Kernel)
+	w.installTick(st.Kernel)
+
+	if inject != nil {
+		ws := []*worker{w}
+		inject(core.NewNetRunFuncs(st.Kernel, st.Net, sh.view, sh.mask,
+			func(id int) bool { return hasReceivedLatest(sh, ws, cfg.N, id, st.Kernel.Now()) },
+			func() int { return w.firstTotal },
+			nil,
+			func(id int) {
+				if id < 0 || id >= cfg.N {
+					return
+				}
+				w.scenarioPublish(id, latestPublished(sh, st.Kernel.Now()), st.Kernel.Now())
+			}))
+	}
+
+	if err := st.Kernel.RunAll(); err != nil {
+		return Result{}, fmt.Errorf("stream: execution aborted: %w", err)
+	}
+	probe.Finish(st.Kernel.Now())
+	return reduce(cfg, sh, []*worker{w}, st.Net.Stats(), st.Kernel.Now()), nil
+}
+
+// budget bounds the kernel event count — a runaway guard far above any
+// real run: per-round gossip is at most every member emptying a full
+// buffer to a generous fanout, plus the eager/flood per-receipt cascades.
+func budget(cfg Config, sh *runShared) uint64 {
+	perRound := uint64(cfg.N+1) * uint64(cfg.BufferCap*64+64)
+	return uint64(sh.lastRound+16)*perRound + uint64(sh.M+1)*uint64(cfg.N+1)*8
+}
+
+// latestPublished returns the most recent schedule index published at or
+// before now (-1 for none), skipping dead-source entries. Callers hold
+// the barrier (workers parked) or the single kernel.
+func latestPublished(sh *runShared, now sim.Time) int {
+	i := sort.Search(sh.M, func(j int) bool { return sh.pubTime[j] > now }) - 1
+	for ; i >= 0; i-- {
+		if sh.pubState[i] == pubDone {
+			return i
+		}
+	}
+	return -1
+}
+
+// hasReceivedLatest reports whether id holds the most recently published
+// message — the streaming reading of the single-rumor NetRun predicate
+// (true before the first publish: there is nothing to lack).
+func hasReceivedLatest(sh *runShared, ws []*worker, n, id int, now sim.Time) bool {
+	latest := latestPublished(sh, now)
+	if latest < 0 || id < 0 || id >= n {
+		return true
+	}
+	for _, w := range ws {
+		if id >= w.base && id < w.limit {
+			return w.bits.Get(latest, id-w.base)
+		}
+	}
+	return true
+}
+
+// reduce folds the workers' tallies into the run Result. The
+// Result.Messages slice is the run's only O(M) allocation.
+func reduce(cfg Config, sh *runShared, ws []*worker, net simnet.Stats, end sim.Time) Result {
+	res := Result{
+		N:              cfg.N,
+		AliveCount:     sh.mask.AliveCount(),
+		Net:            net,
+		End:            end.Duration(),
+		MinReliability: 1,
+		Messages:       make([]MessageResult, sh.M),
+	}
+	for _, w := range ws {
+		res.Delivered += w.firstTotal
+		res.Ledger.Inserted += w.inserted
+		res.Ledger.Evicted += w.evicted
+		res.Ledger.Expired += w.expired
+		res.Ledger.Resident += w.occ
+		res.Ledger.RepairMisses += w.repairMiss
+		res.DeliveryLatency.Merge(w.lat)
+		if int(w.round) > res.Rounds {
+			res.Rounds = int(w.round)
+		}
+	}
+	var relSum float64
+	for m := 0; m < sh.M; m++ {
+		mr := &res.Messages[m]
+		mr.ID = m
+		mr.Source = int(sh.source[m])
+		mr.PublishedAt = sh.pubTime[m].Duration()
+		var sends, recvs int64
+		var first, dups, evics int32
+		for _, w := range ws {
+			sends += w.sends[m]
+			recvs += w.recvs[m]
+			first += w.first[m]
+			dups += w.dups[m]
+			evics += w.evics[m]
+		}
+		res.Ledger.Sends += sends
+		res.Ledger.Receipts += recvs
+		mr.Delivered = int(first)
+		mr.Duplicates = int(dups)
+		mr.Evictions = int(evics)
+		mr.Drops = sends - recvs
+		if res.AliveCount > 0 {
+			mr.Reliability = float64(first) / float64(res.AliveCount)
+		}
+		switch {
+		case sh.pubState[m] == pubSkipped:
+			mr.Outcome = MsgSkipped
+			res.Skipped++
+			continue
+		case mr.Delivered == res.AliveCount:
+			mr.Outcome = MsgDelivered
+			res.FullyDelivered++
+		case evics > 0:
+			mr.Outcome = MsgLostEviction
+			res.LostEviction++
+		case mr.Drops > 0:
+			mr.Outcome = MsgLostDrop
+			res.LostDrop++
+		default:
+			mr.Outcome = MsgDied
+			res.Died++
+		}
+		res.Published++
+		relSum += mr.Reliability
+		if mr.Reliability < res.MinReliability {
+			res.MinReliability = mr.Reliability
+		}
+	}
+	if res.Published > 0 {
+		res.MeanReliability = relSum / float64(res.Published)
+	} else {
+		res.MinReliability = 0
+	}
+	res.MessagesSent = res.Ledger.Sends
+	return res
+}

@@ -1,0 +1,187 @@
+package stream
+
+import (
+	"fmt"
+
+	"gossipkit/internal/core"
+	"gossipkit/internal/membership"
+	"gossipkit/internal/obs"
+	"gossipkit/internal/sim"
+	"gossipkit/internal/simnet"
+	"gossipkit/internal/xrand"
+)
+
+// RunSharded executes one streaming run on the conservative-PDES sharded
+// runtime: members partitioned into contiguous blocks across per-core
+// shard kernels, lookahead windows from the latency model's floor,
+// cross-shard messages crossing at window barriers. RunProbed is the
+// equivalence oracle.
+//
+// Determinism contract (matching the core executors):
+//   - shards=1: byte-identical to RunProbed for the same inputs — same
+//     RNG layout, same event interleaving (the control kernel is the
+//     shard kernel and the run is a plain drain).
+//   - fixed shards>1: byte-identical across repeated runs and hosts.
+//   - across shard counts: statistically pinned — the publish schedule
+//     and failure mask are identical (both from non-consuming splits or
+//     from r before any shard stream is used), but fanout and latency
+//     draws come from per-shard streams.
+//
+// The probe fans out to per-shard children and adopts their merged
+// telemetry; the active-message gauge lives on shard 0. opts.Shards
+// below 1 auto-selects GOMAXPROCS; configurations without a positive
+// latency floor fall back to one shard.
+func RunSharded(cfg Config, netCfg simnet.Config, r *xrand.RNG,
+	inject func(*core.NetRun), arena *Arena, probe *obs.StreamProbe, opts core.ShardOptions) (Result, error) {
+	cfg, err := cfg.normalize()
+	if err != nil {
+		return Result{}, err
+	}
+	if arena == nil {
+		arena = NewArena()
+	}
+	shards := core.EffectiveShards(opts.Shards, cfg.N, netCfg)
+	sh := arena.schedule(cfg, cfg.interval(netCfg), r)
+	sa := arena.net.Sharded(shards)
+	ss := sa.LeaseSharded(shards)
+	kernels, ctl, sn := ss.Kernels, ss.Control, ss.Net
+	group := sim.NewShardGroup(kernels, ctl, core.LatencyFloor(netCfg.Latency))
+	block := (cfg.N + shards - 1) / shards
+
+	// RNG layout: worker streams split off r (never advancing it), so
+	// the mask draw below is shard-count independent; with one shard the
+	// worker stream is r itself, anchoring the RunProbed equivalence.
+	workers := make([]*worker, shards)
+	for s := range workers {
+		workers[s] = arena.worker(s) // leased here; reset on the shard goroutine
+	}
+	rngs := make([]*xrand.RNG, shards)
+	if shards == 1 {
+		rngs[0] = r
+	} else {
+		for s := range rngs {
+			rngs[s] = r.Split(shardSplit + uint64(s))
+		}
+	}
+	pubBy := arena.publishLists(sh, shards, block)
+	sn.Prepare(shards, cfg.N, netCfg)
+	bud := budget(cfg, sh)
+	group.Each(func(s int) {
+		// Per-shard state resets on the shard's own goroutine
+		// (first-touch locality of the kernel queue, network pools,
+		// delivery matrix and rumor buffers).
+		kernels[s].Reset()
+		kernels[s].SetBudget(bud)
+		sn.ResetShard(s, kernels[s], rngs[s].Split(netSplit))
+		lo, hi := s*block, min((s+1)*block, cfg.N)
+		workers[s].reset(s, lo, hi, sn.Shard(s), rngs[s], sh,
+			sa.ShardMessageBits(s, sh.M, hi-lo), nil, pubBy[s])
+	})
+	if shards > 1 {
+		ctl.Reset()
+	}
+	sh.mask = ss.Mask
+	sh.mask.FillBernoulli(cfg.N, cfg.AliveRatio, 0, r)
+	sh.view = cfg.View
+	if sh.view == nil {
+		sh.view = membership.NewFullView(cfg.N)
+	}
+
+	if probe != nil {
+		if shards == 1 {
+			workers[0].probe = probe
+			probe.Attach(sn.Shard(0), &workers[0].occ, &workers[0].act)
+		} else {
+			for s, child := range probe.ShardProbes(shards) {
+				workers[s].probe = child
+				var act *int64
+				if s == 0 {
+					act = &workers[0].act
+				}
+				child.Attach(sn.Shard(s), &workers[s].occ, act)
+			}
+		}
+	}
+
+	for s := 0; s < shards; s++ {
+		w := workers[s]
+		sn.Shard(s).RegisterAll(func(now sim.Time, msg simnet.Message) { w.onMessage(now, msg) })
+	}
+	group.Each(func(s int) {
+		for id := s * block; id < min((s+1)*block, cfg.N); id++ {
+			if !sh.mask.Alive(id) {
+				sn.Shard(s).Crash(simnet.NodeID(id))
+			}
+		}
+		workers[s].armPublishes(kernels[s])
+		workers[s].installTick(kernels[s])
+	})
+
+	if inject != nil {
+		inject(core.NewNetRunFuncs(ctl, sn, sh.view, sh.mask,
+			func(id int) bool { return hasReceivedLatest(sh, workers, cfg.N, id, ctl.Now()) },
+			func() int {
+				total := 0
+				for _, w := range workers {
+					total += w.firstTotal
+				}
+				return total
+			},
+			func() int {
+				n := ctl.Pending() + sn.Buffered()
+				if shards > 1 {
+					for _, k := range kernels {
+						n += k.Pending()
+					}
+				}
+				return n
+			},
+			func(id int) {
+				if id < 0 || id >= cfg.N {
+					return
+				}
+				// Latest is resolved at the barrier (workers parked);
+				// the publish itself executes on the owning shard's
+				// clock.
+				latest := latestPublished(sh, ctl.Now())
+				s := id / block
+				now := ctl.Now()
+				if shards == 1 {
+					workers[0].scenarioPublish(id, latest, now)
+					return
+				}
+				kernels[s].At(now, func() { workers[s].scenarioPublish(id, latest, now) })
+			}))
+	}
+
+	var runErr error
+	if shards == 1 {
+		runErr = ctl.RunAll()
+	} else {
+		var onBarrier func(now sim.Time, fired uint64)
+		if opts.Progress != nil {
+			onBarrier = func(now sim.Time, fired uint64) { opts.Progress(fired, now) }
+		}
+		runErr = group.Run(sn.Flush, sn.Buffered, onBarrier)
+	}
+	if runErr != nil {
+		return Result{}, fmt.Errorf("stream: sharded execution aborted: %w", runErr)
+	}
+	if probe != nil {
+		if shards == 1 {
+			probe.Finish(ctl.Now())
+		} else {
+			for s := range workers {
+				workers[s].probe.Finish(kernels[s].Now())
+			}
+			probe.AdoptShards()
+		}
+	}
+	end := ctl.Now()
+	for _, k := range kernels {
+		if k.Now() > end {
+			end = k.Now()
+		}
+	}
+	return reduce(cfg, sh, workers, sn.Stats(), end), nil
+}

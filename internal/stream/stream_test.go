@@ -1,0 +1,334 @@
+package stream
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"gossipkit/internal/core"
+	"gossipkit/internal/dist"
+	"gossipkit/internal/obs"
+	"gossipkit/internal/sim"
+	"gossipkit/internal/simnet"
+	"gossipkit/internal/xrand"
+)
+
+func testConfig() Config {
+	return Config{
+		N:        64,
+		Rate:     200,
+		Duration: 300 * time.Millisecond,
+		Fanout:   dist.NewFixed(3),
+	}
+}
+
+func testNetConfig() simnet.Config {
+	return simnet.Config{Latency: simnet.UniformLatency{Lo: time.Millisecond, Hi: 5 * time.Millisecond}}
+}
+
+// checkLedger asserts the run's conservation identities: the copy
+// identity, the engine/fabric tie, and the outcome partition.
+func checkLedger(t *testing.T, res Result) {
+	t.Helper()
+	if got := res.Ledger.Evicted + res.Ledger.Expired + res.Ledger.Resident; got != res.Ledger.Inserted {
+		t.Errorf("copy identity broken: evicted %d + expired %d + resident %d = %d, inserted %d",
+			res.Ledger.Evicted, res.Ledger.Expired, res.Ledger.Resident, got, res.Ledger.Inserted)
+	}
+	if got := res.Net.Sent + res.Net.DroppedDown; res.Ledger.Sends != got {
+		t.Errorf("send identity broken: ledger sends %d, fabric sent %d + dropped-down %d = %d",
+			res.Ledger.Sends, res.Net.Sent, res.Net.DroppedDown, got)
+	}
+	if res.Ledger.Receipts != res.Net.Delivered {
+		t.Errorf("receipt identity broken: ledger receipts %d, fabric delivered %d",
+			res.Ledger.Receipts, res.Net.Delivered)
+	}
+	if got := res.FullyDelivered + res.LostEviction + res.LostDrop + res.Died; got != res.Published {
+		t.Errorf("outcomes do not partition published: %d+%d+%d+%d = %d, published %d",
+			res.FullyDelivered, res.LostEviction, res.LostDrop, res.Died, got, res.Published)
+	}
+	if got := res.Published + res.Skipped; got != len(res.Messages) {
+		t.Errorf("published %d + skipped %d = %d, schedule length %d",
+			res.Published, res.Skipped, got, len(res.Messages))
+	}
+}
+
+func TestRunLowLoadDeliversEverything(t *testing.T) {
+	// Round-driven push re-gossips the buffer every round for the whole
+	// active window, so at low load every message saturates the group.
+	// (Eager forwards only at first receipt and plateaus near the
+	// epidemic fixed point 1-e^{-c} — covered by the ledger tests.)
+	cfg := testConfig()
+	cfg.Discipline = DisciplinePush
+	res, err := Run(cfg, testNetConfig(), xrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Published == 0 {
+		t.Fatal("no messages published")
+	}
+	if res.FullyDelivered != res.Published {
+		t.Errorf("low load: %d of %d messages fully delivered", res.FullyDelivered, res.Published)
+	}
+	if res.MinReliability != 1 {
+		t.Errorf("low load: min reliability %g, want 1", res.MinReliability)
+	}
+	if res.Ledger.Resident != 0 {
+		t.Errorf("drained run left %d resident copies", res.Ledger.Resident)
+	}
+	checkLedger(t, res)
+}
+
+func TestRunLedgerAcrossDisciplines(t *testing.T) {
+	for _, d := range []Discipline{DisciplineEager, DisciplinePush, DisciplinePushPull, DisciplineFlood} {
+		t.Run(d.String(), func(t *testing.T) {
+			cfg := testConfig()
+			cfg.Discipline = d
+			cfg.AliveRatio = 0.9
+			cfg.BufferCap = 8
+			cfg.Rate = 800
+			res, err := Run(cfg, testNetConfig(), xrand.New(7))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Published == 0 {
+				t.Fatal("no messages published")
+			}
+			checkLedger(t, res)
+		})
+	}
+}
+
+func TestRunLossAttributesDrops(t *testing.T) {
+	cfg := testConfig()
+	net := testNetConfig()
+	net.Loss = simnet.BernoulliLoss{P: 0.4}
+	res, err := Run(cfg, net, xrand.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkLedger(t, res)
+	if res.Net.DroppedLoss == 0 {
+		t.Fatal("lossy run dropped nothing")
+	}
+	var drops int64
+	for _, m := range res.Messages {
+		if m.Drops < 0 {
+			t.Fatalf("message %d has negative drops %d", m.ID, m.Drops)
+		}
+		drops += m.Drops
+	}
+	if got := res.Ledger.Sends - res.Ledger.Receipts; drops != got {
+		t.Errorf("per-message drops sum %d, ledger sends-receipts %d", drops, got)
+	}
+}
+
+func TestRunDeterministicAcrossRepeatsAndArenas(t *testing.T) {
+	cfg := testConfig()
+	cfg.AliveRatio = 0.85
+	cfg.BufferCap = 6
+	a, err := Run(cfg, testNetConfig(), xrand.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	arena := NewArena()
+	for i := 0; i < 2; i++ {
+		b, err := RunProbed(cfg, testNetConfig(), xrand.New(11), nil, arena, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("warm arena run %d diverged from cold run", i)
+		}
+	}
+}
+
+func TestShardedSingleShardMatchesRunProbed(t *testing.T) {
+	for _, d := range []Discipline{DisciplineEager, DisciplinePush, DisciplinePushPull} {
+		t.Run(d.String(), func(t *testing.T) {
+			cfg := testConfig()
+			cfg.Discipline = d
+			cfg.AliveRatio = 0.9
+			cfg.BufferCap = 8
+			single, err := Run(cfg, testNetConfig(), xrand.New(5))
+			if err != nil {
+				t.Fatal(err)
+			}
+			sharded, err := RunSharded(cfg, testNetConfig(), xrand.New(5), nil, nil, nil,
+				core.ShardOptions{Shards: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(single, sharded) {
+				t.Fatal("shards=1 result diverged from single-kernel run")
+			}
+		})
+	}
+}
+
+func TestShardedDeterministicAtFixedShardCount(t *testing.T) {
+	cfg := testConfig()
+	cfg.N = 96
+	cfg.Discipline = DisciplinePush
+	cfg.BufferCap = 8
+	opts := core.ShardOptions{Shards: 3}
+	a, err := RunSharded(cfg, testNetConfig(), xrand.New(9), nil, nil, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arena := NewArena()
+	for i := 0; i < 2; i++ {
+		b, err := RunSharded(cfg, testNetConfig(), xrand.New(9), nil, arena, nil, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("sharded repeat %d diverged", i)
+		}
+		checkLedger(t, b)
+	}
+}
+
+// TestShardCountStatisticalPin checks the cross-shard-count contract:
+// the publish schedule and failure mask are identical for every shard
+// count (so schedule length, sources, publish times, and skip pattern
+// match exactly), and reliability stays statistically close.
+func TestShardCountStatisticalPin(t *testing.T) {
+	cfg := testConfig()
+	cfg.N = 90
+	cfg.AliveRatio = 0.9
+	base, err := RunSharded(cfg, testNetConfig(), xrand.New(13), nil, nil, nil,
+		core.ShardOptions{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{2, 3} {
+		res, err := RunSharded(cfg, testNetConfig(), xrand.New(13), nil, nil, nil,
+			core.ShardOptions{Shards: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkLedger(t, res)
+		if res.AliveCount != base.AliveCount {
+			t.Fatalf("shards=%d alive count %d, want %d", shards, res.AliveCount, base.AliveCount)
+		}
+		if len(res.Messages) != len(base.Messages) {
+			t.Fatalf("shards=%d schedule length %d, want %d", shards, len(res.Messages), len(base.Messages))
+		}
+		for m := range res.Messages {
+			if res.Messages[m].Source != base.Messages[m].Source ||
+				res.Messages[m].PublishedAt != base.Messages[m].PublishedAt {
+				t.Fatalf("shards=%d message %d schedule diverged", shards, m)
+			}
+		}
+		if res.Published != base.Published || res.Skipped != base.Skipped {
+			t.Fatalf("shards=%d published/skipped %d/%d, want %d/%d",
+				shards, res.Published, res.Skipped, base.Published, base.Skipped)
+		}
+		if diff := res.MeanReliability - base.MeanReliability; diff > 0.05 || diff < -0.05 {
+			t.Errorf("shards=%d mean reliability %g too far from %g",
+				shards, res.MeanReliability, base.MeanReliability)
+		}
+	}
+}
+
+func TestStreamProbeCollectsCurves(t *testing.T) {
+	cfg := testConfig()
+	cfg.Rate = 500
+	probe := obs.NewStream(obs.Options{CurveTick: 5 * time.Millisecond})
+	res, err := RunProbed(cfg, testNetConfig(), xrand.New(2), nil, nil, probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := probe.Metrics()
+	if len(m.Occupancy) == 0 || len(m.Published) == 0 {
+		t.Fatal("probe collected no curve samples")
+	}
+	// Curves sample cumulative counters, so the final sample is the total.
+	pub := m.Published[len(m.Published)-1]
+	del := m.Delivered[len(m.Delivered)-1]
+	if pub != int64(res.Published) {
+		t.Errorf("probe published %d, result %d", pub, res.Published)
+	}
+	// Probe deliveries exclude source self-receipts.
+	if del != int64(res.Delivered-res.Published) {
+		t.Errorf("probe delivered %d, result %d non-origin receipts", del, res.Delivered-res.Published)
+	}
+	if m.Latency.Total != del {
+		t.Errorf("latency histogram total %d, want %d", m.Latency.Total, del)
+	}
+	if m.Totals.Sent != res.Net.Sent {
+		t.Errorf("probe fabric sent %d, result %d", m.Totals.Sent, res.Net.Sent)
+	}
+
+	// The probe must not perturb the stream.
+	bare, err := Run(cfg, testNetConfig(), xrand.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(bare, res) {
+		t.Fatal("probed run diverged from bare run")
+	}
+}
+
+func TestStreamProbeShardedMerge(t *testing.T) {
+	cfg := testConfig()
+	cfg.N = 96
+	cfg.Rate = 500
+	probe := obs.NewStream(obs.Options{CurveTick: 5 * time.Millisecond})
+	res, err := RunSharded(cfg, testNetConfig(), xrand.New(4), nil, nil, probe,
+		core.ShardOptions{Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := probe.Metrics()
+	if len(m.Occupancy) == 0 {
+		t.Fatal("merged probe has no occupancy curve")
+	}
+	if pub := m.Published[len(m.Published)-1]; pub != int64(res.Published) {
+		t.Errorf("merged probe published %d, result %d", pub, res.Published)
+	}
+	if m.Totals.Sent != res.Net.Sent {
+		t.Errorf("merged probe fabric sent %d, result %d", m.Totals.Sent, res.Net.Sent)
+	}
+}
+
+func TestScenarioSeamPublish(t *testing.T) {
+	cfg := testConfig()
+	var nr *core.NetRun
+	res, err := RunProbed(cfg, testNetConfig(), xrand.New(6),
+		func(r *core.NetRun) {
+			nr = r
+			// Mid-stream burst: an extra publish wave at 100ms.
+			r.Kernel.At(sim.Time(100*time.Millisecond), func() {
+				for id := 0; id < 8; id++ {
+					r.Publish(id)
+				}
+			})
+		}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nr == nil {
+		t.Fatal("inject hook never ran")
+	}
+	checkLedger(t, res)
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{},
+		{N: 1, Rate: 1, Duration: time.Second, Fanout: dist.NewFixed(2)},
+		{N: 8, Rate: 0, Duration: time.Second, Fanout: dist.NewFixed(2)},
+		{N: 8, Rate: 1, Duration: 0, Fanout: dist.NewFixed(2)},
+		{N: 8, Rate: 1, Duration: time.Second},
+		{N: 8, Rate: 1, Duration: time.Second, Fanout: dist.NewFixed(2), Sources: 9},
+		{N: 8, Rate: 1, Duration: time.Second, Fanout: dist.NewFixed(2), AliveRatio: 1.5},
+		{N: 8, Rate: 1, Duration: time.Second, Fanout: dist.NewFixed(2), BufferCap: -1},
+		{N: 8, Rate: 1, Duration: time.Second, Fanout: dist.NewFixed(2), ActiveRounds: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := Run(cfg, testNetConfig(), xrand.New(1)); err == nil {
+			t.Errorf("config %d: expected validation error", i)
+		}
+	}
+}

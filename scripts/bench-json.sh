@@ -10,6 +10,8 @@
 #   ExecuteOnNetwork/n=100000           the sweep-sized hot path
 #   ExecuteOnNetworkTopology/*          n=10^5 uniform vs k-out overlay
 #                                       (the <=10% overlay-lookup budget)
+#   StreamSteadyState                   n=10^5 streaming workload under load
+#                                       (internal/stream, alloc-guarded)
 #
 # Each record carries ns/op, msgs/s, and allocs/op parsed from `go test
 # -bench` output — awk only, no external JSON tooling. The n=10⁷ benchmarks
@@ -32,6 +34,9 @@ trap 'rm -f "$raw"' EXIT
 go test ./internal/core -run XXX \
     -bench 'ExecuteOnNetworkMillion(Probed)?$|ExecuteOnNetworkShardedMillion/shards=1$|ExecuteOnNetwork/n=100000$|ExecuteOnNetworkTopology/' \
     -benchtime "$benchtime" > "$raw"
+go test ./internal/stream -run XXX \
+    -bench 'StreamSteadyState$' \
+    -benchtime "$benchtime" >> "$raw"
 cat "$raw"
 
 awk -v date="$(date +%Y-%m-%d)" -v benchtime="$benchtime" '

@@ -54,6 +54,22 @@ for anchor in \
         fail=1
     fi
 done
+# Likewise the "Streaming workloads" section and its load-bearing anchors:
+# the tag packing and its boxed-send fallback counter, the message-id cap,
+# the lpbcast eviction policy, the conservation identity, and the probe
+# family. Renaming any of these in code without the doc update fails here.
+for anchor in \
+    "## Streaming workloads" \
+    "MaxMessagesCap" \
+    "BoxedSends" \
+    "EvictLpbcast" \
+    "Inserted = Evicted + Expired + Resident" \
+    "StreamProbe"; do
+    if ! grep -qs "$anchor" ARCHITECTURE.md; then
+        echo "docs-lint: ARCHITECTURE.md lost its Streaming workloads anchor: '$anchor'" >&2
+        fail=1
+    fi
+done
 if [ "$fail" -ne 0 ]; then
     echo "docs-lint: add the missing package/command comments (doc.go preferred for packages)" >&2
     exit 1
