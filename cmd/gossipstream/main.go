@@ -11,6 +11,8 @@
 //	gossipstream -rates 200,400,800,1600 -buffer 8 -curves curves.csv
 //	gossipstream -n 1024 -rate 2000 -shards 0      # sharded kernel, one shard per core
 //	gossipstream -n 512 -rate 500 -topology kout:8 # stream over a k-out overlay
+//	gossipstream -n 2000 -rate 1.25e7 -duration 160ms -max-messages 2500000 \
+//	    -batch -summary                            # 10⁶ concurrent rumors
 //
 // Interrupt (Ctrl-C) cancels a sweep cleanly via context.
 package main
@@ -54,6 +56,9 @@ func main() {
 		loss       = flag.Float64("loss", 0, "message loss probability")
 		shards     = flag.Int("shards", 1, "shard kernels per execution (conservative-PDES; 1 = single kernel, 0 = one per core)")
 		topoFlag   = flag.String("topology", "uniform", "gossip overlay: uniform, kout[:K], ba[:K], wan:ZONES[:K]")
+		batch      = flag.Bool("batch", false, "batched wire digests: one event per round per peer (push/pushpull)")
+		summary    = flag.Bool("summary", false, "summary-only accounting: skip the O(messages) per-message rows")
+		maxMsgs    = flag.Int("max-messages", 0, "cap on scheduled messages per run (0 = engine default)")
 		curves     = flag.String("curves", "", "write merged streaming telemetry curves (occupancy, active, evictions) to this CSV file")
 		progress   = flag.Bool("progress", false, "stream per-run progress to stderr")
 	)
@@ -68,6 +73,7 @@ func main() {
 		active: *active, interval: *interval, sources: *sources,
 		runs: *runs, seed: *seed, latLo: *latLo, latHi: *latHi, loss: *loss,
 		shards: *shards, topoFlag: *topoFlag, curves: *curves, progress: *progress,
+		batch: *batch, summary: *summary, maxMsgs: *maxMsgs,
 	}); err != nil {
 		if errors.Is(err, gossipkit.ErrCanceled) {
 			fmt.Fprintln(os.Stderr, "gossipstream: interrupted")
@@ -96,6 +102,8 @@ type options struct {
 	shards               int
 	topoFlag, curves     string
 	progress             bool
+	batch, summary       bool
+	maxMsgs              int
 }
 
 func run(ctx context.Context, o options) error {
@@ -140,6 +148,7 @@ func run(ctx context.Context, o options) error {
 			Sources: o.sources, Fanout: d, AliveRatio: o.q,
 			BufferCap: o.buffer, Eviction: ev, Discipline: disc,
 			ActiveRounds: o.active, RoundInterval: o.interval,
+			MaxMessages: o.maxMsgs, Batch: o.batch, SummaryOnly: o.summary,
 		}
 		opts := []gossipkit.Option{
 			gossipkit.WithSeed(o.seed), gossipkit.WithTopology(topo),

@@ -166,6 +166,12 @@ func StreamExecutor(cfg StreamConfig) ScenarioExecutor {
 // conservative-PDES sharded kernel; WithTopology restricts gossip to a
 // generated overlay. Replications recycle one arena per worker, so rate
 // sweeps make no O(n)- or O(buffer)-sized allocations after warm-up.
+// WithoutReports additionally runs every replication in summary mode
+// (StreamConfig.SummaryOnly): per-message accounting folds into the
+// run-level aggregates and the O(messages) Messages slice is never
+// allocated — the memory posture for 10⁶–10⁷-rumor runs. Set
+// Config.Batch for batched wire digests (one event per round per peer
+// instead of one per buffered entry).
 type Stream struct {
 	// Config is the streaming workload under execution.
 	Config StreamConfig
@@ -190,6 +196,12 @@ func (s Stream) run(ctx context.Context, o *runOptions, emit func(Report)) (any,
 
 	execute := func(r *xrand.RNG, arena *stream.Arena, probe *obs.StreamProbe) (stream.Result, error) {
 		cfg := s.Config
+		if o.noReports {
+			// WithoutReports discards per-run Reports, so per-message rows
+			// would never reach the caller: run in summary mode and skip
+			// the O(messages) Result.Messages allocation entirely.
+			cfg.SummaryOnly = true
+		}
 		if ov, err := o.topology.Build(cfg.N, r.Split(topology.Split)); err != nil {
 			return stream.Result{}, err
 		} else if ov != nil {

@@ -149,6 +149,7 @@ type NetArena struct {
 	targets  []int
 	sharded  *ShardArena
 	msgBits  *MessageBits // per-message delivery matrix (streaming runs)
+	nackBits *MessageBits // pending-repair matrix (push-pull streaming runs)
 }
 
 // Sharded leases the arena's pooled sharded-execution state, sized for

@@ -1,0 +1,85 @@
+package core
+
+import "testing"
+
+// TestMessageBitsSegmented exercises the segment-pooled delivery matrix
+// across segment boundaries: with a wide row (stride 1024 words) a segment
+// holds 256 rows, so 600 messages span three segments, the last a sized
+// tail. Set/Get/Unset/CountRow must behave exactly like one flat matrix.
+func TestMessageBitsSegmented(t *testing.T) {
+	const msgs, width = 600, 65536
+	var b MessageBits
+	b.Reset(msgs, width)
+	if got := len(b.segs); got != 3 {
+		t.Fatalf("segments = %d for %d×%d, want 3", got, msgs, width)
+	}
+	if tail := len(b.segs[2]); tail != (msgs-512)*b.stride {
+		t.Errorf("tail segment = %d words, want %d (sized to used rows)", tail, (msgs-512)*b.stride)
+	}
+
+	// A deterministic scatter touching every segment, both edges of rows,
+	// and the exact segment-boundary rows (255/256, 511/512).
+	type pt struct{ m, id int }
+	pts := []pt{
+		{0, 0}, {0, 63}, {0, 64}, {0, width - 1},
+		{255, 17}, {256, 17}, {511, width - 2}, {512, 0},
+		{599, width - 1}, {300, 40000},
+	}
+	for _, p := range pts {
+		b.Set(p.m, p.id)
+	}
+	for _, p := range pts {
+		if !b.Get(p.m, p.id) {
+			t.Errorf("Get(%d, %d) = false after Set", p.m, p.id)
+		}
+	}
+	// Neighbors stay clear: rows never share words across the boundary.
+	if b.Get(255, 18) || b.Get(256, 16) || b.Get(512, 1) || b.Get(511, width-1) {
+		t.Error("neighboring bits leaked across rows or segments")
+	}
+	if got := b.CountRow(0); got != 4 {
+		t.Errorf("CountRow(0) = %d, want 4", got)
+	}
+	b.Unset(0, 64)
+	if b.Get(0, 64) || b.CountRow(0) != 3 {
+		t.Errorf("Unset(0, 64) left Get=%v CountRow=%d, want false/3", b.Get(0, 64), b.CountRow(0))
+	}
+}
+
+// TestMessageBitsPooledReuse pins the warm-arena contract: reshaping a
+// matrix reuses segments whose capacity fits and clears every reachable
+// bit, and a tiny matrix allocates only the words it uses.
+func TestMessageBitsPooledReuse(t *testing.T) {
+	var b MessageBits
+	b.Reset(600, 65536)
+	b.Set(599, 1)
+	b.Set(0, 0)
+	seg0 := &b.segs[0][0]
+
+	b.Reset(300, 65536) // smaller: first segment reused, tail resized
+	if &b.segs[0][0] != seg0 {
+		t.Error("reshape reallocated a segment whose capacity fit")
+	}
+	for m := 0; m < 300; m += 7 {
+		for id := 0; id < 65536; id += 1009 {
+			if b.Get(m, id) {
+				t.Fatalf("stale bit survived reshape at (%d, %d)", m, id)
+			}
+		}
+	}
+
+	b.Reset(10, 64) // tiny: one segment of exactly 10 words
+	if len(b.segs) != 1 || len(b.segs[0]) != 10 {
+		t.Errorf("10×64 matrix = %d segments, first %d words; want 1 segment of 10 words",
+			len(b.segs), len(b.segs[0]))
+	}
+	b.Set(9, 63)
+	if !b.Get(9, 63) || b.CountRow(9) != 1 {
+		t.Error("tiny-matrix Set/Get/CountRow broken")
+	}
+
+	b.Reset(0, 0) // empty matrix: no segments, no panics from sizing
+	if len(b.segs) != 0 {
+		t.Errorf("0×0 matrix kept %d segments, want 0", len(b.segs))
+	}
+}

@@ -103,13 +103,14 @@ type shardState struct {
 // arena serves many runs; it is single-goroutine state between runs (the
 // execution itself fans out to the shard workers).
 type ShardArena struct {
-	shards  int
-	kernels []*sim.Kernel
-	ctl     *sim.Kernel
-	net     *simnet.ShardedNet
-	mask    *failure.Mask
-	states  []shardState
-	msgBits []*MessageBits // per-shard delivery matrices (streaming runs)
+	shards   int
+	kernels  []*sim.Kernel
+	ctl      *sim.Kernel
+	net      *simnet.ShardedNet
+	mask     *failure.Mask
+	states   []shardState
+	msgBits  []*MessageBits // per-shard delivery matrices (streaming runs)
+	nackBits []*MessageBits // per-shard pending-repair matrices (push-pull)
 }
 
 // NewShardArena returns an empty arena for the given shard count;
@@ -142,6 +143,10 @@ func (a *ShardArena) ensure(shards int) {
 		a.msgBits = append(a.msgBits, nil)
 	}
 	a.msgBits = a.msgBits[:shards]
+	for len(a.nackBits) < shards {
+		a.nackBits = append(a.nackBits, nil)
+	}
+	a.nackBits = a.nackBits[:shards]
 }
 
 // ExecuteOnNetworkSharded runs one execution of the paper's algorithm on

@@ -345,6 +345,12 @@ func MergeShardStreamMetrics(parts []*StreamMetrics) *StreamMetrics {
 		m.Totals.DroppedDown += part.Totals.DroppedDown
 		m.Totals.DroppedPart += part.Totals.DroppedPart
 		m.Totals.BoxedSends += part.Totals.BoxedSends
+		m.Totals.Batches += part.Totals.Batches
+		m.Totals.BatchEntries += part.Totals.BatchEntries
+		m.Totals.BatchesDown += part.Totals.BatchesDown
+		m.Totals.BatchEntriesDown += part.Totals.BatchEntriesDown
+		m.Totals.BatchesDelivered += part.Totals.BatchesDelivered
+		m.Totals.BatchEntriesDelivered += part.Totals.BatchEntriesDelivered
 	}
 	series := func(pick func(*StreamMetrics) []int64) []int64 {
 		return sumShardStreamSeries(parts, maxLen, pick)

@@ -8,15 +8,19 @@ import (
 )
 
 // crossMsg is one cross-shard message parked in a per-(src,dst) buffer
-// between its send and the next window barrier. 32 bytes, value-typed:
-// buffering and flushing never touch the garbage collector.
+// between its send and the next window barrier. 40 bytes, value-typed:
+// buffering and flushing never touch the garbage collector. A batch
+// message (idLen > 0) keeps its ids out of line in the pair's flat id
+// buffer at [idOff, idOff+idLen); tag then holds the batch kind.
 type crossMsg struct {
 	sentAt sim.Time
 	at     sim.Time
 	from   int32
 	to     int32
 	tag    int32
-	_      int32 // pad to 32 bytes
+	idOff  int32
+	idLen  int32
+	_      int32 // pad to 40 bytes
 }
 
 // ShardedNet is the sharded fabric: one *Network per shard kernel, member
@@ -41,6 +45,7 @@ type ShardedNet struct {
 	nets   []*Network
 	cfgs   []Config // per-shard configs (loss cloned), built by Prepare
 	bufs   [][]crossMsg
+	ids    [][]int32 // per-(src,dst) flat id storage for buffered batches
 }
 
 // NewShardedNet returns an empty sharded fabric; Prepare sizes it.
@@ -85,6 +90,13 @@ func (sn *ShardedNet) Prepare(shards, n int, cfg Config) {
 	for i := range sn.bufs {
 		sn.bufs[i] = sn.bufs[i][:0]
 	}
+	if cap(sn.ids) < shards*shards {
+		sn.ids = make([][]int32, shards*shards)
+	}
+	sn.ids = sn.ids[:shards*shards]
+	for i := range sn.ids {
+		sn.ids[i] = sn.ids[i][:0]
+	}
 }
 
 // ResetShard (re)initializes shard s's network on its kernel and installs
@@ -103,6 +115,7 @@ func (sn *ShardedNet) ResetShard(s int, kernel *sim.Kernel, rng *xrand.RNG) {
 	}
 	shards, block := sn.shards, sn.block
 	bufs := sn.bufs[s*shards : (s+1)*shards]
+	idbufs := sn.ids[s*shards : (s+1)*shards]
 	sn.nets[s].SetRoute(func(from, to NodeID, tag int32, sentAt, at sim.Time) bool {
 		d := int(to) / block
 		if d == s {
@@ -110,6 +123,19 @@ func (sn *ShardedNet) ResetShard(s int, kernel *sim.Kernel, rng *xrand.RNG) {
 		}
 		bufs[d] = append(bufs[d], crossMsg{
 			sentAt: sentAt, at: at, from: int32(from), to: int32(to), tag: tag,
+		})
+		return true
+	})
+	sn.nets[s].SetRouteBatch(func(from, to NodeID, kind int32, ids []int32, sentAt, at sim.Time) bool {
+		d := int(to) / block
+		if d == s {
+			return false
+		}
+		off := int32(len(idbufs[d]))
+		idbufs[d] = append(idbufs[d], ids...)
+		bufs[d] = append(bufs[d], crossMsg{
+			sentAt: sentAt, at: at, from: int32(from), to: int32(to), tag: kind,
+			idOff: off, idLen: int32(len(ids)),
 		})
 		return true
 	})
@@ -125,18 +151,26 @@ func (sn *ShardedNet) Flush(wend sim.Time) {
 	for dst := 0; dst < sn.shards; dst++ {
 		nw := sn.nets[dst]
 		for src := 0; src < sn.shards; src++ {
-			buf := sn.bufs[src*sn.shards+dst]
+			pair := src*sn.shards + dst
+			buf := sn.bufs[pair]
 			if len(buf) == 0 {
 				continue
 			}
+			ids := sn.ids[pair]
 			for _, m := range buf {
 				at := m.at
 				if at < wend {
 					at = wend
 				}
+				if m.idLen > 0 {
+					nw.ScheduleArrivalBatch(NodeID(m.from), NodeID(m.to), m.tag,
+						ids[m.idOff:m.idOff+m.idLen], m.sentAt, at)
+					continue
+				}
 				nw.ScheduleArrival(NodeID(m.from), NodeID(m.to), m.tag, m.sentAt, at)
 			}
-			sn.bufs[src*sn.shards+dst] = buf[:0]
+			sn.bufs[pair] = buf[:0]
+			sn.ids[pair] = ids[:0]
 		}
 	}
 }
@@ -223,6 +257,22 @@ func (sn *ShardedNet) Stats() Stats {
 		total.DroppedDown += s.DroppedDown
 		total.DroppedPart += s.DroppedPart
 		total.BoxedSends += s.BoxedSends
+		total.Batches += s.Batches
+		total.BatchEntries += s.BatchEntries
+		total.BatchesDown += s.BatchesDown
+		total.BatchEntriesDown += s.BatchEntriesDown
+		total.BatchesDelivered += s.BatchesDelivered
+		total.BatchEntriesDelivered += s.BatchEntriesDelivered
+	}
+	return total
+}
+
+// SlabsInUse returns leased-but-unreturned id-slabs summed over the
+// shards — zero at quiescence, like the single-network invariant.
+func (sn *ShardedNet) SlabsInUse() int {
+	total := 0
+	for _, nw := range sn.nets {
+		total += nw.SlabsInUse()
 	}
 	return total
 }

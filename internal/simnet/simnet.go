@@ -205,7 +205,40 @@ type Stats struct {
 	// are already included in Sent and resolve into Delivered or a drop
 	// counter like any other.
 	BoxedSends int64
+
+	// Batch accounting. A SendBatch call is one wire message — counted once
+	// in Sent / Delivered / the drop counters and once in InFlight, exactly
+	// like a SendTag — but it carries many id entries, so entry-level
+	// conservation (what the streaming ledger reconciles) needs the payload
+	// sizes alongside the wire counts. Batches/BatchEntries count accepted
+	// batches (subsets of Sent); BatchesDown/BatchEntriesDown send-time
+	// discards from down senders (subsets of DroppedDown);
+	// BatchesDelivered/BatchEntriesDelivered batches handed to the batch
+	// handler (subsets of Delivered). Entries lost in transit are the
+	// quiescent difference SentEntries() − DeliveredEntries().
+	Batches               int64
+	BatchEntries          int64
+	BatchesDown           int64
+	BatchEntriesDown      int64
+	BatchesDelivered      int64
+	BatchEntriesDelivered int64
 }
+
+// SentEntries returns accepted sends in id-entry units: every non-batch
+// message counts 1 and every batch counts its id-slab length. This is the
+// send-side term of the streaming ledger's entry conservation; for runs
+// without batches it equals Sent.
+func (s Stats) SentEntries() int64 { return s.Sent - s.Batches + s.BatchEntries }
+
+// DeliveredEntries returns deliveries in id-entry units (see SentEntries);
+// without batches it equals Delivered.
+func (s Stats) DeliveredEntries() int64 {
+	return s.Delivered - s.BatchesDelivered + s.BatchEntriesDelivered
+}
+
+// DownEntries returns send-time down-sender discards in id-entry units
+// (see SentEntries); without batches it equals DroppedDown.
+func (s Stats) DownEntries() int64 { return s.DroppedDown - s.BatchesDown + s.BatchEntriesDown }
 
 // InFlight returns the number of accepted messages still in transit: sent
 // but neither delivered nor dropped. Round-driven protocols use it to
@@ -229,11 +262,14 @@ type Config struct {
 // inflight is the pooled payload slot of one message in transit. The
 // destination rides in the event record itself (its node word); the slot
 // holds the rest. Slots are recycled through a free list, so the
-// steady-state send→deliver path allocates nothing.
+// steady-state send→deliver path allocates nothing. slab is the index of
+// an id-slab for batch messages (-1 otherwise), leased at send time and
+// released when the batch resolves.
 type inflight struct {
 	from    NodeID
 	sentAt  sim.Time
 	tag     int32
+	slab    int32
 	payload any
 }
 
@@ -258,11 +294,29 @@ type Network struct {
 	inflight  []inflight
 	freeMsg   []int32
 
+	// allBatch consumes delivered batches (RegisterBatchAll); slabs is the
+	// pooled id-slab store batches park their entry lists in between send
+	// and delivery, recycled through freeSlab. A slab is leased only for a
+	// batch that actually schedules (send-time drops never touch the pool)
+	// and released the moment its batch resolves, so at quiescence
+	// SlabsInUse is zero.
+	allBatch BatchHandler
+	slabs    [][]int32
+	freeSlab []int32
+
 	// route, when installed, intercepts payload-free sends whose
 	// destination lives on another shard (see SetRoute). The single-kernel
-	// hot path pays one nil check for the seam.
-	route func(from, to NodeID, tag int32, sentAt, at sim.Time) bool
+	// hot path pays one nil check for the seam. routeBatch is its SendBatch
+	// sibling.
+	route      func(from, to NodeID, tag int32, sentAt, at sim.Time) bool
+	routeBatch func(from, to NodeID, kind int32, ids []int32, sentAt, at sim.Time) bool
 }
+
+// BatchHandler consumes a delivered batch message: one wire event carrying
+// many message ids of one protocol kind. The ids slice aliases a pooled
+// slab that is recycled when the handler returns — consume it during the
+// call, never retain it.
+type BatchHandler func(now sim.Time, from, to NodeID, kind int32, ids []int32)
 
 // New returns a network of n nodes driven by kernel, with randomness from
 // rng (latency jitter and loss draws).
@@ -297,12 +351,14 @@ func (nw *Network) Reset(kernel *sim.Kernel, n int, rng *xrand.RNG, cfg Config) 
 	nw.latency = cfg.Latency
 	nw.loss = cfg.Loss
 	nw.all = nil
+	nw.allBatch = nil
 	nw.handlers = nil
 	nw.partition = nil
 	nw.stats = Stats{}
 	nw.tracer = cfg.Tracer
 	nw.traceFull = cfg.Tracer != nil
 	nw.route = nil
+	nw.routeBatch = nil
 	if nw.latency == nil {
 		nw.latency = ConstantLatency{}
 	}
@@ -317,6 +373,11 @@ func (nw *Network) Reset(kernel *sim.Kernel, n int, rng *xrand.RNG, cfg Config) 
 	}
 	nw.inflight = nw.inflight[:0]
 	nw.freeMsg = nw.freeMsg[:0]
+	nw.freeSlab = nw.freeSlab[:0]
+	for i := range nw.slabs {
+		nw.slabs[i] = nw.slabs[i][:0]
+		nw.freeSlab = append(nw.freeSlab, int32(i))
+	}
 	nw.deliverID = kernel.RegisterHandler(nw.deliverEvent)
 	// A bounded latency band selects the kernel's calendar queue; anything
 	// unbounded (or zero) keeps the heap. The pending estimate is n: peak
@@ -360,6 +421,15 @@ func (nw *Network) Register(id NodeID, h Handler) {
 func (nw *Network) RegisterAll(h Handler) {
 	nw.all = h
 	nw.handlers = nil
+}
+
+// RegisterBatchAll installs the handler consuming delivered batches
+// (SendBatch wire messages) at every node. Batch delivery is a separate
+// dispatch from Message delivery on purpose: the common case registers
+// both once per run, and a network without a batch handler drops arriving
+// batches as unprocessable (counted DroppedCrash, like a missing Handler).
+func (nw *Network) RegisterBatchAll(h BatchHandler) {
+	nw.allBatch = h
 }
 
 // tagShift positions a message tag above the 24-bit sender id in the
@@ -451,6 +521,62 @@ func (nw *Network) send(from, to NodeID, tag int32, payload any) {
 	nw.kernel.ScheduleAfter(d, nw.deliverID, int32(to), slot)
 }
 
+// SendBatch queues one wire message carrying every id in ids as a batch of
+// protocol kind `kind` — the digest/NACK-set/repair-batch primitive that
+// lets a round's gossip cost O(fanout) kernel events instead of O(buffer).
+// The batch is one message to the network: one latency and one loss draw,
+// one Sent/Delivered/drop count, one traced event — while the entry
+// counters (Stats.BatchEntries and friends) carry the id payload sizes so
+// entry-level conservation stays exact. The ids slice is copied into a
+// pooled slab at send time and the slab is recycled when the batch
+// resolves, so callers may reuse their scratch immediately and the steady
+// state allocates nothing. An empty ids is a no-op.
+func (nw *Network) SendBatch(from, to NodeID, kind int32, ids []int32) {
+	if kind < 0 {
+		panic(fmt.Sprintf("simnet: negative batch kind %d", kind))
+	}
+	if len(ids) == 0 {
+		return
+	}
+	nw.checkID(from)
+	nw.checkID(to)
+	now := nw.kernel.Now()
+	k := int64(len(ids))
+	if !nw.up.Get(int(from)) {
+		nw.stats.DroppedDown++
+		nw.stats.BatchesDown++
+		nw.stats.BatchEntriesDown += k
+		nw.trace(Event{Kind: EventDroppedDown, From: from, To: to, At: now, SentAt: now, Entries: int32(k)})
+		return
+	}
+	nw.stats.Sent++
+	nw.stats.Batches++
+	nw.stats.BatchEntries += k
+	nw.trace(Event{Kind: EventSent, From: from, To: to, At: now, SentAt: now, Entries: int32(k)})
+	if nw.partition != nil && nw.partition(from, to) {
+		nw.stats.DroppedPart++
+		nw.trace(Event{Kind: EventDroppedPartition, From: from, To: to, At: now, SentAt: now, Entries: int32(k)})
+		return
+	}
+	if nw.loss.Drop(nw.rng, from, to) {
+		nw.stats.DroppedLoss++
+		nw.trace(Event{Kind: EventDroppedLoss, From: from, To: to, At: now, SentAt: now, Entries: int32(k)})
+		return
+	}
+	d := nw.latency.Latency(nw.rng, from, to)
+	if d < 0 {
+		d = 0
+	}
+	// Cross-shard batches hand off exactly like cross-shard singles: every
+	// send-time decision is already made with this shard's RNG, and the
+	// hook copies the ids before returning (no slab is leased here).
+	if nw.routeBatch != nil && nw.routeBatch(from, to, kind, ids, now, now.Add(d)) {
+		return
+	}
+	slot := nw.allocBatch(from, now, kind, ids)
+	nw.kernel.ScheduleAfter(d, nw.deliverID, int32(to), slot)
+}
+
 // SetRoute installs (or clears, with nil) the cross-shard routing hook:
 // send consults it after every send-time decision (liveness, Sent count,
 // partition, loss, latency draw) for payload-free messages, passing the
@@ -460,6 +586,14 @@ func (nw *Network) send(from, to NodeID, tag int32, payload any) {
 // when unset is a single nil check.
 func (nw *Network) SetRoute(route func(from, to NodeID, tag int32, sentAt, at sim.Time) bool) {
 	nw.route = route
+}
+
+// SetRouteBatch installs (or clears, with nil) the cross-shard routing
+// hook for batches, the SendBatch counterpart of SetRoute. The hook must
+// copy ids before returning: the slice is the caller's scratch, not a
+// leased slab.
+func (nw *Network) SetRouteBatch(route func(from, to NodeID, kind int32, ids []int32, sentAt, at sim.Time) bool) {
+	nw.routeBatch = route
 }
 
 // ScheduleArrival schedules delivery of a payload-free message on this
@@ -488,16 +622,68 @@ func (nw *Network) ScheduleArrival(from, to NodeID, tag int32, sentAt, at sim.Ti
 	nw.kernel.Schedule(at, nw.deliverID, int32(to), slot)
 }
 
+// ScheduleArrivalBatch is ScheduleArrival for batches: the destination
+// shard leases a local slab for the ids (the source shard's scratch is not
+// shared across kernels) and schedules delivery at `at`, clamped to now.
+// Send-side accounting — including the batch/entry counters — already
+// happened on the source shard.
+func (nw *Network) ScheduleArrivalBatch(from, to NodeID, kind int32, ids []int32, sentAt, at sim.Time) {
+	nw.checkID(from)
+	nw.checkID(to)
+	if len(ids) == 0 {
+		return
+	}
+	if now := nw.kernel.Now(); at < now {
+		at = now
+	}
+	slot := nw.allocBatch(from, sentAt, kind, ids)
+	nw.kernel.Schedule(at, nw.deliverID, int32(to), slot)
+}
+
 // allocMsg parks a message's payload in a pooled slot and returns its index.
 func (nw *Network) allocMsg(from NodeID, sentAt sim.Time, tag int32, payload any) int32 {
 	if n := len(nw.freeMsg); n > 0 {
 		idx := nw.freeMsg[n-1]
 		nw.freeMsg = nw.freeMsg[:n-1]
-		nw.inflight[idx] = inflight{from: from, sentAt: sentAt, tag: tag, payload: payload}
+		nw.inflight[idx] = inflight{from: from, sentAt: sentAt, tag: tag, slab: -1, payload: payload}
 		return idx
 	}
-	nw.inflight = append(nw.inflight, inflight{from: from, sentAt: sentAt, tag: tag, payload: payload})
+	nw.inflight = append(nw.inflight, inflight{from: from, sentAt: sentAt, tag: tag, slab: -1, payload: payload})
 	return int32(len(nw.inflight) - 1)
+}
+
+// allocBatch parks a batch in a pooled slot, copying its ids into a leased
+// slab, and returns the slot index.
+func (nw *Network) allocBatch(from NodeID, sentAt sim.Time, kind int32, ids []int32) int32 {
+	var slab int32
+	if n := len(nw.freeSlab); n > 0 {
+		slab = nw.freeSlab[n-1]
+		nw.freeSlab = nw.freeSlab[:n-1]
+	} else {
+		nw.slabs = append(nw.slabs, nil)
+		slab = int32(len(nw.slabs) - 1)
+	}
+	nw.slabs[slab] = append(nw.slabs[slab][:0], ids...)
+	if n := len(nw.freeMsg); n > 0 {
+		idx := nw.freeMsg[n-1]
+		nw.freeMsg = nw.freeMsg[:n-1]
+		nw.inflight[idx] = inflight{from: from, sentAt: sentAt, tag: kind, slab: slab}
+		return idx
+	}
+	nw.inflight = append(nw.inflight, inflight{from: from, sentAt: sentAt, tag: kind, slab: slab})
+	return int32(len(nw.inflight) - 1)
+}
+
+// releaseSlab returns a resolved batch's slab to the pool.
+func (nw *Network) releaseSlab(slab int32) {
+	nw.freeSlab = append(nw.freeSlab, slab)
+}
+
+// SlabsInUse returns the number of leased id-slabs not yet recycled — the
+// pool-leak invariant: zero at quiescence, because every scheduled batch
+// releases its slab when it resolves (delivery or any delivery-time drop).
+func (nw *Network) SlabsInUse() int {
+	return len(nw.slabs) - len(nw.freeSlab)
 }
 
 // deliverEvent is the typed kernel handler for message arrival: node is the
@@ -511,9 +697,9 @@ func (nw *Network) deliverEvent(now sim.Time, node, slot int32) {
 	if slot < 0 {
 		word := -slot - 1
 		if nw.packTags {
-			m = inflight{from: NodeID(word & (1<<tagShift - 1)), tag: word >> tagShift, sentAt: now}
+			m = inflight{from: NodeID(word & (1<<tagShift - 1)), tag: word >> tagShift, sentAt: now, slab: -1}
 		} else {
-			m = inflight{from: NodeID(word), sentAt: now}
+			m = inflight{from: NodeID(word), sentAt: now, slab: -1}
 		}
 	} else {
 		m = nw.inflight[slot]
@@ -521,6 +707,10 @@ func (nw *Network) deliverEvent(now sim.Time, node, slot int32) {
 		nw.freeMsg = append(nw.freeMsg, slot)
 	}
 	to := NodeID(node)
+	if m.slab >= 0 {
+		nw.deliverBatch(now, m, to)
+		return
+	}
 	if !nw.up.Get(int(to)) {
 		nw.stats.DroppedCrash++
 		nw.trace(Event{Kind: EventDroppedCrash, From: m.from, To: to, At: now, SentAt: m.sentAt})
@@ -545,6 +735,39 @@ func (nw *Network) deliverEvent(now sim.Time, node, slot int32) {
 	nw.stats.Delivered++
 	nw.trace(Event{Kind: EventDelivered, From: m.from, To: to, At: now, SentAt: m.sentAt})
 	h(now, Message{From: m.from, To: to, Tag: m.tag, Payload: m.payload})
+}
+
+// deliverBatch resolves an arriving batch: the delivery-time outcomes
+// mirror deliverEvent's (crash, partition, missing handler), and the slab
+// is recycled on every path — after the handler returns on delivery, so
+// the handler may issue fresh batches while iterating the ids.
+func (nw *Network) deliverBatch(now sim.Time, m inflight, to NodeID) {
+	ids := nw.slabs[m.slab]
+	k := int32(len(ids))
+	if !nw.up.Get(int(to)) {
+		nw.stats.DroppedCrash++
+		nw.trace(Event{Kind: EventDroppedCrash, From: m.from, To: to, At: now, SentAt: m.sentAt, Entries: k})
+		nw.releaseSlab(m.slab)
+		return
+	}
+	if nw.partition != nil && nw.partition(m.from, to) {
+		nw.stats.DroppedPart++
+		nw.trace(Event{Kind: EventDroppedPartition, From: m.from, To: to, At: now, SentAt: m.sentAt, Entries: k})
+		nw.releaseSlab(m.slab)
+		return
+	}
+	if nw.allBatch == nil {
+		nw.stats.DroppedCrash++
+		nw.trace(Event{Kind: EventDroppedCrash, From: m.from, To: to, At: now, SentAt: m.sentAt, Entries: k})
+		nw.releaseSlab(m.slab)
+		return
+	}
+	nw.stats.Delivered++
+	nw.stats.BatchesDelivered++
+	nw.stats.BatchEntriesDelivered += int64(k)
+	nw.trace(Event{Kind: EventDelivered, From: m.from, To: to, At: now, SentAt: m.sentAt, Entries: k})
+	nw.allBatch(now, m.from, to, m.tag, ids)
+	nw.releaseSlab(m.slab)
 }
 
 // Crash marks id as failed: in-flight messages to it will be dropped at

@@ -58,6 +58,10 @@ type Event struct {
 	// SentAt is the send time of the underlying message, so
 	// At − SentAt is the transit latency for deliveries.
 	SentAt sim.Time
+	// Entries is the id count of a batch message (SendBatch) and zero for
+	// every single-id message, so trace consumers can weight wire events by
+	// payload without a second event stream.
+	Entries int32
 }
 
 // Tracer consumes network events. Install with Config.Tracer or

@@ -49,9 +49,16 @@ func RunProbed(cfg Config, netCfg simnet.Config, r *xrand.RNG,
 
 	w := arena.worker(0)
 	bits := arena.net.MessageBits(sh.M, cfg.N)
-	w.reset(0, 0, cfg.N, st.Net, r, sh, bits, probe, arena.publishLists(sh, 1, cfg.N)[0])
+	var pend *core.MessageBits
+	if cfg.Discipline == DisciplinePushPull {
+		pend = arena.net.NackBits(sh.M, cfg.N)
+	}
+	w.reset(0, 0, cfg.N, st.Net, r, sh, bits, pend, probe, arena.publishLists(sh, 1, cfg.N)[0])
 	probe.Attach(st.Net, &w.occ, &w.act)
 	st.Net.RegisterAll(func(now sim.Time, msg simnet.Message) { w.onMessage(now, msg) })
+	st.Net.RegisterBatchAll(func(now sim.Time, from, to simnet.NodeID, kind int32, ids []int32) {
+		w.onBatch(now, from, to, kind, ids)
+	})
 	for id := 0; id < cfg.N; id++ {
 		if !sh.mask.Alive(id) {
 			st.Net.Crash(simnet.NodeID(id))
@@ -119,15 +126,23 @@ func hasReceivedLatest(sh *runShared, ws []*worker, n, id int, now sim.Time) boo
 }
 
 // reduce folds the workers' tallies into the run Result. The
-// Result.Messages slice is the run's only O(M) allocation.
+// Result.Messages slice is the run's only O(M) allocation — and under
+// Config.SummaryOnly it is skipped entirely: the same per-message pass
+// folds outcome tallies, reliability moments, and loss attribution into
+// the aggregate fields, so a summary run makes zero O(M) allocations and
+// every non-Messages field is identical to a full run's.
 func reduce(cfg Config, sh *runShared, ws []*worker, net simnet.Stats, end sim.Time) Result {
 	res := Result{
 		N:              cfg.N,
 		AliveCount:     sh.mask.AliveCount(),
+		Scheduled:      sh.M,
 		Net:            net,
 		End:            end.Duration(),
 		MinReliability: 1,
-		Messages:       make([]MessageResult, sh.M),
+		SummaryOnly:    cfg.SummaryOnly,
+	}
+	if !cfg.SummaryOnly {
+		res.Messages = make([]MessageResult, sh.M)
 	}
 	for _, w := range ws {
 		res.Delivered += w.firstTotal
@@ -143,10 +158,6 @@ func reduce(cfg Config, sh *runShared, ws []*worker, net simnet.Stats, end sim.T
 	}
 	var relSum float64
 	for m := 0; m < sh.M; m++ {
-		mr := &res.Messages[m]
-		mr.ID = m
-		mr.Source = int(sh.source[m])
-		mr.PublishedAt = sh.pubTime[m].Duration()
 		var sends, recvs int64
 		var first, dups, evics int32
 		for _, w := range ws {
@@ -158,35 +169,51 @@ func reduce(cfg Config, sh *runShared, ws []*worker, net simnet.Stats, end sim.T
 		}
 		res.Ledger.Sends += sends
 		res.Ledger.Receipts += recvs
-		mr.Delivered = int(first)
-		mr.Duplicates = int(dups)
-		mr.Evictions = int(evics)
-		mr.Drops = sends - recvs
+		res.Duplicates += int64(dups)
+		drops := sends - recvs
+		var rel float64
 		if res.AliveCount > 0 {
-			mr.Reliability = float64(first) / float64(res.AliveCount)
+			rel = float64(first) / float64(res.AliveCount)
 		}
+		var outcome MessageOutcome
 		switch {
 		case sh.pubState[m] == pubSkipped:
-			mr.Outcome = MsgSkipped
+			outcome = MsgSkipped
 			res.Skipped++
-			continue
-		case mr.Delivered == res.AliveCount:
-			mr.Outcome = MsgDelivered
+		case int(first) == res.AliveCount:
+			outcome = MsgDelivered
 			res.FullyDelivered++
 		case evics > 0:
-			mr.Outcome = MsgLostEviction
+			outcome = MsgLostEviction
 			res.LostEviction++
-		case mr.Drops > 0:
-			mr.Outcome = MsgLostDrop
+		case drops > 0:
+			outcome = MsgLostDrop
 			res.LostDrop++
 		default:
-			mr.Outcome = MsgDied
+			outcome = MsgDied
 			res.Died++
 		}
+		if !cfg.SummaryOnly {
+			res.Messages[m] = MessageResult{
+				ID:          m,
+				Source:      int(sh.source[m]),
+				PublishedAt: sh.pubTime[m].Duration(),
+				Delivered:   int(first),
+				Reliability: rel,
+				Duplicates:  int(dups),
+				Evictions:   int(evics),
+				Drops:       drops,
+				Outcome:     outcome,
+			}
+		}
+		if outcome == MsgSkipped {
+			continue
+		}
 		res.Published++
-		relSum += mr.Reliability
-		if mr.Reliability < res.MinReliability {
-			res.MinReliability = mr.Reliability
+		res.Reliability.Add(rel)
+		relSum += rel
+		if rel < res.MinReliability {
+			res.MinReliability = rel
 		}
 	}
 	if res.Published > 0 {

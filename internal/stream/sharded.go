@@ -74,8 +74,12 @@ func RunSharded(cfg Config, netCfg simnet.Config, r *xrand.RNG,
 		kernels[s].SetBudget(bud)
 		sn.ResetShard(s, kernels[s], rngs[s].Split(netSplit))
 		lo, hi := s*block, min((s+1)*block, cfg.N)
+		var pend *core.MessageBits
+		if cfg.Discipline == DisciplinePushPull {
+			pend = sa.ShardNackBits(s, sh.M, hi-lo)
+		}
 		workers[s].reset(s, lo, hi, sn.Shard(s), rngs[s], sh,
-			sa.ShardMessageBits(s, sh.M, hi-lo), nil, pubBy[s])
+			sa.ShardMessageBits(s, sh.M, hi-lo), pend, nil, pubBy[s])
 	})
 	if shards > 1 {
 		ctl.Reset()
@@ -106,6 +110,9 @@ func RunSharded(cfg Config, netCfg simnet.Config, r *xrand.RNG,
 	for s := 0; s < shards; s++ {
 		w := workers[s]
 		sn.Shard(s).RegisterAll(func(now sim.Time, msg simnet.Message) { w.onMessage(now, msg) })
+		sn.Shard(s).RegisterBatchAll(func(now sim.Time, from, to simnet.NodeID, kind int32, ids []int32) {
+			w.onBatch(now, from, to, kind, ids)
+		})
 	}
 	group.Each(func(s int) {
 		for id := s * block; id < min((s+1)*block, cfg.N); id++ {

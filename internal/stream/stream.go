@@ -180,6 +180,21 @@ type Config struct {
 	// View is the membership view targets are drawn from; nil means the
 	// full view.
 	View membership.View
+	// Batch switches the round-driven disciplines (push, push-pull) to
+	// batched wire messages: one digest / one NACK set / one repair batch
+	// per (member, round, peer) instead of one event per buffered entry,
+	// cutting kernel events per round from O(buffer·fanout) to O(fanout).
+	// Loss and latency then apply per batch rather than per entry, so
+	// batched runs are statistically pinned against per-id runs, not
+	// byte-identical. Eager and flood forward single fresh ids per receipt
+	// and ignore the flag.
+	Batch bool
+	// SummaryOnly folds the per-message accounting into the run-level
+	// aggregates (outcome tallies, reliability moments, latency moments,
+	// the ledger) and leaves Result.Messages nil — removing the run's only
+	// O(messages) allocation, which is what lets 10⁶–10⁷-rumor runs fit in
+	// memory. Every Result field except Messages is unchanged.
+	SummaryOnly bool
 }
 
 // Validate reports whether the config describes a runnable stream (the
@@ -324,8 +339,10 @@ type MessageResult struct {
 // Ledger is the run's conservation accounting. At quiescence the copy
 // identity Inserted = Evicted + Expired + Resident holds exactly (with
 // Resident zero for a drained run), and the network identity
-// Sends = Net.Sent + Net.DroppedDown, Receipts = Net.Delivered ties the
-// engine's own counters to the fabric's.
+// Sends = Net.SentEntries() + Net.DownEntries(),
+// Receipts = Net.DeliveredEntries() ties the engine's own counters to the
+// fabric's in id-entry units — for per-id runs the entry helpers collapse
+// to Sent/DroppedDown/Delivered and the identity is the wire-level one.
 type Ledger struct {
 	// Inserted counts buffer insertions; Evicted capacity-pressure
 	// displacements; Expired age-outs at round ticks; Resident copies
@@ -344,6 +361,10 @@ type Result struct {
 	// N is the group size; AliveCount the initially-alive member count.
 	N          int
 	AliveCount int
+	// Scheduled is the publish-schedule length; Published + Skipped ==
+	// Scheduled always (the summary mode's replacement for
+	// len(Messages)).
+	Scheduled int
 	// Published counts messages that entered the stream; Skipped those
 	// whose source was down at publish time (Published+Skipped is the
 	// schedule length).
@@ -351,12 +372,17 @@ type Result struct {
 	// Outcome tallies over published messages (they partition Published).
 	FullyDelivered, LostEviction, LostDrop, Died int
 	// MeanReliability and MinReliability summarize the per-message
-	// reliability distribution over published messages.
+	// reliability distribution over published messages; Reliability holds
+	// its full running moments (count, mean, stddev), the summary mode's
+	// stand-in for iterating Messages.
 	MeanReliability, MinReliability float64
+	Reliability                     stats.Running
 	// Delivered is total first receipts across all messages (sources
-	// included); MessagesSent total engine sends of every kind.
+	// included); MessagesSent total engine sends of every kind;
+	// Duplicates total redundant receipts across messages.
 	Delivered    int
 	MessagesSent int64
+	Duplicates   int64
 	// DeliveryLatency summarizes per-receipt latency (receipt minus
 	// publish time, in seconds; source self-receipts excluded).
 	DeliveryLatency stats.Running
@@ -365,8 +391,14 @@ type Result struct {
 	Rounds int
 	End    time.Duration
 	// Messages is the per-message accounting, schedule order. It is the
-	// run's only O(messages) allocation.
+	// run's only O(messages) allocation — and nil under
+	// Config.SummaryOnly, which folds everything it carries into the
+	// aggregate fields above.
 	Messages []MessageResult
+	// SummaryOnly records that this run folded per-message accounting
+	// (Messages is nil by construction, not because nothing was
+	// scheduled).
+	SummaryOnly bool
 	// Ledger is the conservation accounting; Net the fabric's final
 	// counters.
 	Ledger Ledger

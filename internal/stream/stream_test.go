@@ -34,21 +34,31 @@ func checkLedger(t *testing.T, res Result) {
 		t.Errorf("copy identity broken: evicted %d + expired %d + resident %d = %d, inserted %d",
 			res.Ledger.Evicted, res.Ledger.Expired, res.Ledger.Resident, got, res.Ledger.Inserted)
 	}
-	if got := res.Net.Sent + res.Net.DroppedDown; res.Ledger.Sends != got {
-		t.Errorf("send identity broken: ledger sends %d, fabric sent %d + dropped-down %d = %d",
-			res.Ledger.Sends, res.Net.Sent, res.Net.DroppedDown, got)
+	// Send/receipt identities hold in id-entry units: a batched wire
+	// message counts once on the fabric but carries many entries, and the
+	// entry helpers collapse to the plain counters for per-id runs.
+	if got := res.Net.SentEntries() + res.Net.DownEntries(); res.Ledger.Sends != got {
+		t.Errorf("send identity broken: ledger sends %d, fabric sent-entries %d + down-entries %d = %d",
+			res.Ledger.Sends, res.Net.SentEntries(), res.Net.DownEntries(), got)
 	}
-	if res.Ledger.Receipts != res.Net.Delivered {
-		t.Errorf("receipt identity broken: ledger receipts %d, fabric delivered %d",
-			res.Ledger.Receipts, res.Net.Delivered)
+	if res.Ledger.Receipts != res.Net.DeliveredEntries() {
+		t.Errorf("receipt identity broken: ledger receipts %d, fabric delivered-entries %d",
+			res.Ledger.Receipts, res.Net.DeliveredEntries())
 	}
 	if got := res.FullyDelivered + res.LostEviction + res.LostDrop + res.Died; got != res.Published {
 		t.Errorf("outcomes do not partition published: %d+%d+%d+%d = %d, published %d",
 			res.FullyDelivered, res.LostEviction, res.LostDrop, res.Died, got, res.Published)
 	}
-	if got := res.Published + res.Skipped; got != len(res.Messages) {
+	if got := res.Published + res.Skipped; got != res.Scheduled {
 		t.Errorf("published %d + skipped %d = %d, schedule length %d",
-			res.Published, res.Skipped, got, len(res.Messages))
+			res.Published, res.Skipped, got, res.Scheduled)
+	}
+	if res.SummaryOnly {
+		if res.Messages != nil {
+			t.Errorf("summary-only run materialized %d per-message rows", len(res.Messages))
+		}
+	} else if len(res.Messages) != res.Scheduled {
+		t.Errorf("per-message rows %d, schedule length %d", len(res.Messages), res.Scheduled)
 	}
 }
 

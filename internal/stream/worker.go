@@ -36,6 +36,21 @@ type worker struct {
 	pubList     []int32 // schedule indices this worker publishes, time order
 	pubHID      sim.HandlerID
 
+	// ids assembles one outgoing batch per (member, round) under
+	// Config.Batch; reply assembles batched NACK sets and repair batches
+	// inside the batch handler. Both are scratch: SendBatch copies into a
+	// pooled slab at send time.
+	ids   []int32
+	reply []int32
+	// pend marks (message, member) pairs with a NACK in flight (push-pull
+	// only, nil otherwise): a member never re-NACKs an id it already
+	// requested this round, whatever duplicate digests arrive meanwhile.
+	// pendM/pendL list the set bits so each round tick retires the marks
+	// in O(marks) — the dedupe window is one round, after which an
+	// unanswered NACK (lost, or its repair lost) may be retried.
+	pend         *core.MessageBits
+	pendM, pendL []int32
+
 	seq   uint32
 	occ   int64 // occupancy gauge (probe-sampled)
 	act   int64 // active-message gauge (lead worker only)
@@ -53,11 +68,15 @@ type worker struct {
 	_                          [64]byte
 }
 
-// reset binds the worker to a fresh run over block [base, limit).
+// reset binds the worker to a fresh run over block [base, limit). pend is
+// the leased pending-repair matrix for push-pull runs, nil for every other
+// discipline.
 func (w *worker) reset(s, base, limit int, nw *simnet.Network, rng *xrand.RNG,
-	sh *runShared, bits *core.MessageBits, probe *obs.StreamProbe, pubList []int32) {
+	sh *runShared, bits, pend *core.MessageBits, probe *obs.StreamProbe, pubList []int32) {
 	w.s, w.base, w.limit = s, base, limit
 	w.nw, w.rng, w.sh, w.bits, w.probe = nw, rng, sh, bits, probe
+	w.pend = pend
+	w.pendM, w.pendL = w.pendM[:0], w.pendL[:0]
 	w.pubList = pubList
 	w.buf.reset(limit-base, sh.cfg.BufferCap)
 	w.seq, w.occ, w.act = 0, 0, 0
@@ -102,6 +121,43 @@ func (w *worker) sendTag(from, to int, m, kind int32) {
 	w.nw.SendTag(simnet.NodeID(from), simnet.NodeID(to), tagOf(m, kind))
 }
 
+// sendBatch emits one wire message carrying every id in ids as kind,
+// tallying each entry — the entry tallies keep Ledger.Sends in id units so
+// the conservation identity is wire-format independent.
+func (w *worker) sendBatch(from, to int, kind int32, ids []int32) {
+	for _, m := range ids {
+		w.sends[m]++
+	}
+	w.nw.SendBatch(simnet.NodeID(from), simnet.NodeID(to), kind, ids)
+}
+
+// pendHas reports whether member l already has a NACK in flight for m
+// this round (false when the run keeps no pending state).
+func (w *worker) pendHas(m, l int) bool { return w.pend != nil && w.pend.Get(m, l) }
+
+// pendMark records l's in-flight NACK for m so duplicate digests this
+// round don't trigger duplicate repair round-trips.
+func (w *worker) pendMark(m, l int) {
+	if w.pend == nil {
+		return
+	}
+	w.pend.Set(m, l)
+	w.pendM = append(w.pendM, int32(m))
+	w.pendL = append(w.pendL, int32(l))
+}
+
+// pendRetire clears every pending-repair mark — the per-round dedupe
+// window closing at the worker's tick.
+func (w *worker) pendRetire() {
+	if len(w.pendM) == 0 {
+		return
+	}
+	for i, m := range w.pendM {
+		w.pend.Unset(int(m), int(w.pendL[i]))
+	}
+	w.pendM, w.pendL = w.pendM[:0], w.pendL[:0]
+}
+
 // onMessage is the block's network handler, dispatching on the packed
 // (id, kind) tag.
 func (w *worker) onMessage(now sim.Time, msg simnet.Message) {
@@ -113,8 +169,10 @@ func (w *worker) onMessage(now sim.Time, msg simnet.Message) {
 		w.receiveData(id, int(m), now, false)
 	case kindDigest:
 		// NACK only ids not yet received whose active window is still
-		// open — a stale digest is not worth a repair round-trip.
-		if !w.bits.Get(int(m), w.local(id)) && now < w.sh.expiry[m] {
+		// open — a stale digest is not worth a repair round-trip — and
+		// not already requested this round (the pending-repair dedupe).
+		if l := w.local(id); !w.bits.Get(int(m), l) && now < w.sh.expiry[m] && !w.pendHas(int(m), l) {
+			w.pendMark(int(m), l)
 			w.sendTag(id, int(msg.From), m, kindNack)
 		}
 	case kindNack:
@@ -122,6 +180,49 @@ func (w *worker) onMessage(now sim.Time, msg simnet.Message) {
 			w.sendTag(id, int(msg.From), m, kindRepair)
 		} else {
 			w.repairMiss++ // already evicted or expired here
+		}
+	}
+}
+
+// onBatch is the block's batch handler — the Config.Batch wire format,
+// where one network event carries a whole (member, round, peer) digest,
+// NACK set, or repair batch. Replies batch symmetrically: one digest in,
+// at most one NACK set out; one NACK set in, at most one repair batch
+// out. The ids slice aliases the fabric's pooled slab, consumed before
+// any reply is sent (SendBatch copies the reply scratch at send time).
+func (w *worker) onBatch(now sim.Time, from, to simnet.NodeID, kind int32, ids []int32) {
+	id := int(to)
+	l := w.local(id)
+	for _, m := range ids {
+		w.recvs[m]++
+	}
+	switch kind {
+	case kindData, kindRepair:
+		for _, m := range ids {
+			w.receiveData(id, int(m), now, false)
+		}
+	case kindDigest:
+		w.reply = w.reply[:0]
+		for _, m := range ids {
+			if !w.bits.Get(int(m), l) && now < w.sh.expiry[m] && !w.pendHas(int(m), l) {
+				w.pendMark(int(m), l)
+				w.reply = append(w.reply, m)
+			}
+		}
+		if len(w.reply) > 0 {
+			w.sendBatch(id, int(from), kindNack, w.reply)
+		}
+	case kindNack:
+		w.reply = w.reply[:0]
+		for _, m := range ids {
+			if w.buf.find(l, m) >= 0 {
+				w.reply = append(w.reply, m)
+			} else {
+				w.repairMiss++ // already evicted or expired here
+			}
+		}
+		if len(w.reply) > 0 {
+			w.sendBatch(id, int(from), kindRepair, w.reply)
 		}
 	}
 }
@@ -267,6 +368,7 @@ func (w *worker) tick(now sim.Time) {
 			w.act--
 		}
 	}
+	w.pendRetire() // close the round's NACK-dedupe window
 	active := int32(sh.cfg.ActiveRounds)
 	disc := sh.cfg.Discipline
 	for id := w.base; id < w.limit; id++ {
@@ -297,6 +399,19 @@ func (w *worker) tick(now sim.Time) {
 			kind = kindDigest
 		}
 		w.targets = sh.view.SampleTargets(w.targets[:0], id, f, w.rng)
+		if sh.cfg.Batch {
+			// One wire message per target carrying the whole buffer:
+			// O(fanout) kernel events for this member's round instead of
+			// O(buffer·fanout).
+			w.ids = w.ids[:0]
+			for _, e := range w.buf.row(l) {
+				w.ids = append(w.ids, e.msg)
+			}
+			for _, v := range w.targets {
+				w.sendBatch(id, v, kind, w.ids)
+			}
+			continue
+		}
 		for _, v := range w.targets {
 			for _, e := range w.buf.row(l) {
 				w.sendTag(id, v, e.msg, kind)

@@ -10,8 +10,14 @@
 #   ExecuteOnNetwork/n=100000           the sweep-sized hot path
 #   ExecuteOnNetworkTopology/*          n=10^5 uniform vs k-out overlay
 #                                       (the <=10% overlay-lookup budget)
-#   StreamSteadyState                   n=10^5 streaming workload under load
+#   StreamSteadyState/n=100k/*          n=10^5 streaming workload under load
 #                                       (internal/stream, alloc-guarded)
+#   StreamSteadyState/rumors=10k/*      10^4-rumor push stream, per-id vs
+#                                       batched wire (the batching speedup;
+#                                       msgs/s counts id entries for both)
+#   StreamSteadyState/rumors=1M/*       10^6 concurrent rumors, batched wire
+#                                       + summary-only accounting (the O(1)-
+#                                       per-message alloc guard)
 #
 # Each record carries ns/op, msgs/s, and allocs/op parsed from `go test
 # -bench` output — awk only, no external JSON tooling. The n=10⁷ benchmarks

@@ -56,15 +56,21 @@ for anchor in \
 done
 # Likewise the "Streaming workloads" section and its load-bearing anchors:
 # the tag packing and its boxed-send fallback counter, the message-id cap,
-# the lpbcast eviction policy, the conservation identity, and the probe
-# family. Renaming any of these in code without the doc update fails here.
+# the lpbcast eviction policy, the conservation identity, the probe
+# family, and the batched-wire/summary-mode seams (the batch primitive,
+# its entry counters, the slab-leak invariant, and the summary switch).
+# Renaming any of these in code without the doc update fails here.
 for anchor in \
     "## Streaming workloads" \
     "MaxMessagesCap" \
     "BoxedSends" \
     "EvictLpbcast" \
     "Inserted = Evicted + Expired + Resident" \
-    "StreamProbe"; do
+    "StreamProbe" \
+    "SendBatch" \
+    "BatchEntries" \
+    "SlabsInUse" \
+    "SummaryOnly"; do
     if ! grep -qs "$anchor" ARCHITECTURE.md; then
         echo "docs-lint: ARCHITECTURE.md lost its Streaming workloads anchor: '$anchor'" >&2
         fail=1
